@@ -1,0 +1,61 @@
+//! Study context: the generated world plus the measurement configuration —
+//! everything an experiment driver needs.
+
+use bannerclick::BannerClick;
+use httpsim::Network;
+use std::sync::Arc;
+use webgen::{Population, PopulationConfig};
+
+/// The assembled study: synthetic web + network + detection tool.
+pub struct Study {
+    /// Ground-truth population (used only for the verification/oracle
+    /// steps that were manual in the paper).
+    pub population: Arc<Population>,
+    /// The simulated Internet, with every server installed.
+    pub net: Network,
+    /// The detection pipeline configuration.
+    pub tool: BannerClick,
+    /// Parallel crawl workers.
+    pub workers: usize,
+}
+
+impl Study {
+    /// Build a study over a freshly generated population.
+    pub fn new(config: PopulationConfig) -> Self {
+        let population = Arc::new(Population::generate(config));
+        let net = Network::new();
+        webgen::server::install(Arc::clone(&population), &net);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Study {
+            population,
+            net,
+            tool: BannerClick::new(),
+            workers,
+        }
+    }
+
+    /// Full paper-scale study (45,222 targets, 280 walls).
+    pub fn paper() -> Self {
+        Self::new(PopulationConfig::paper())
+    }
+
+    /// Reduced-scale study for tests and quick runs.
+    pub fn small() -> Self {
+        Self::new(PopulationConfig::small())
+    }
+
+    /// The merged crawl target list (union of all country toplists).
+    pub fn targets(&self) -> Vec<String> {
+        self.population.merged_targets()
+    }
+
+    /// Oracle check standing in for the paper's manual verification: is a
+    /// detected domain truly a cookiewall site?
+    pub fn verify_wall(&self, domain: &str) -> bool {
+        self.population
+            .site(domain)
+            .is_some_and(|s| s.banner.is_cookiewall())
+    }
+}

@@ -1,0 +1,185 @@
+//! Crawl orchestration: run the BannerClick pipeline over a target list
+//! from one or more vantage points, in parallel.
+
+use bannerclick::{BannerClick, ObservedEmbedding};
+use browser::Browser;
+use crossbeam::thread;
+use httpsim::{Network, Region};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One crawled site, as the measurement pipeline saw it (no ground truth).
+#[derive(Debug, Clone, Serialize)]
+pub struct CrawlRecord {
+    /// The crawled domain.
+    pub domain: String,
+    /// The site answered.
+    pub reachable: bool,
+    /// A banner of any kind was detected.
+    pub banner: bool,
+    /// The banner was classified as a cookiewall.
+    pub cookiewall: bool,
+    /// Structural embedding of the detected banner.
+    #[serde(skip)]
+    pub embedding: Option<ObservedEmbedding>,
+    /// Extracted subscription price, EUR/month.
+    pub monthly_eur: Option<f64>,
+    /// Observed consent-infrastructure host (SMP/CMP CDN).
+    pub provider: Option<String>,
+    /// Detected page language (ISO 639-1), from page + banner text.
+    pub language: Option<&'static str>,
+}
+
+/// One vantage point's crawl over the full target list.
+#[derive(Debug)]
+pub struct VantageCrawl {
+    /// Where the crawl ran from.
+    pub region: Region,
+    /// Per-domain records, in target-list order.
+    pub records: Vec<CrawlRecord>,
+}
+
+impl VantageCrawl {
+    /// Records classified as cookiewalls.
+    pub fn detected_walls(&self) -> impl Iterator<Item = &CrawlRecord> {
+        self.records.iter().filter(|r| r.cookiewall)
+    }
+
+    /// Number of detected cookiewalls.
+    pub fn wall_count(&self) -> usize {
+        self.detected_walls().count()
+    }
+}
+
+/// Crawl `targets` from `region` with `workers` parallel browser profiles.
+///
+/// Each domain is visited with a fresh cookie state (profiles are reused
+/// across domains but cleared, like the paper's stateless crawl).
+pub fn crawl_region(
+    net: &Network,
+    region: Region,
+    targets: &[String],
+    tool: &BannerClick,
+    workers: usize,
+) -> VantageCrawl {
+    let workers = workers.max(1);
+    let next = AtomicUsize::new(0);
+    let mut records: Vec<Option<CrawlRecord>> = vec![None; targets.len()];
+    let slots: Vec<parking_lot::Mutex<Option<CrawlRecord>>> =
+        records.iter_mut().map(|_| parking_lot::Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut browser = Browser::new(net.clone(), region);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= targets.len() {
+                        break;
+                    }
+                    browser.clear_cookies();
+                    let record = analyze_domain(tool, &mut browser, &targets[i]);
+                    *slots[i].lock() = Some(record);
+                }
+            });
+        }
+    })
+    .expect("crawl workers must not panic");
+
+    let records = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every target crawled"))
+        .collect();
+    VantageCrawl { region, records }
+}
+
+/// Crawl every region over the same target list (Table 1's measurement).
+pub fn crawl_all_regions(
+    net: &Network,
+    targets: &[String],
+    tool: &BannerClick,
+    workers: usize,
+) -> Vec<VantageCrawl> {
+    Region::ALL
+        .iter()
+        .map(|&region| crawl_region(net, region, targets, tool, workers))
+        .collect()
+}
+
+/// Analyze a single domain into a crawl record.
+pub fn analyze_domain(tool: &BannerClick, browser: &mut Browser, domain: &str) -> CrawlRecord {
+    match browser.visit_domain(domain) {
+        Ok(mut page) => {
+            let analysis = tool.analyze_page(domain, &mut page);
+            // Language identification over page prose plus banner copy —
+            // the CLD3 step of §4.1.
+            let mut text = page.main_text();
+            if let Some(b) = &analysis.banner {
+                text.push(' ');
+                text.push_str(&b.text);
+            }
+            let language = langid::detect(&text).map(|d| d.language.code());
+            CrawlRecord {
+                domain: domain.to_string(),
+                reachable: true,
+                banner: analysis.banner_detected(),
+                cookiewall: analysis.cookiewall_detected(),
+                embedding: analysis.embedding(),
+                monthly_eur: analysis.price().map(|p| p.monthly_eur),
+                provider: analysis.provider.clone(),
+                language,
+            }
+        }
+        Err(_) => CrawlRecord {
+            domain: domain.to_string(),
+            reachable: false,
+            banner: false,
+            cookiewall: false,
+            embedding: None,
+            monthly_eur: None,
+            provider: None,
+            language: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webgen::{Population, PopulationConfig};
+
+    #[test]
+    fn parallel_crawl_matches_serial() {
+        let pop = Arc::new(Population::generate(PopulationConfig::tiny()));
+        let net = Network::new();
+        webgen::server::install(Arc::clone(&pop), &net);
+        let targets: Vec<String> = pop.merged_targets().into_iter().take(60).collect();
+        let tool = BannerClick::new();
+        let serial = crawl_region(&net, Region::Germany, &targets, &tool, 1);
+        let parallel = crawl_region(&net, Region::Germany, &targets, &tool, 4);
+        assert_eq!(serial.records.len(), parallel.records.len());
+        for (a, b) in serial.records.iter().zip(&parallel.records) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.cookiewall, b.cookiewall, "{}", a.domain);
+            assert_eq!(a.banner, b.banner, "{}", a.domain);
+        }
+    }
+
+    #[test]
+    fn eu_sees_more_walls_than_non_eu() {
+        let pop = Arc::new(Population::generate(PopulationConfig::small()));
+        let net = Network::new();
+        webgen::server::install(Arc::clone(&pop), &net);
+        let targets = pop.merged_targets();
+        let tool = BannerClick::new();
+        let de = crawl_region(&net, Region::Germany, &targets, &tool, 4);
+        let us = crawl_region(&net, Region::UsEast, &targets, &tool, 4);
+        assert!(
+            de.wall_count() > us.wall_count(),
+            "DE {} vs US {}",
+            de.wall_count(),
+            us.wall_count()
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Figure 4: average cookie counts — cookiewall sites vs. regular-banner
+//! sites, after accepting, five repetitions per site.
+
+use crate::context::Study;
+use crate::crawl::VantageCrawl;
+use crate::measure::{measure_sites, InteractionMode, SiteCookieMeasurement};
+use crate::render::TextTable;
+use crate::stats::Summary;
+use httpsim::Region;
+use serde::Serialize;
+
+/// Distribution summaries for one site group.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupCookies {
+    /// Group label ("cookie banner" / "cookiewall").
+    pub label: String,
+    /// Sites measured.
+    pub sites: usize,
+    /// First-party cookie distribution.
+    pub first_party: Summary,
+    /// Third-party cookie distribution.
+    pub third_party: Summary,
+    /// Tracking cookie distribution.
+    pub tracking: Summary,
+}
+
+/// The Figure 4 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// Regular cookie-banner group.
+    pub banner: GroupCookies,
+    /// Cookiewall group.
+    pub wall: GroupCookies,
+    /// Ratio of mean third-party cookies (paper: 6.4×).
+    pub third_party_ratio: f64,
+    /// Ratio of mean tracking cookies (paper: 42×).
+    pub tracking_ratio: f64,
+    /// Per-site wall measurements (consumed again by Figure 6).
+    pub wall_measurements: Vec<SiteCookieMeasurement>,
+}
+
+/// Compute Figure 4. Wall sites come from the verified detections; an
+/// equal number of regular-banner sites is sampled from the crawl
+/// (deterministically).
+pub fn compute(study: &Study, crawls: &[VantageCrawl]) -> Fig4 {
+    let mut walls: Vec<String> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for crawl in crawls {
+        for r in crawl.detected_walls() {
+            if study.verify_wall(&r.domain) && seen.insert(r.domain.clone()) {
+                walls.push(r.domain.clone());
+            }
+        }
+    }
+    walls.sort();
+
+    // Random regular-banner comparison set of the same size, drawn from
+    // sites where the crawl saw a banner but no wall.
+    let de_crawl = crawls
+        .iter()
+        .find(|c| c.region == Region::Germany)
+        .unwrap_or(&crawls[0]);
+    let mut banner_sites: Vec<String> = de_crawl
+        .records
+        .iter()
+        .filter(|r| r.banner && !r.cookiewall)
+        .map(|r| r.domain.clone())
+        .collect();
+    webgen::stable_shuffle(&mut banner_sites, "fig4/banner-sample");
+    banner_sites.truncate(walls.len().max(1));
+
+    let wall_ms = measure_sites(
+        &study.net,
+        Region::Germany,
+        &walls,
+        InteractionMode::Accept,
+        &study.tool,
+        study.workers,
+    );
+    let banner_ms = measure_sites(
+        &study.net,
+        Region::Germany,
+        &banner_sites,
+        InteractionMode::Accept,
+        &study.tool,
+        study.workers,
+    );
+
+    let banner = summarize("cookie banner", &banner_ms);
+    let wall = summarize("cookiewall", &wall_ms);
+    Fig4 {
+        third_party_ratio: ratio(wall.third_party.mean, banner.third_party.mean),
+        tracking_ratio: ratio(wall.tracking.mean, banner.tracking.mean),
+        banner,
+        wall,
+        wall_measurements: wall_ms,
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b <= 0.0 {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}
+
+/// Summarize a group of per-site measurements.
+pub fn summarize(label: &str, ms: &[SiteCookieMeasurement]) -> GroupCookies {
+    let fp: Vec<f64> = ms.iter().map(|m| m.first_party).collect();
+    let tp: Vec<f64> = ms.iter().map(|m| m.third_party).collect();
+    let tr: Vec<f64> = ms.iter().map(|m| m.tracking).collect();
+    GroupCookies {
+        label: label.to_string(),
+        sites: ms.len(),
+        first_party: Summary::of(&fp),
+        third_party: Summary::of(&tp),
+        tracking: Summary::of(&tr),
+    }
+}
+
+impl Fig4 {
+    /// Render the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Group", "n", "FP med", "FP mean", "TP med", "TP mean", "Track med", "Track mean",
+        ]);
+        for g in [&self.banner, &self.wall] {
+            t.row([
+                g.label.clone(),
+                g.sites.to_string(),
+                format!("{:.1}", g.first_party.median),
+                format!("{:.1}", g.first_party.mean),
+                format!("{:.1}", g.third_party.median),
+                format!("{:.1}", g.third_party.mean),
+                format!("{:.1}", g.tracking.median),
+                format!("{:.1}", g.tracking.mean),
+            ]);
+        }
+        format!(
+            "Figure 4: Cookies after accepting — banner vs. cookiewall sites\n{}\n\
+             Third-party ratio (wall/banner means): {:.1}×   Tracking ratio: {:.1}×\n",
+            t.render(),
+            self.third_party_ratio,
+            self.tracking_ratio,
+        )
+    }
+}

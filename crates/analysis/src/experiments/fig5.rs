@@ -1,0 +1,87 @@
+//! Figure 5: cookies on contentpass partner sites — accepting the wall vs.
+//! visiting with a paid subscription (§4.4).
+
+use crate::context::Study;
+use crate::experiments::fig4::{summarize, GroupCookies};
+use crate::measure::{measure_sites, InteractionMode};
+use crate::render::TextTable;
+use httpsim::Region;
+use serde::Serialize;
+use webgen::Smp;
+
+/// The Figure 5 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// Partner sites measured.
+    pub partners: usize,
+    /// Accept-mode distributions.
+    pub accept: GroupCookies,
+    /// Subscriber-mode distributions.
+    pub subscribed: GroupCookies,
+    /// Partner sites sending >100 tracking cookies when accepting
+    /// (the paper's extreme cases).
+    pub extreme_sites: usize,
+}
+
+/// Compute Figure 5 over every contentpass partner (in-list and off-list —
+/// the paper measures all 219).
+pub fn compute(study: &Study) -> Fig5 {
+    let partners: Vec<String> = study
+        .population
+        .smp_partners(Smp::Contentpass)
+        .to_vec();
+    let accept_ms = measure_sites(
+        &study.net,
+        Region::Germany,
+        &partners,
+        InteractionMode::Accept,
+        &study.tool,
+        study.workers,
+    );
+    let sub_ms = measure_sites(
+        &study.net,
+        Region::Germany,
+        &partners,
+        InteractionMode::Subscribed {
+            account_host: Smp::Contentpass.account_host(),
+        },
+        &study.tool,
+        study.workers,
+    );
+    let extreme_sites = accept_ms.iter().filter(|m| m.tracking > 100.0).count();
+    Fig5 {
+        partners: partners.len(),
+        accept: summarize("accept", &accept_ms),
+        subscribed: summarize("subscription", &sub_ms),
+        extreme_sites,
+    }
+}
+
+impl Fig5 {
+    /// Render the accept-vs-subscribe comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Mode", "n", "FP med", "TP med", "Track med", "Track max",
+        ]);
+        for g in [&self.accept, &self.subscribed] {
+            t.row([
+                g.label.clone(),
+                g.sites.to_string(),
+                format!("{:.1}", g.first_party.median),
+                format!("{:.1}", g.third_party.median),
+                format!("{:.1}", g.tracking.median),
+                format!("{:.0}", g.tracking.max),
+            ]);
+        }
+        format!(
+            "Figure 5: contentpass partners — accept vs. subscription (n={})\n{}\n\
+             Sites sending >100 tracking cookies on accept: {}\n\
+             Tracking cookies with subscription: median {:.1}, max {:.0}\n",
+            self.partners,
+            t.render(),
+            self.extreme_sites,
+            self.subscribed.tracking.median,
+            self.subscribed.tracking.max,
+        )
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 6: correlation between a wall site's tracking-cookie count (when
+//! accepting) and its subscription price. The paper finds no meaningful
+//! linear correlation.
+
+use crate::experiments::fig2::Fig2;
+use crate::experiments::fig4::Fig4;
+use crate::stats::{pearson, spearman};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// The Figure 6 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6 {
+    /// (price EUR/month, avg tracking cookies) per site.
+    pub points: Vec<(f64, f64)>,
+    /// Pearson correlation coefficient (expected ≈ 0).
+    pub pearson_r: Option<f64>,
+    /// Spearman rank correlation (robust companion; also expected ≈ 0).
+    pub spearman_rho: Option<f64>,
+}
+
+/// Join the Figure 2 price table with the Figure 4 wall measurements.
+pub fn compute(fig2: &Fig2, fig4: &Fig4) -> Fig6 {
+    let tracking: HashMap<&str, f64> = fig4
+        .wall_measurements
+        .iter()
+        .map(|m| (m.domain.as_str(), m.tracking))
+        .collect();
+    let mut points = Vec::new();
+    for (domain, price) in &fig2.prices {
+        if let Some(&t) = tracking.get(domain.as_str()) {
+            points.push((*price, t));
+        }
+    }
+    let xs: Vec<f64> = points.iter().map(|(p, _)| *p).collect();
+    let ys: Vec<f64> = points.iter().map(|(_, t)| *t).collect();
+    Fig6 {
+        pearson_r: pearson(&xs, &ys),
+        spearman_rho: spearman(&xs, &ys),
+        points,
+    }
+}
+
+impl Fig6 {
+    /// Render as correlation summary plus a coarse scatter.
+    pub fn render(&self) -> String {
+        // Bucket the scatter into a small grid for text display.
+        let mut grid = [[0usize; 8]; 6]; // rows: tracking bands, cols: price bands
+        for &(price, tracking) in &self.points {
+            let col = (price.floor() as usize).min(7);
+            let row = ((tracking / 25.0).floor() as usize).min(5);
+            grid[row][col] += 1;
+        }
+        let mut scatter = String::new();
+        for (row_idx, row) in grid.iter().enumerate().rev() {
+            scatter.push_str(&format!("{:>4} | ", row_idx * 25));
+            for &c in row {
+                scatter.push_str(match c {
+                    0 => " .",
+                    1..=2 => " o",
+                    3..=9 => " O",
+                    _ => " @",
+                });
+            }
+            scatter.push('\n');
+        }
+        scatter.push_str("       0  1  2  3  4  5  6  7+  (€/month)\n");
+        format!(
+            "Figure 6: Tracking cookies vs. subscription price (n={})\n\
+             (tracking cookies, rows ×25)\n{}\
+             Pearson r: {}   Spearman ρ: {}\n",
+            self.points.len(),
+            scatter,
+            self.pearson_r
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            self.spearman_rho
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+        )
+    }
+}

@@ -1,0 +1,17 @@
+//! Per-experiment reproduction drivers — one module per table/figure of
+//! the paper's evaluation (see DESIGN.md's experiment index).
+
+pub mod ablation;
+pub mod accuracy;
+pub mod banners;
+pub mod botdetect;
+pub mod bypass;
+pub mod darkpatterns;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod smp;
+pub mod table1;

@@ -1,0 +1,223 @@
+//! Cookie measurements: the §4.3/§4.4 methodology — visit a site, interact
+//! with its consent UI, record the resulting first-party / third-party /
+//! tracking cookie counts, repeated five times and averaged.
+
+use bannerclick::BannerClick;
+use blocklist::TrackerDb;
+use browser::Browser;
+use crossbeam::thread;
+use httpsim::{CookieBreakdown, Network, Region};
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Repetitions per site, as in the paper ("we repeat each measurement five
+/// times per website and calculate the average number of cookies").
+pub const REPETITIONS: usize = 5;
+
+/// How the measurement interacts with the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionMode {
+    /// Detect the banner/wall and click accept.
+    Accept,
+    /// Log into the given SMP first, then visit (subscriber experience).
+    Subscribed {
+        /// Account host to authenticate against.
+        account_host: &'static str,
+    },
+}
+
+/// Averaged cookie counts for one site.
+#[derive(Debug, Clone, Serialize)]
+pub struct SiteCookieMeasurement {
+    /// The measured domain.
+    pub domain: String,
+    /// Average first-party cookies over the repetitions.
+    pub first_party: f64,
+    /// Average third-party cookies.
+    pub third_party: f64,
+    /// Average tracking cookies (justdomains classification).
+    pub tracking: f64,
+    /// Repetitions that produced a usable measurement.
+    pub successful_reps: usize,
+}
+
+/// Measure one site: `REPETITIONS` independent fresh-profile visits with
+/// the requested interaction, averaged.
+pub fn measure_site(
+    net: &Network,
+    region: Region,
+    domain: &str,
+    mode: InteractionMode,
+    tool: &BannerClick,
+    trackers: &TrackerDb,
+) -> SiteCookieMeasurement {
+    let mut sums = CookieBreakdown::default();
+    let mut ok = 0usize;
+    for _rep in 0..REPETITIONS {
+        let mut browser = Browser::new(net.clone(), region);
+        let breakdown = match mode {
+            InteractionMode::Accept => {
+                let (analysis, after) = tool.analyze_and_accept(&mut browser, domain);
+                if !analysis.reachable {
+                    continue;
+                }
+                // Even without a banner the visit itself counts (the site
+                // may set cookies unconditionally).
+                let _ = after;
+                page_breakdown(&browser, domain, trackers)
+            }
+            InteractionMode::Subscribed { account_host } => {
+                if !browser.login_smp(account_host, "measurement", "secret") {
+                    continue;
+                }
+                if browser.visit_domain(domain).is_err() {
+                    continue;
+                }
+                page_breakdown(&browser, domain, trackers)
+            }
+        };
+        sums.first_party += breakdown.first_party;
+        sums.third_party += breakdown.third_party;
+        sums.tracking += breakdown.tracking;
+        ok += 1;
+    }
+    let d = ok.max(1) as f64;
+    SiteCookieMeasurement {
+        domain: domain.to_string(),
+        first_party: sums.first_party / d,
+        third_party: sums.third_party / d,
+        tracking: sums.tracking / d,
+        successful_reps: ok,
+    }
+}
+
+fn page_breakdown(browser: &Browser, domain: &str, trackers: &TrackerDb) -> CookieBreakdown {
+    browser
+        .jar()
+        .breakdown(domain, |cookie_domain| trackers.is_tracking_domain(cookie_domain))
+}
+
+/// Measure many sites in parallel.
+pub fn measure_sites(
+    net: &Network,
+    region: Region,
+    domains: &[String],
+    mode: InteractionMode,
+    tool: &BannerClick,
+    workers: usize,
+) -> Vec<SiteCookieMeasurement> {
+    let trackers = TrackerDb::justdomains();
+    let workers = workers.max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<SiteCookieMeasurement>>> =
+        domains.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= domains.len() {
+                    break;
+                }
+                let m = measure_site(net, region, &domains[i], mode, tool, &trackers);
+                *slots[i].lock() = Some(m);
+            });
+        }
+    })
+    .expect("measurement workers must not panic");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("measured"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webgen::{BannerKind, Population, PopulationConfig, Smp};
+
+    fn world() -> (Arc<Population>, Network) {
+        let pop = Arc::new(Population::generate(PopulationConfig::small()));
+        let net = Network::new();
+        webgen::server::install(Arc::clone(&pop), &net);
+        (pop, net)
+    }
+
+    #[test]
+    fn accept_measurement_matches_ground_truth_band() {
+        let (pop, net) = world();
+        let tool = BannerClick::new();
+        let trackers = TrackerDb::justdomains();
+        let wall = pop
+            .ground_truth_walls()
+            .into_iter()
+            .find(|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.smp.is_none()
+                && c.visibility != webgen::Visibility::DeOnly))
+            .expect("independent wall");
+        let m = measure_site(
+            &net,
+            Region::Germany,
+            &wall.domain,
+            InteractionMode::Accept,
+            &tool,
+            &trackers,
+        );
+        assert_eq!(m.successful_reps, REPETITIONS);
+        let truth = wall.cookies.accepted;
+        // Averages land near the ground-truth base (noise is ±15%).
+        assert!(
+            (m.tracking - truth.tracking as f64).abs() / truth.tracking.max(1) as f64 <= 0.25,
+            "tracking {} vs truth {}",
+            m.tracking,
+            truth.tracking
+        );
+        assert!(m.first_party >= 3.0);
+        assert!(m.third_party >= m.tracking, "tracking ⊆ third-party");
+    }
+
+    #[test]
+    fn subscription_eliminates_tracking() {
+        let (pop, net) = world();
+        let tool = BannerClick::new();
+        let partner = pop.smp_partners(Smp::Contentpass)[0].clone();
+        let accept = measure_sites(
+            &net,
+            Region::Germany,
+            std::slice::from_ref(&partner),
+            InteractionMode::Accept,
+            &tool,
+            1,
+        );
+        let sub = measure_sites(
+            &net,
+            Region::Germany,
+            &[partner],
+            InteractionMode::Subscribed {
+                account_host: Smp::Contentpass.account_host(),
+            },
+            &tool,
+            1,
+        );
+        assert!(accept[0].tracking > 0.0, "accepting loads trackers");
+        assert_eq!(sub[0].tracking, 0.0, "subscribers see no tracking cookies");
+        assert!(sub[0].first_party < accept[0].first_party);
+        assert!(sub[0].third_party < accept[0].third_party);
+    }
+
+    #[test]
+    fn parallel_measurement_covers_all_sites() {
+        let (pop, net) = world();
+        let tool = BannerClick::new();
+        let domains: Vec<String> = pop
+            .regular_banner_sites()
+            .into_iter()
+            .take(8)
+            .map(|s| s.domain.clone())
+            .collect();
+        let results = measure_sites(&net, Region::Germany, &domains, InteractionMode::Accept, &tool, 4);
+        assert_eq!(results.len(), domains.len());
+        for r in &results {
+            assert!(r.successful_reps > 0, "{}", r.domain);
+        }
+    }
+}

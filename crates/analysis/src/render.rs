@@ -1,0 +1,196 @@
+//! Text rendering of tables and figures — the harness prints the same
+//! rows/series the paper reports, as aligned ASCII.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i + 1 < cells.len() {
+                    line.extend(std::iter::repeat_n(' ', pad));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Horizontal bar chart: one `#`-bar per labelled value.
+pub fn render_bars(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let pad = label_w - label.chars().count();
+        out.push_str(label);
+        out.extend(std::iter::repeat_n(' ', pad));
+        out.push_str("  ");
+        out.extend(std::iter::repeat_n('#', bar_len));
+        out.push_str(&format!(" {value:.1}\n"));
+    }
+    out
+}
+
+/// ECDF plotted as `value  fraction  bar` lines at the given probe points.
+pub fn render_ecdf(values: &[f64], probes: &[f64], width: usize) -> String {
+    let mut out = String::new();
+    for &p in probes {
+        let frac = crate::stats::ecdf_at(values, p);
+        let bar = ((frac * width as f64).round()) as usize;
+        out.push_str(&format!("≤ {p:6.2}  {:5.1}%  ", frac * 100.0));
+        out.extend(std::iter::repeat_n('#', bar));
+        out.push('\n');
+    }
+    out
+}
+
+/// A labelled count heatmap rendered as a matrix of cell counts.
+pub fn render_heatmap(
+    row_labels: &[String],
+    col_labels: &[String],
+    cells: &[Vec<usize>],
+) -> String {
+    let mut table = TextTable::new(
+        std::iter::once("".to_string()).chain(col_labels.iter().cloned()),
+    );
+    for (label, row) in row_labels.iter().zip(cells) {
+        let cells: Vec<String> = std::iter::once(label.clone())
+            .chain(row.iter().map(|c| {
+                if *c == 0 {
+                    "·".to_string()
+                } else {
+                    c.to_string()
+                }
+            }))
+            .collect();
+        table.row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["VP", "Cookiewalls", "Toplist"]);
+        t.row(["Germany", "280", "259"]);
+        t.row(["US East", "197", "0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("VP"));
+        assert!(lines[2].contains("Germany"));
+        // Columns align: "Cookiewalls" column starts at the same offset.
+        let col = lines[0].find("Cookiewalls").unwrap();
+        assert_eq!(&lines[2][col..col + 3], "280");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = render_bars(
+            &[("news".into(), 74.0), ("it".into(), 20.0)],
+            20,
+        );
+        let news_line = s.lines().next().unwrap();
+        let it_line = s.lines().nth(1).unwrap();
+        assert!(news_line.matches('#').count() > it_line.matches('#').count());
+        assert!(news_line.contains("74.0"));
+    }
+
+    #[test]
+    fn ecdf_render_monotone() {
+        let values: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let s = render_ecdf(&values, &[2.0, 5.0, 10.0], 10);
+        assert!(s.contains("20.0%"));
+        assert!(s.contains("50.0%"));
+        assert!(s.contains("100.0%"));
+    }
+
+    #[test]
+    fn heatmap_dots_for_zero() {
+        let s = render_heatmap(
+            &["de".into(), "it".into()],
+            &["≤2€".into(), "≤3€".into()],
+            &[vec![3, 0], vec![0, 5]],
+        );
+        assert!(s.contains('·'));
+        assert!(s.contains('3'));
+        assert!(s.contains('5'));
+    }
+}

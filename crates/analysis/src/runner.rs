@@ -1,0 +1,123 @@
+//! The full-study runner: every table and figure in one pass, sharing the
+//! expensive crawls.
+
+use crate::context::Study;
+use crate::crawl::{crawl_all_regions, VantageCrawl};
+use crate::experiments::{
+    ablation, accuracy, banners, botdetect, bypass, darkpatterns, fig1, fig2, fig3, fig4, fig5,
+    fig6, smp, table1,
+};
+use serde::Serialize;
+
+/// Results of every experiment in the paper's evaluation.
+#[derive(Debug, Serialize)]
+pub struct StudyReport {
+    /// Table 1.
+    pub table1: table1::Table1,
+    /// §3 detection accuracy.
+    pub accuracy: accuracy::Accuracy,
+    /// §3 embedding split.
+    pub embedding: smp::EmbeddingSplit,
+    /// Figure 1.
+    pub fig1: fig1::Fig1,
+    /// Figure 2.
+    pub fig2: fig2::Fig2,
+    /// Figure 3.
+    pub fig3: fig3::Fig3,
+    /// Figure 4.
+    pub fig4: fig4::Fig4,
+    /// Figure 5.
+    pub fig5: fig5::Fig5,
+    /// Figure 6.
+    pub fig6: fig6::Fig6,
+    /// §4.5 bypass.
+    pub bypass: bypass::Bypass,
+    /// §4.4 SMPs.
+    pub smp: smp::SmpReport,
+    /// Banner prevalence context (§4.1).
+    pub banners: banners::BannerPrevalence,
+    /// Detection-mechanism ablation.
+    pub ablation: ablation::Ablation,
+    /// Consent-UI control comparison (§5 dark pattern).
+    pub darkpatterns: darkpatterns::DarkPatterns,
+    /// Bot-detection impact (§3 limitation).
+    pub botdetect: botdetect::BotDetection,
+}
+
+/// Run the crawl phase only (Table 1's eight-vantage-point sweep).
+pub fn run_crawls(study: &Study) -> Vec<VantageCrawl> {
+    let targets = study.targets();
+    crawl_all_regions(&study.net, &targets, &study.tool, study.workers)
+}
+
+/// Run every experiment. The crawls are shared: Table 1, accuracy,
+/// Figures 1–3 and 6, bypass, and the SMP report all reuse them.
+pub fn run_all(study: &Study) -> StudyReport {
+    let crawls = run_crawls(study);
+    run_all_with_crawls(study, &crawls)
+}
+
+/// Run every experiment against pre-computed crawls.
+pub fn run_all_with_crawls(study: &Study, crawls: &[VantageCrawl]) -> StudyReport {
+    let table1 = table1::compute(study, crawls);
+    let accuracy = accuracy::compute(study, crawls);
+    let embedding = smp::embedding_split(study, crawls);
+    let fig1 = fig1::compute(study, crawls);
+    let fig2 = fig2::compute(study, crawls);
+    let fig3 = fig3::compute(study, &fig2);
+    let fig4 = fig4::compute(study, crawls);
+    let fig5 = fig5::compute(study);
+    let fig6 = fig6::compute(&fig2, &fig4);
+    let bypass = bypass::compute(study, crawls);
+    let smp_report = smp::compute(study, crawls);
+    let banners = banners::compute(crawls);
+    let ablation = ablation::compute(study);
+    let darkpatterns = darkpatterns::compute(study, crawls);
+    let botdetect = botdetect::compute(study);
+    StudyReport {
+        table1,
+        accuracy,
+        embedding,
+        fig1,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        bypass,
+        smp: smp_report,
+        banners,
+        ablation,
+        darkpatterns,
+        botdetect,
+    }
+}
+
+impl StudyReport {
+    /// Render every table and figure as one text report.
+    pub fn render(&self) -> String {
+        [
+            self.table1.render(),
+            self.accuracy.render(),
+            self.embedding.render(),
+            self.fig1.render(),
+            self.fig2.render(),
+            self.fig3.render(),
+            self.fig4.render(),
+            self.fig5.render(),
+            self.fig6.render(),
+            self.bypass.render(),
+            self.smp.render(),
+            self.banners.render(),
+            self.ablation.render(),
+            self.darkpatterns.render(),
+            self.botdetect.render(),
+        ]
+        .join("\n")
+    }
+
+    /// Machine-readable JSON of every experiment result.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}

@@ -1,0 +1,268 @@
+//! Statistics toolkit for the experiment drivers: order statistics, ECDF,
+//! Pearson correlation, and the grouped-variance measure used for the
+//! category/price relationship.
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Quantile via linear interpolation on the sorted data (`q` in `[0, 1]`).
+/// Returns 0.0 for empty input.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Five-number summary used by the box-plot style figures (4 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    pub fn of(values: &[f64]) -> Summary {
+        Summary {
+            min: quantile(values, 0.0),
+            q1: quantile(values, 0.25),
+            median: quantile(values, 0.5),
+            q3: quantile(values, 0.75),
+            max: quantile(values, 1.0),
+            mean: mean(values),
+            n: values.len(),
+        }
+    }
+}
+
+/// Empirical CDF: sorted `(value, fraction ≤ value)` points.
+pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Fraction of the sample at or below `x`.
+pub fn ecdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= x).count() as f64 / values.len() as f64
+}
+
+/// Pearson product-moment correlation; `None` when undefined (fewer than
+/// two points or zero variance on either side).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= f64::EPSILON || vy <= f64::EPSILON {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Spearman rank correlation: Pearson over the rank-transformed data.
+/// Robust to the heavy-tailed tracking counts of Figure 6; `None` when
+/// undefined.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (ties share the mean rank), 1-based.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Correlation ratio (eta-squared): fraction of total variance explained by
+/// group membership. The Figure 3 "no obvious relationship" claim becomes a
+/// small eta² between website category and price.
+pub fn eta_squared(groups: &[Vec<f64>]) -> Option<f64> {
+    let all: Vec<f64> = groups.iter().flatten().copied().collect();
+    if all.len() < 2 {
+        return None;
+    }
+    let grand = mean(&all);
+    let total_ss: f64 = all.iter().map(|v| (v - grand).powi(2)).sum();
+    if total_ss <= f64::EPSILON {
+        return None;
+    }
+    let between_ss: f64 = groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| g.len() as f64 * (mean(g) - grand).powi(2))
+        .sum();
+    Some(between_ss / total_ss)
+}
+
+/// Bucket values into labelled ranges; returns per-bucket counts. Buckets
+/// are `[edges[i], edges[i+1])`, with a final overflow bucket.
+pub fn histogram(values: &[f64], edges: &[f64]) -> Vec<usize> {
+    let mut counts = vec![0usize; edges.len()];
+    for &v in values {
+        let mut idx = edges.len() - 1;
+        for i in 0..edges.len() - 1 {
+            if v >= edges[i] && v < edges[i + 1] {
+                idx = i;
+                break;
+            }
+        }
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(mean(&v), 22.0);
+        assert_eq!(median(&v), 3.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 100.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[1.0, 2.0]), 1.5, "interpolated even-n median");
+    }
+
+    #[test]
+    fn summary_shape() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn ecdf_monotone_and_bounded() {
+        let points = ecdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(points.len(), 4);
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(ecdf_at(&[1.0, 2.0, 3.0, 4.0], 2.5), 0.5);
+        assert_eq!(ecdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), None, "zero variance");
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        // Independent-ish data: |r| small.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [5.0, 1.0, 4.0, 2.0, 8.0, 3.0, 7.0, 2.0];
+        assert!(pearson(&a, &b).unwrap().abs() < 0.6);
+    }
+
+    #[test]
+    fn spearman_known_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mono = [2.0, 9.0, 11.0, 40.0, 500.0]; // monotone, not linear
+        assert!((spearman(&xs, &mono).unwrap() - 1.0).abs() < 1e-12);
+        let anti = [500.0, 40.0, 11.0, 9.0, 2.0];
+        assert!((spearman(&xs, &anti).unwrap() + 1.0).abs() < 1e-12);
+        // Ties get averaged ranks.
+        let tied = [1.0, 1.0, 2.0, 2.0, 3.0];
+        let r = spearman(&xs, &tied).unwrap();
+        assert!(r > 0.9);
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn eta_squared_extremes() {
+        // Perfectly separated groups: eta² → 1.
+        let sep = vec![vec![1.0, 1.0, 1.0], vec![10.0, 10.0, 10.0]];
+        assert!(eta_squared(&sep).unwrap() > 0.99);
+        // Identical groups: eta² → 0.
+        let same = vec![vec![1.0, 5.0, 9.0], vec![1.0, 5.0, 9.0]];
+        assert!(eta_squared(&same).unwrap() < 1e-9);
+        assert_eq!(eta_squared(&[vec![]]), None);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let edges = [0.0, 1.0, 2.0, 3.0];
+        let counts = histogram(&[0.5, 1.5, 1.9, 2.5, 99.0], &edges);
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+    }
+}

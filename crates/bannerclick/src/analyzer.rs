@@ -1,0 +1,188 @@
+//! The top-level per-site analysis: visit → detect → classify → (optionally)
+//! interact. This is the unit of work the crawl orchestration runs 45k × 8
+//! times.
+
+use crate::classify::{classify_wall, CorpusMode, WallClassification};
+use crate::detect::{detect_banners, BannerFinding, DetectorOptions, ObservedEmbedding};
+use crate::interact::{click_accept, reject_button};
+use crate::pricing::PriceQuote;
+use browser::{Browser, Page, VisitError};
+use httpsim::Url;
+
+/// Detector + classifier configuration.
+#[derive(Debug, Clone, Default)]
+pub struct BannerClick {
+    /// Detection options (shadow piercing, iframe descent, overlay
+    /// heuristics).
+    pub detector: DetectorOptions,
+    /// Cookiewall corpus mode.
+    pub corpus: CorpusMode,
+}
+
+impl BannerClick {
+    /// The paper's configuration: everything enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Visit `domain` and analyze its consent UI without interacting.
+    pub fn analyze(&self, browser: &mut Browser, domain: &str) -> SiteAnalysis {
+        match browser.visit_domain(domain) {
+            Ok(mut page) => self.analyze_page(domain, &mut page),
+            Err(err) => SiteAnalysis::unreachable(domain, err),
+        }
+    }
+
+    /// Analyze an already loaded page.
+    pub fn analyze_page(&self, domain: &str, page: &mut Page) -> SiteAnalysis {
+        let provider = observed_provider(page);
+        let banners = detect_banners(page, &self.detector);
+        let Some(banner) = banners.into_iter().next() else {
+            return SiteAnalysis {
+                domain: domain.to_string(),
+                reachable: true,
+                banner: None,
+                classification: None,
+                provider,
+                page_flags: PageFlags::of(page),
+            };
+        };
+        let classification = classify_wall(&banner.text, self.corpus);
+        SiteAnalysis {
+            domain: domain.to_string(),
+            reachable: true,
+            banner: Some(banner),
+            classification: Some(classification),
+            provider,
+            page_flags: PageFlags::of(page),
+        }
+    }
+
+    /// Visit, analyze, then click accept if a banner was found. Returns the
+    /// analysis and the post-consent page (when the click worked).
+    pub fn analyze_and_accept(
+        &self,
+        browser: &mut Browser,
+        domain: &str,
+    ) -> (SiteAnalysis, Option<Page>) {
+        let mut page = match browser.visit_domain(domain) {
+            Ok(p) => p,
+            Err(err) => return (SiteAnalysis::unreachable(domain, err), None),
+        };
+        let analysis = self.analyze_page(domain, &mut page);
+        let after = match &analysis.banner {
+            Some(banner) => click_accept(browser, &page, banner).ok().flatten(),
+            None => None,
+        };
+        (analysis, after)
+    }
+}
+
+/// Post-load page observations relevant to §4.5.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageFlags {
+    /// Requests were cancelled by the content blocker.
+    pub anything_blocked: bool,
+    /// The page demanded the ad blocker be disabled.
+    pub adblock_interstitial: bool,
+    /// Body scroll is pinned.
+    pub scroll_locked: bool,
+}
+
+impl PageFlags {
+    fn of(page: &Page) -> Self {
+        PageFlags {
+            anything_blocked: page.anything_blocked(),
+            adblock_interstitial: page.adblock_interstitial,
+            scroll_locked: page.scroll_locked,
+        }
+    }
+}
+
+/// Everything the pipeline learned about one site visit.
+#[derive(Debug)]
+pub struct SiteAnalysis {
+    /// The crawled domain.
+    pub domain: String,
+    /// The site answered with a page.
+    pub reachable: bool,
+    /// The detected banner, if any.
+    pub banner: Option<BannerFinding>,
+    /// Cookiewall classification of the banner text.
+    pub classification: Option<WallClassification>,
+    /// Observed third-party consent infrastructure host (SMP CDN, CMP
+    /// host), from iframe/script sources.
+    pub provider: Option<String>,
+    /// §4.5 page observations.
+    pub page_flags: PageFlags,
+}
+
+impl SiteAnalysis {
+    fn unreachable(domain: &str, _err: VisitError) -> Self {
+        SiteAnalysis {
+            domain: domain.to_string(),
+            reachable: false,
+            banner: None,
+            classification: None,
+            provider: None,
+            page_flags: PageFlags::default(),
+        }
+    }
+
+    /// Was a banner of any kind detected?
+    pub fn banner_detected(&self) -> bool {
+        self.banner.is_some()
+    }
+
+    /// Was the banner classified as a cookiewall?
+    pub fn cookiewall_detected(&self) -> bool {
+        self.classification
+            .as_ref()
+            .is_some_and(|c| c.is_cookiewall)
+    }
+
+    /// The extracted subscription offer.
+    pub fn price(&self) -> Option<&PriceQuote> {
+        self.classification.as_ref().and_then(|c| c.price.as_ref())
+    }
+
+    /// Where the banner was embedded.
+    pub fn embedding(&self) -> Option<ObservedEmbedding> {
+        self.banner.as_ref().map(|b| b.embedding)
+    }
+
+    /// Is the detected UI missing a reject option (checked by the caller
+    /// via [`reject_button`])? Provided for convenience on pages.
+    pub fn lacks_reject(&self, page: &Page) -> bool {
+        self.banner
+            .as_ref()
+            .is_some_and(|b| reject_button(page, b).is_none())
+    }
+}
+
+/// Identify the consent-infrastructure provider serving this page's
+/// banner/wall from iframe and script sources — the signal §4.4 uses to
+/// attribute walls to SMPs.
+pub fn observed_provider(page: &Page) -> Option<String> {
+    let main = &page.frames[0].doc;
+    let page_host = page.host().to_string();
+    let mut candidates: Vec<String> = Vec::new();
+    for sel in ["iframe[src]", "script[src]"] {
+        for node in main.select(main.root(), sel).unwrap_or_default() {
+            let Some(src) = main
+                .attr(node, "src")
+                .or_else(|| main.attr(node, "data-src"))
+            else {
+                continue;
+            };
+            if let Ok(url) = Url::parse(src) {
+                if !httpsim::same_site(url.host(), &page_host)
+                    && (url.path().contains("wall") || url.path().contains("banner"))
+                {
+                    candidates.push(url.host().to_string());
+                }
+            }
+        }
+    }
+    candidates.into_iter().next()
+}

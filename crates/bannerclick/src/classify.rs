@@ -1,0 +1,109 @@
+//! Cookiewall classification of detected banners.
+//!
+//! §3: a banner is a cookiewall if its text contains cookiewall-specific
+//! vocabulary — subscription words *or* a currency/price combination. The
+//! corpus halves can be toggled independently for the precision/recall
+//! ablation bench.
+
+use crate::corpus::{contains_any, SUBSCRIPTION_WORDS};
+use crate::pricing::{subscription_price, PriceQuote};
+
+/// Which half of the cookiewall corpus to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorpusMode {
+    /// Subscription words or price combinations (the paper's classifier).
+    #[default]
+    WordsAndPrices,
+    /// Subscription words only (ablation).
+    WordsOnly,
+    /// Currency/price combinations only (ablation).
+    PricesOnly,
+}
+
+/// Classification outcome for one banner text.
+#[derive(Debug, Clone)]
+pub struct WallClassification {
+    /// The verdict: is this banner a cookiewall?
+    pub is_cookiewall: bool,
+    /// A subscription word matched.
+    pub subscription_word: bool,
+    /// A currency/price combination matched; carries the extracted offer.
+    pub price: Option<PriceQuote>,
+}
+
+/// Classify a banner's visible text.
+pub fn classify_wall(banner_text: &str, mode: CorpusMode) -> WallClassification {
+    let lower = banner_text.to_lowercase();
+    let subscription_word = contains_any(&lower, SUBSCRIPTION_WORDS);
+    let price = subscription_price(banner_text);
+    let is_cookiewall = match mode {
+        CorpusMode::WordsAndPrices => subscription_word || price.is_some(),
+        CorpusMode::WordsOnly => subscription_word,
+        CorpusMode::PricesOnly => price.is_some(),
+    };
+    WallClassification {
+        is_cookiewall,
+        subscription_word,
+        price,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WALL_DE: &str = "Mit Werbung und Tracking weiterlesen — oder werbefrei \
+        mit dem Pur-Abo für 2,99 € pro Monat.";
+    const BANNER_DE: &str = "Wir verwenden Cookies, um Inhalte zu personalisieren. \
+        Sie können zustimmen oder ablehnen.";
+    const DECOY: &str = "Dieser Artikel ist Teil von Blatt Plus. Alle Premium-Artikel \
+        für 4,99 € pro Monat. Diese Website verwendet technisch notwendige Cookies.";
+
+    #[test]
+    fn wall_text_is_classified() {
+        let c = classify_wall(WALL_DE, CorpusMode::WordsAndPrices);
+        assert!(c.is_cookiewall);
+        assert!(c.subscription_word);
+        let p = c.price.unwrap();
+        assert!((p.monthly_eur - 2.99).abs() < 0.001);
+    }
+
+    #[test]
+    fn regular_banner_is_not() {
+        let c = classify_wall(BANNER_DE, CorpusMode::WordsAndPrices);
+        assert!(!c.is_cookiewall);
+        assert!(!c.subscription_word);
+        assert!(c.price.is_none());
+    }
+
+    #[test]
+    fn decoy_paywall_fools_the_classifier() {
+        // This is the designed false positive behind the 98.2% precision:
+        // the text mentions cookies (so the banner stage fires), a price,
+        // and "Artikel" — the classifier cannot know there is no
+        // accept-tracking alternative.
+        let c = classify_wall(DECOY, CorpusMode::WordsAndPrices);
+        assert!(c.is_cookiewall);
+    }
+
+    #[test]
+    fn corpus_mode_ablation() {
+        // A wall that only mentions the subscription, no price.
+        let words_only_wall = "Weiterlesen mit Werbung oder jetzt das Pur-Abo abschließen.";
+        assert!(classify_wall(words_only_wall, CorpusMode::WordsAndPrices).is_cookiewall);
+        assert!(classify_wall(words_only_wall, CorpusMode::WordsOnly).is_cookiewall);
+        assert!(!classify_wall(words_only_wall, CorpusMode::PricesOnly).is_cookiewall);
+
+        // A wall that only shows a price, no subscription vocabulary.
+        let price_only_wall = "Ohne Werbung lesen: 1,99 € pro Monat. Mit Werbung kostenlos.";
+        assert!(classify_wall(price_only_wall, CorpusMode::WordsAndPrices).is_cookiewall);
+        assert!(!classify_wall(price_only_wall, CorpusMode::WordsOnly).is_cookiewall);
+        assert!(classify_wall(price_only_wall, CorpusMode::PricesOnly).is_cookiewall);
+    }
+
+    #[test]
+    fn empty_text() {
+        let c = classify_wall("", CorpusMode::WordsAndPrices);
+        assert!(!c.is_cookiewall);
+    }
+}

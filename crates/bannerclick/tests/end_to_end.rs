@@ -1,0 +1,220 @@
+//! End-to-end detection against the synthetic web: every ground-truth wall
+//! class must be found, regular banners must not be misclassified, and the
+//! decoy must reproduce the designed false positive.
+
+use bannerclick::{BannerClick, CorpusMode, DetectorOptions, ObservedEmbedding};
+use browser::Browser;
+use httpsim::{Network, Region};
+use std::sync::Arc;
+use webgen::{BannerKind, Embedding, Population, PopulationConfig, Visibility};
+
+fn world() -> (Arc<Population>, Network) {
+    let pop = Arc::new(Population::generate(PopulationConfig::small()));
+    let net = Network::new();
+    webgen::server::install(Arc::clone(&pop), &net);
+    (pop, net)
+}
+
+#[test]
+fn detects_every_wall_class_from_germany() {
+    let (pop, net) = world();
+    let tool = BannerClick::new();
+    let mut browser = Browser::new(net, Region::Germany);
+    let mut missed = Vec::new();
+    for site in pop.ground_truth_walls() {
+        browser.clear_cookies();
+        let analysis = tool.analyze(&mut browser, &site.domain);
+        if !analysis.cookiewall_detected() {
+            missed.push((site.domain.clone(), site.banner.clone()));
+        } else {
+            // Embedding attribution matches ground truth.
+            let BannerKind::Cookiewall(cw) = &site.banner else { unreachable!() };
+            let expected = match cw.embedding {
+                Embedding::MainDom => ObservedEmbedding::MainDom,
+                Embedding::Iframe => ObservedEmbedding::Iframe,
+                Embedding::ShadowOpen | Embedding::ShadowClosed => ObservedEmbedding::ShadowDom,
+            };
+            assert_eq!(
+                analysis.embedding(),
+                Some(expected),
+                "embedding attribution for {}",
+                site.domain
+            );
+            // Price extraction matches the ground-truth offer.
+            let got = analysis.price().expect("wall has a price").monthly_eur;
+            let want = cw.price.monthly_eur();
+            assert!(
+                (got - want).abs() < 0.05,
+                "{}: price {got} vs ground truth {want}",
+                site.domain
+            );
+        }
+    }
+    assert!(
+        missed.is_empty(),
+        "all walls must be detected from Germany, missed: {missed:#?}"
+    );
+}
+
+#[test]
+fn regular_banners_are_not_walls() {
+    let (pop, net) = world();
+    let tool = BannerClick::new();
+    let mut browser = Browser::new(net, Region::Germany);
+    let mut checked = 0;
+    for site in pop.regular_banner_sites().into_iter().take(40) {
+        browser.clear_cookies();
+        let analysis = tool.analyze(&mut browser, &site.domain);
+        assert!(
+            analysis.banner_detected(),
+            "{} should show a banner from the EU",
+            site.domain
+        );
+        assert!(
+            !analysis.cookiewall_detected(),
+            "{} is a regular banner, not a wall: {:?}",
+            site.domain,
+            analysis.classification
+        );
+        checked += 1;
+    }
+    assert!(checked >= 20);
+}
+
+#[test]
+fn decoy_is_the_designed_false_positive() {
+    let (pop, net) = world();
+    let tool = BannerClick::new();
+    let mut browser = Browser::new(net, Region::UsEast);
+    let decoy = pop.decoys()[0];
+    let analysis = tool.analyze(&mut browser, &decoy.domain);
+    assert!(
+        analysis.cookiewall_detected(),
+        "the decoy paywall must fool the classifier (98.2% precision source)"
+    );
+}
+
+#[test]
+fn eu_only_walls_invisible_from_india() {
+    let (pop, net) = world();
+    let tool = BannerClick::new();
+    let mut browser = Browser::new(net, Region::India);
+    for site in pop.ground_truth_walls() {
+        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        if cw.visibility == Visibility::Global {
+            continue;
+        }
+        browser.clear_cookies();
+        let analysis = tool.analyze(&mut browser, &site.domain);
+        assert!(
+            !analysis.cookiewall_detected(),
+            "{} targets the EU only",
+            site.domain
+        );
+    }
+}
+
+#[test]
+fn shadow_ablation_loses_shadow_walls_only() {
+    let (pop, net) = world();
+    let no_shadow = BannerClick {
+        detector: DetectorOptions {
+            pierce_shadow: false,
+            ..Default::default()
+        },
+        corpus: CorpusMode::WordsAndPrices,
+    };
+    let mut browser = Browser::new(net, Region::Germany);
+    for site in pop.ground_truth_walls() {
+        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        browser.clear_cookies();
+        let analysis = no_shadow.analyze(&mut browser, &site.domain);
+        if cw.embedding.is_shadow() {
+            assert!(
+                !analysis.cookiewall_detected(),
+                "{} is shadow-embedded; without the workaround it must vanish",
+                site.domain
+            );
+        } else {
+            assert!(
+                analysis.cookiewall_detected(),
+                "{} is not shadow-embedded; ablation must not affect it",
+                site.domain
+            );
+        }
+    }
+}
+
+#[test]
+fn iframe_ablation_loses_iframe_walls_only() {
+    let (pop, net) = world();
+    let no_iframes = BannerClick {
+        detector: DetectorOptions {
+            descend_iframes: false,
+            ..Default::default()
+        },
+        corpus: CorpusMode::WordsAndPrices,
+    };
+    let mut browser = Browser::new(net, Region::Germany);
+    for site in pop.ground_truth_walls() {
+        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        browser.clear_cookies();
+        let analysis = no_iframes.analyze(&mut browser, &site.domain);
+        assert_eq!(
+            analysis.cookiewall_detected(),
+            cw.embedding != Embedding::Iframe,
+            "{} embedding {:?}",
+            site.domain,
+            cw.embedding
+        );
+    }
+}
+
+#[test]
+fn accept_interaction_works_on_all_embeddings() {
+    let (pop, net) = world();
+    let tool = BannerClick::new();
+    let mut browser = Browser::new(net, Region::Germany);
+    let mut by_embedding = std::collections::HashMap::new();
+    for site in pop.ground_truth_walls() {
+        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        if by_embedding.contains_key(&cw.embedding) {
+            continue;
+        }
+        browser.clear_cookies();
+        let (analysis, after) = tool.analyze_and_accept(&mut browser, &site.domain);
+        assert!(analysis.cookiewall_detected(), "{}", site.domain);
+        let after = after.unwrap_or_else(|| panic!("accept click failed on {}", site.domain));
+        // Post-consent page shows no wall.
+        let mut after = after;
+        let re = tool.analyze_page(&site.domain, &mut after);
+        assert!(!re.banner_detected(), "wall gone after accept on {}", site.domain);
+        by_embedding.insert(cw.embedding, true);
+    }
+    assert!(by_embedding.len() >= 3, "covered embeddings: {by_embedding:?}");
+}
+
+#[test]
+fn smp_provider_observed_for_iframe_walls() {
+    let (pop, net) = world();
+    let tool = BannerClick::new();
+    let mut browser = Browser::new(net, Region::Germany);
+    let mut observed = 0;
+    for site in pop.ground_truth_walls() {
+        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        if cw.smp.is_none() {
+            continue;
+        }
+        browser.clear_cookies();
+        let analysis = tool.analyze(&mut browser, &site.domain);
+        if let Some(provider) = &analysis.provider {
+            assert!(
+                provider.contains("contentpass") || provider.contains("freechoice"),
+                "{}: provider {provider}",
+                site.domain
+            );
+            observed += 1;
+        }
+    }
+    assert!(observed >= 1, "at least one SMP wall attributes its provider");
+}

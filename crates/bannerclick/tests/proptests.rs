@@ -1,0 +1,72 @@
+//! Property-based tests for the classifier and price extractor.
+
+use bannerclick::{classify_wall, extract_prices, subscription_price, CorpusMode};
+use proptest::prelude::*;
+
+proptest! {
+    /// The price extractor never panics on arbitrary input.
+    #[test]
+    fn extract_prices_no_panic(text in "\\PC{0,300}") {
+        let _ = extract_prices(&text);
+        let _ = subscription_price(&text);
+    }
+
+    /// Extracted monthly prices are always finite and positive for any
+    /// input, and the subscription price is the minimum of all quotes in
+    /// its plausible band.
+    #[test]
+    fn quotes_are_sane(text in "\\PC{0,300}") {
+        let quotes = extract_prices(&text);
+        for q in &quotes {
+            prop_assert!(q.monthly_eur.is_finite());
+            prop_assert!(q.amount >= 0.0);
+        }
+        if let Some(best) = subscription_price(&text) {
+            for q in &quotes {
+                if q.monthly_eur > 0.05 && q.monthly_eur < 200.0 {
+                    prop_assert!(best.monthly_eur <= q.monthly_eur + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// A constructed euro quote is always extracted with the right value,
+    /// whatever surrounds it.
+    #[test]
+    fn constructed_quote_found(
+        units in 1u32..40,
+        cents in 0u32..100,
+        prefix in "[a-zA-Z ]{0,40}",
+        suffix in "[a-zA-Z ]{0,40}",
+    ) {
+        let text = format!("{prefix} {units},{cents:02} € pro Monat {suffix}");
+        let quotes = extract_prices(&text);
+        let want = units as f64 + cents as f64 / 100.0;
+        prop_assert!(
+            quotes.iter().any(|q| (q.monthly_eur - want).abs() < 1e-9),
+            "missing {want} in {text:?}: {quotes:?}"
+        );
+    }
+
+    /// classify_wall is monotone: the full corpus detects everything each
+    /// half detects.
+    #[test]
+    fn corpus_monotonicity(text in "\\PC{0,300}") {
+        let full = classify_wall(&text, CorpusMode::WordsAndPrices).is_cookiewall;
+        let words = classify_wall(&text, CorpusMode::WordsOnly).is_cookiewall;
+        let prices = classify_wall(&text, CorpusMode::PricesOnly).is_cookiewall;
+        prop_assert_eq!(full, words || prices);
+    }
+
+    /// Classification is case-insensitive for the word half.
+    #[test]
+    fn classification_case_insensitive(word_idx in 0usize..10) {
+        let word = bannerclick::SUBSCRIPTION_WORDS[word_idx % bannerclick::SUBSCRIPTION_WORDS.len()];
+        let lower = format!("bitte ein {word} kaufen");
+        let upper = lower.to_uppercase();
+        prop_assert_eq!(
+            classify_wall(&lower, CorpusMode::WordsOnly).is_cookiewall,
+            classify_wall(&upper, CorpusMode::WordsOnly).is_cookiewall
+        );
+    }
+}

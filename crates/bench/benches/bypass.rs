@@ -1,0 +1,92 @@
+//! Bench: §4.5 — content-blocker overhead per visit and the full bypass
+//! experiment at small scale, plus the filter-engine configurations.
+
+use analysis::experiments::bypass;
+use bannerclick::BannerClick;
+use bench::{small_crawls, small_study};
+use blocklist::FilterEngine;
+use browser::Browser;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use httpsim::Region;
+use std::hint::black_box;
+use webgen::BannerKind;
+
+fn bench_blocker_overhead(c: &mut Criterion) {
+    let study = small_study();
+    let wall = study
+        .population
+        .ground_truth_walls()
+        .into_iter()
+        .find(|s| matches!(&s.banner, BannerKind::Cookiewall(cw)
+            if cw.serving == webgen::Serving::SmpCdn
+                && cw.visibility != webgen::Visibility::DeOnly))
+        .expect("an SMP wall")
+        .domain
+        .clone();
+    let tool = BannerClick::new();
+
+    let mut g = c.benchmark_group("bypass/visit");
+    let configs: [(&str, Option<FilterEngine>); 3] = [
+        ("no_blocker", None),
+        ("ublock_default", Some(FilterEngine::ublock_default())),
+        ("ublock_annoyances", Some(FilterEngine::ublock_with_annoyances())),
+    ];
+    for (label, engine) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, engine| {
+            b.iter(|| {
+                let mut browser = Browser::new(study.net.clone(), Region::Germany);
+                if let Some(e) = engine.clone() {
+                    browser = browser.with_blocker(e);
+                }
+                black_box(tool.analyze(&mut browser, &wall).cookiewall_detected())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_bypass_experiment(c: &mut Criterion) {
+    let study = small_study();
+    let crawls = small_crawls();
+    let mut g = c.benchmark_group("bypass/experiment");
+    g.sample_size(10);
+    g.bench_function("small_scale", |b| {
+        b.iter(|| black_box(bypass::compute(study, crawls).rate))
+    });
+    g.finish();
+}
+
+fn bench_filter_engine(c: &mut Criterion) {
+    let engine = FilterEngine::ublock_with_annoyances();
+    let urls: Vec<httpsim::Url> = [
+        "https://cdn.contentpass.net/wall.js?site=x.de",
+        "https://stats.doubleclick.net/pixel",
+        "https://cdn.webstatichub.net/app.js",
+        "https://www.zeitung.de/static/app.js",
+    ]
+    .iter()
+    .map(|s| httpsim::Url::parse(s).unwrap())
+    .collect();
+    c.bench_function("bypass/filter_engine_decide_4urls", |b| {
+        b.iter(|| {
+            let mut blocked = 0;
+            for u in &urls {
+                if engine.decide(u, Some("zeitung.de")).is_blocked() {
+                    blocked += 1;
+                }
+            }
+            black_box(blocked)
+        })
+    });
+    c.bench_function("bypass/compile_lists", |b| {
+        b.iter(|| black_box(FilterEngine::ublock_with_annoyances().rule_count()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_blocker_overhead,
+    bench_full_bypass_experiment,
+    bench_filter_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Bench: the detection pipeline (§3) — per-page analysis cost across
+//! embeddings, and the cost of each detection mechanism (the DESIGN.md
+//! ablations: shadow workaround, iframe descent, corpus halves).
+
+use bannerclick::{detect_banners, BannerClick, CorpusMode, DetectorOptions};
+use bench::small_study;
+use browser::Browser;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use httpsim::Region;
+use std::hint::black_box;
+use webgen::{BannerKind, Embedding};
+
+/// Find one wall of each embedding class in the small population.
+fn walls_by_embedding() -> Vec<(&'static str, String)> {
+    let study = small_study();
+    let mut out = Vec::new();
+    for (label, want) in [
+        ("main_dom", Embedding::MainDom),
+        ("iframe", Embedding::Iframe),
+        ("shadow_open", Embedding::ShadowOpen),
+        ("shadow_closed", Embedding::ShadowClosed),
+    ] {
+        let hit = study.population.ground_truth_walls().into_iter().find(|s| {
+            matches!(&s.banner, BannerKind::Cookiewall(c)
+                if c.embedding == want && c.visibility != webgen::Visibility::DeOnly)
+        });
+        if let Some(s) = hit {
+            out.push((label, s.domain.clone()));
+        }
+    }
+    out
+}
+
+fn bench_analyze_per_embedding(c: &mut Criterion) {
+    let study = small_study();
+    let tool = BannerClick::new();
+    let mut g = c.benchmark_group("detection/analyze_by_embedding");
+    for (label, domain) in walls_by_embedding() {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &domain, |b, d| {
+            let mut browser = Browser::new(study.net.clone(), Region::Germany);
+            b.iter(|| {
+                browser.clear_cookies();
+                black_box(tool.analyze(&mut browser, d).cookiewall_detected())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mechanism_ablations(c: &mut Criterion) {
+    let study = small_study();
+    // Pre-load pages once; measure pure detection cost with each mechanism
+    // toggled (the DESIGN.md ablations — what each §3 mechanism costs).
+    let mut browser = Browser::new(study.net.clone(), Region::Germany);
+    let shadow_wall = walls_by_embedding()
+        .into_iter()
+        .find(|(l, _)| l.starts_with("shadow"))
+        .map(|(_, d)| d);
+    let Some(domain) = shadow_wall else { return };
+
+    let configs = [
+        ("full", DetectorOptions::default()),
+        (
+            "no_shadow_workaround",
+            DetectorOptions { pierce_shadow: false, ..Default::default() },
+        ),
+        (
+            "no_iframe_descent",
+            DetectorOptions { descend_iframes: false, ..Default::default() },
+        ),
+        (
+            "no_overlay_heuristics",
+            DetectorOptions { overlay_heuristics: false, ..Default::default() },
+        ),
+    ];
+    let mut g = c.benchmark_group("detection/mechanism_ablation");
+    for (label, opts) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter_batched(
+                || {
+                    let url = httpsim::Url::parse(&domain).unwrap();
+                    browser.clear_cookies();
+                    Browser::new(study.net.clone(), Region::Germany)
+                        .visit(&url)
+                        .unwrap()
+                },
+                |mut page| black_box(detect_banners(&mut page, opts).len()),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_corpus_modes(c: &mut Criterion) {
+    let text = webgen::wall_text(
+        langid::Language::German,
+        "beispiel.de",
+        &webgen::PriceSpec {
+            amount_cents: 299,
+            currency: webgen::Currency::Eur,
+            period: webgen::Period::Month,
+        },
+        Some("contentpass"),
+    );
+    let mut g = c.benchmark_group("detection/corpus");
+    for (label, mode) in [
+        ("words_and_prices", CorpusMode::WordsAndPrices),
+        ("words_only", CorpusMode::WordsOnly),
+        ("prices_only", CorpusMode::PricesOnly),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
+            b.iter(|| black_box(bannerclick::classify_wall(&text, m).is_cookiewall))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analyze_per_embedding,
+    bench_mechanism_ablations,
+    bench_corpus_modes
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Bench: Table 1 — the eight-vantage-point crawl and its aggregation,
+//! plus the parallel-crawl scaling ablation.
+
+use analysis::{crawl_region, experiments::table1, run_crawls};
+use bannerclick::BannerClick;
+use bench::{small_crawls, small_study, tiny_study};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use httpsim::Region;
+use std::hint::black_box;
+
+fn bench_crawl(c: &mut Criterion) {
+    let tiny = tiny_study();
+    let targets = tiny.targets();
+    let tool = BannerClick::new();
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    // One vantage point over the tiny target list.
+    g.bench_function("crawl_one_region_tiny", |b| {
+        b.iter(|| {
+            let crawl = crawl_region(&tiny.net, Region::Germany, &targets, &tool, tiny.workers);
+            black_box(crawl.wall_count())
+        })
+    });
+
+    // All eight vantage points (the full Table 1 measurement, tiny scale).
+    g.bench_function("crawl_all_regions_tiny", |b| {
+        b.iter(|| black_box(run_crawls(tiny).len()))
+    });
+
+    // Aggregation only, on the precomputed small crawls.
+    let small = small_study();
+    let crawls = small_crawls();
+    g.bench_function("compute_table_small", |b| {
+        b.iter(|| {
+            let t = table1::compute(small, crawls);
+            black_box(t.unique_walls)
+        })
+    });
+    g.finish();
+
+    // Ablation: crawl parallelism 1 / 2 / 4 / 8 workers.
+    let mut g = c.benchmark_group("table1/worker_scaling");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let crawl = crawl_region(&tiny.net, Region::Germany, &targets, &tool, w);
+                black_box(crawl.records.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

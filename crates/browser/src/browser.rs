@@ -1,0 +1,574 @@
+//! The browser engine: navigation, subresource loading, script-effect
+//! emulation, clicks, and SMP sessions.
+//!
+//! ## The script-effect convention
+//!
+//! Real pages wire consent behaviour in JavaScript; this simulator executes
+//! the same effects from declarative attributes (the synthetic sites emit
+//! them, standing in for their JS bundles):
+//!
+//! * `<script src=… data-cw-inject="ID">` — the response body is an HTML
+//!   fragment; it is parsed into the element with id `ID` (CMP/SMP script
+//!   injection). A fragment may itself contain a declarative shadow root.
+//! * `<script src=… data-smp-check data-smp-set="NAME=VALUE">` — an SMP
+//!   entitlement probe. If the response body is `entitled`, the browser
+//!   sets the first-party cookie `NAME=VALUE` on the top-level site and
+//!   reloads once — the §4.4 subscriber flow.
+//! * `data-cw-action="accept|reject"` with `data-cw-cookie="NAME=VALUE"`
+//!   on a clickable element — clicking stores the consent cookie for the
+//!   top-level site and reloads.
+//! * `data-cw-action="subscribe"` — clicking navigates to the element's
+//!   `href`.
+//! * `<div data-detect-adblock data-message="…">` — if any request was
+//!   blocked during the load, the site's detector fires and the browser
+//!   injects a blocking interstitial.
+
+use crate::page::{BlockedRequest, ElementRef, Frame, Page};
+use crate::storage::LocalStorage;
+use blocklist::{BlockDecision, FilterEngine};
+use httpsim::{CookieJar, Method, Network, Region, Request, Response, Url};
+use webdom::{parse, parse_fragment_into, NodeId};
+
+/// Maximum iframe nesting depth processed.
+const MAX_FRAME_DEPTH: usize = 3;
+/// Maximum script-injection rounds per frame (injection can add scripts).
+const MAX_INJECT_ROUNDS: usize = 3;
+
+/// Navigation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VisitError {
+    /// No server answered for the host (connection failure).
+    Unreachable(String),
+    /// The server answered with a non-success status for the top document.
+    HttpError(u16),
+}
+
+impl std::fmt::Display for VisitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VisitError::Unreachable(host) => write!(f, "host unreachable: {host}"),
+            VisitError::HttpError(status) => write!(f, "HTTP error {status}"),
+        }
+    }
+}
+
+impl std::error::Error for VisitError {}
+
+/// What a click did.
+#[derive(Debug)]
+pub enum ClickOutcome {
+    /// Consent accepted; the page reloaded.
+    Accepted(Page),
+    /// Consent rejected; the page reloaded.
+    Rejected(Page),
+    /// Navigated to the subscription checkout.
+    SubscribeNavigation(Page),
+    /// The element had no consent action wired to it.
+    NotInteractive,
+}
+
+/// A headless browser profile: cookie jar, region, optional content
+/// blocker — the OpenWPM/Selenium stand-in.
+pub struct Browser {
+    net: Network,
+    region: Region,
+    jar: CookieJar,
+    storage: LocalStorage,
+    blocker: Option<FilterEngine>,
+    user_agent: String,
+    /// Per-load request log, moved into the [`Page`] when the load ends.
+    request_log: Vec<crate::page::LoggedRequest>,
+}
+
+impl Browser {
+    /// A fresh profile at `region` on `net`.
+    pub fn new(net: Network, region: Region) -> Self {
+        Browser {
+            net,
+            region,
+            jar: CookieJar::new(),
+            storage: LocalStorage::new(),
+            blocker: None,
+            user_agent: httpsim::DEFAULT_USER_AGENT.to_string(),
+            request_log: Vec::new(),
+        }
+    }
+
+    /// Enable a content-blocker extension (uBlock Origin stand-in).
+    pub fn with_blocker(mut self, engine: FilterEngine) -> Self {
+        self.blocker = Some(engine);
+        self
+    }
+
+    /// Override the user agent (e.g. to study bot detection).
+    pub fn with_user_agent(mut self, ua: impl Into<String>) -> Self {
+        self.user_agent = ua.into();
+        self
+    }
+
+    /// The vantage-point region this profile browses from.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The profile's cookie jar.
+    pub fn jar(&self) -> &CookieJar {
+        &self.jar
+    }
+
+    /// Mutable jar access (tests, manual state setup).
+    pub fn jar_mut(&mut self) -> &mut CookieJar {
+        &mut self.jar
+    }
+
+    /// The profile's per-origin localStorage.
+    pub fn storage(&self) -> &LocalStorage {
+        &self.storage
+    }
+
+    /// Mutable localStorage access.
+    pub fn storage_mut(&mut self) -> &mut LocalStorage {
+        &mut self.storage
+    }
+
+    /// Forget all cookies (fresh-profile semantics between measurements).
+    /// localStorage is kept — clearing cookies alone does *not* revoke a
+    /// cookiewall acceptance (§5); use [`Browser::clear_all_data`] for a
+    /// truly fresh profile.
+    pub fn clear_cookies(&mut self) {
+        self.jar.clear();
+    }
+
+    /// Forget all cookies *and* localStorage.
+    pub fn clear_all_data(&mut self) {
+        self.jar.clear();
+        self.storage.clear();
+    }
+
+    /// Simulate a browser restart: session cookies vanish, persistent
+    /// cookies and localStorage survive. A cookiewall acceptance therefore
+    /// outlives restarts — part of why §5 finds revocation non-obvious.
+    pub fn restart(&mut self) {
+        self.jar.expire_session_cookies();
+    }
+
+    /// Delete only the *cookies* of one site. Per §5 this is **not**
+    /// sufficient to revoke a cookiewall acceptance: the wall script
+    /// restores the consent cookie from localStorage on the next visit.
+    pub fn clear_site_cookies(&mut self, site_host: &str) {
+        self.jar.clear_site(site_host);
+    }
+
+    /// Delete one site's cookies *and* localStorage — the full §5
+    /// revocation procedure. After this, the wall shows again (or the
+    /// subscriber entitlement can finally take effect).
+    pub fn clear_site_data(&mut self, site_host: &str) {
+        let site = httpsim::registrable_domain(site_host)
+            .unwrap_or(site_host)
+            .to_string();
+        self.jar.clear_site(&site);
+        self.storage.clear_origin(&site);
+    }
+
+    // -------------------------------------------------------- navigation
+
+    /// Navigate to `url` and fully load the page (subresources, script
+    /// effects, iframes, entitlement checks).
+    pub fn visit(&mut self, url: &Url) -> Result<Page, VisitError> {
+        self.visit_inner(url, true)
+    }
+
+    /// Convenience: navigate to `https://{domain}/`.
+    pub fn visit_domain(&mut self, domain: &str) -> Result<Page, VisitError> {
+        let url = Url::parse(domain).map_err(|_| VisitError::Unreachable(domain.to_string()))?;
+        self.visit(&url)
+    }
+
+    fn visit_inner(&mut self, url: &Url, allow_entitlement_reload: bool) -> Result<Page, VisitError> {
+        self.restore_consent_from_storage(url);
+        self.request_log.clear();
+        let (resp, final_url) = self.fetch_following(url, None);
+        if resp.status == 0 {
+            return Err(VisitError::Unreachable(url.host().to_string()));
+        }
+        if resp.status >= 400 {
+            return Err(VisitError::HttpError(resp.status));
+        }
+        let doc = parse(&resp.body_text());
+        let mut page = Page {
+            url: url.clone(),
+            final_url: final_url.clone(),
+            status: resp.status,
+            frames: vec![Frame { doc, url: final_url, parent: None }],
+            blocked: Vec::new(),
+            requests: Vec::new(),
+            scroll_locked: false,
+            adblock_interstitial: false,
+            reloaded_for_subscription: false,
+        };
+
+        let mut entitled_cookie: Option<(String, String)> = None;
+        self.process_frame(&mut page, 0, 0, &mut entitled_cookie);
+
+        // Subscriber flow: a successful entitlement probe sets a
+        // first-party cookie and reloads once.
+        if let Some((name, value)) = entitled_cookie {
+            if allow_entitlement_reload {
+                let site = httpsim::registrable_domain(page.host())
+                    .unwrap_or(page.host())
+                    .to_string();
+                self.set_site_cookie(&site, &name, &value);
+                let mut reloaded = self.visit_inner(url, false)?;
+                reloaded.reloaded_for_subscription = true;
+                return Ok(reloaded);
+            }
+        }
+
+        self.finish_page(&mut page);
+        page.requests = std::mem::take(&mut self.request_log);
+        Ok(page)
+    }
+
+    /// Fetch with manual redirect following so every hop's cookies land in
+    /// the jar (Network::dispatch_following would drop them).
+    fn fetch_following(&mut self, url: &Url, initiator: Option<&str>) -> (Response, Url) {
+        let mut current = url.clone();
+        for _ in 0..httpsim::MAX_REDIRECTS {
+            let resp = self.fetch_once(&current, initiator);
+            self.jar
+                .store_response_cookies(resp.set_cookies.iter().map(String::as_str), &current);
+            self.request_log.push(crate::page::LoggedRequest {
+                url: current.to_string(),
+                status: resp.status,
+                initiator: initiator.map(str::to_string),
+                cookies_set: resp.set_cookies.len(),
+            });
+            if !resp.is_redirect() {
+                return (resp, current);
+            }
+            let loc = resp.location.clone().unwrap_or_else(|| "/".to_string());
+            match current.join(&loc) {
+                Ok(next) => current = next,
+                Err(_) => return (resp, current),
+            }
+        }
+        (Response::not_found(), current)
+    }
+
+    fn fetch_once(&self, url: &Url, initiator: Option<&str>) -> Response {
+        let mut req = match initiator {
+            Some(host) => Request::subresource(url.clone(), self.region, host),
+            None => Request::navigation(url.clone(), self.region),
+        };
+        req.user_agent = self.user_agent.clone();
+        req.cookie_header = self.jar.cookie_header(url);
+        self.net.dispatch(&req)
+    }
+
+    /// Consult the blocker for a subresource; record and skip if blocked.
+    fn blocked_by_extension(
+        &self,
+        page: &mut Page,
+        url: &Url,
+        initiator: &str,
+    ) -> bool {
+        if let Some(blocker) = &self.blocker {
+            if let BlockDecision::Blocked(rule) = blocker.decide(url, Some(initiator)) {
+                page.blocked.push(BlockedRequest {
+                    url: url.to_string(),
+                    rule,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Load a frame's subresources: scripts (with injection and entitlement
+    /// effects), then iframes (recursively).
+    fn process_frame(
+        &mut self,
+        page: &mut Page,
+        frame_idx: usize,
+        depth: usize,
+        entitled_cookie: &mut Option<(String, String)>,
+    ) {
+        let top_host = page.host().to_string();
+        let mut processed: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+
+        for _round in 0..MAX_INJECT_ROUNDS {
+            let scripts = collect_with_shadow(&page.frames[frame_idx].doc, "script[src]");
+            let fresh: Vec<NodeId> = scripts
+                .into_iter()
+                .filter(|n| !processed.contains(n))
+                .collect();
+            if fresh.is_empty() {
+                break;
+            }
+            for node in fresh {
+                processed.insert(node);
+                self.process_script(page, frame_idx, node, &top_host, entitled_cookie);
+            }
+        }
+
+        // Other passive subresources (images, stylesheets) — fetched for
+        // cookie side effects, no DOM impact.
+        for node in collect_with_shadow(&page.frames[frame_idx].doc, "img[src], link[href]") {
+            let frame_url = page.frames[frame_idx].url.clone();
+            let doc = &page.frames[frame_idx].doc;
+            let src = doc.attr(node, "src").or_else(|| doc.attr(node, "href"));
+            let Some(src) = src.map(str::to_string) else { continue };
+            let Ok(url) = frame_url.join(&src) else { continue };
+            if url == frame_url {
+                continue;
+            }
+            if self.blocked_by_extension(page, &url, &top_host) {
+                continue;
+            }
+            let (_, _) = self.fetch_following(&url, Some(&top_host));
+        }
+
+        // Iframes.
+        if depth < MAX_FRAME_DEPTH {
+            for node in collect_with_shadow(&page.frames[frame_idx].doc, "iframe[src]") {
+                let frame_url = page.frames[frame_idx].url.clone();
+                let Some(src) = page.frames[frame_idx].doc.attr(node, "src").map(str::to_string)
+                else {
+                    continue;
+                };
+                let Ok(url) = frame_url.join(&src) else { continue };
+                if self.blocked_by_extension(page, &url, &top_host) {
+                    continue;
+                }
+                let (resp, final_url) = self.fetch_following(&url, Some(&top_host));
+                if resp.status != 200 {
+                    continue;
+                }
+                let doc = parse(&resp.body_text());
+                page.frames.push(Frame {
+                    doc,
+                    url: final_url,
+                    parent: Some((frame_idx, node)),
+                });
+                let new_idx = page.frames.len() - 1;
+                self.process_frame(page, new_idx, depth + 1, entitled_cookie);
+            }
+        }
+    }
+
+    fn process_script(
+        &mut self,
+        page: &mut Page,
+        frame_idx: usize,
+        node: NodeId,
+        top_host: &str,
+        entitled_cookie: &mut Option<(String, String)>,
+    ) {
+        let frame_url = page.frames[frame_idx].url.clone();
+        let doc = &page.frames[frame_idx].doc;
+        let Some(src) = doc.attr(node, "src").map(str::to_string) else {
+            return;
+        };
+        let inject_target = doc.attr(node, "data-cw-inject").map(str::to_string);
+        let smp_check = doc.attr(node, "data-smp-check").is_some();
+        let smp_set = doc.attr(node, "data-smp-set").map(str::to_string);
+
+        let Ok(url) = frame_url.join(&src) else { return };
+        if self.blocked_by_extension(page, &url, top_host) {
+            return;
+        }
+        let (resp, _) = self.fetch_following(&url, Some(top_host));
+        if resp.status != 200 {
+            return;
+        }
+        if let Some(target_id) = inject_target {
+            let doc = &mut page.frames[frame_idx].doc;
+            if let Some(target) = doc.get_element_by_id(&target_id) {
+                parse_fragment_into(doc, target, &resp.body_text());
+            }
+        }
+        if smp_check && resp.body_text().trim() == "entitled" {
+            let (name, value) = smp_set
+                .as_deref()
+                .and_then(|s| s.split_once('='))
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .unwrap_or(("cw_sub".to_string(), "1".to_string()));
+            *entitled_cookie = Some((name, value));
+        }
+    }
+
+    /// Post-load observations: scroll lock and adblock interstitial.
+    fn finish_page(&self, page: &mut Page) {
+        let main = &page.frames[0].doc;
+        if let Some(body) = main.body() {
+            page.scroll_locked = main
+                .style(body)
+                .get("overflow")
+                .is_some_and(|v| v.eq_ignore_ascii_case("hidden"));
+        }
+        let detector_present = page
+            .frames
+            .iter()
+            .any(|f| !collect_with_shadow(&f.doc, "[data-detect-adblock]").is_empty());
+        if detector_present && page.anything_blocked() {
+            let message = page
+                .frames
+                .iter()
+                .find_map(|f| {
+                    collect_with_shadow(&f.doc, "[data-detect-adblock]")
+                        .first()
+                        .and_then(|&n| f.doc.attr(n, "data-message").map(str::to_string))
+                })
+                .unwrap_or_else(|| "Please disable your ad blocker".to_string());
+            let main = &mut page.frames[0].doc;
+            if let Some(body) = main.body() {
+                let overlay = main.create_element("div");
+                main.set_attr(overlay, "id", "adblock-interstitial");
+                main.set_attr(overlay, "class", "adblock-wall");
+                main.set_attr(overlay, "style", "position:fixed;top:0;z-index:999999");
+                let p = main.create_element("p");
+                let text = main.create_text(&message);
+                main.append_child(p, text);
+                main.append_child(overlay, p);
+                main.append_child(body, overlay);
+            }
+            page.adblock_interstitial = true;
+        }
+    }
+
+    // ------------------------------------------------------- interaction
+
+    /// Click an element. Consent actions set their cookie and reload; the
+    /// subscribe action navigates to its target.
+    pub fn click(&mut self, page: &Page, target: ElementRef) -> Result<ClickOutcome, VisitError> {
+        let frame = &page.frames[target.frame];
+        let doc = &frame.doc;
+        // The action attribute may sit on the clicked node or an ancestor
+        // (clicks bubble).
+        let mut cursor = Some(target.node);
+        let mut action = None;
+        while let Some(n) = cursor {
+            if let Some(a) = doc.attr(n, "data-cw-action") {
+                action = Some((n, a.to_string()));
+                break;
+            }
+            cursor = doc.node(n).parent;
+        }
+        let Some((action_node, action)) = action else {
+            return Ok(ClickOutcome::NotInteractive);
+        };
+        let site = httpsim::registrable_domain(page.host())
+            .unwrap_or(page.host())
+            .to_string();
+        match action.as_str() {
+            "accept" | "reject" => {
+                let default = format!(
+                    "cw_consent={}",
+                    if action == "accept" { "accepted" } else { "rejected" }
+                );
+                let cookie_spec = doc
+                    .attr(action_node, "data-cw-cookie")
+                    .unwrap_or(default.as_str())
+                    .to_string();
+                if let Some((name, value)) = cookie_spec.split_once('=') {
+                    self.set_site_cookie(&site, name, value);
+                    // The consent script also persists its state to
+                    // localStorage (the §5 revocation pitfall).
+                    self.storage.set(&site, name, value);
+                }
+                let reloaded = self.visit(&page.url)?;
+                Ok(if action == "accept" {
+                    ClickOutcome::Accepted(reloaded)
+                } else {
+                    ClickOutcome::Rejected(reloaded)
+                })
+            }
+            "subscribe" => {
+                let href = doc
+                    .attr(action_node, "href")
+                    .unwrap_or("/subscribe")
+                    .to_string();
+                let url = frame
+                    .url
+                    .join(&href)
+                    .map_err(|_| VisitError::Unreachable(href))?;
+                let landed = self.visit(&url)?;
+                Ok(ClickOutcome::SubscribeNavigation(landed))
+            }
+            _ => Ok(ClickOutcome::NotInteractive),
+        }
+    }
+
+    /// Emulate the consent script's load-time restore: if the site's
+    /// localStorage holds consent state but the matching cookie is gone
+    /// (e.g. the user deleted cookies), the script re-sets the cookie —
+    /// the §5 pitfall that makes cookie-only revocation ineffective.
+    fn restore_consent_from_storage(&mut self, url: &Url) {
+        let site = httpsim::registrable_domain(url.host())
+            .unwrap_or(url.host())
+            .to_string();
+        let restore: Vec<(String, String)> = {
+            let mut v = Vec::new();
+            for key in ["cw_consent", "cw_sub"] {
+                if let Some(value) = self.storage.get(&site, key) {
+                    let missing = !self
+                        .jar
+                        .cookies_for(url)
+                        .iter()
+                        .any(|c| c.name == key);
+                    if missing {
+                        v.push((key.to_string(), value.to_string()));
+                    }
+                }
+            }
+            v
+        };
+        for (name, value) in restore {
+            self.set_site_cookie(&site, &name, &value);
+        }
+    }
+
+    /// Store a first-party cookie on `site` (registrable domain), as a
+    /// page's own JavaScript would via `document.cookie`.
+    pub fn set_site_cookie(&mut self, site: &str, name: &str, value: &str) {
+        let origin = Url::parse(&format!("https://{site}/")).expect("valid site");
+        let header = format!("{name}={value}; Domain={site}; Path=/; Max-Age=31536000");
+        self.jar.store_response_cookies([header.as_str()], &origin);
+    }
+
+    // ------------------------------------------------------------- SMPs
+
+    /// Log in at an SMP account host. Returns true if the platform issued a
+    /// session cookie.
+    pub fn login_smp(&mut self, account_host: &str, user: &str, password: &str) -> bool {
+        let url = match Url::parse(&format!("https://{account_host}/login")) {
+            Ok(u) => u,
+            Err(_) => return false,
+        };
+        let mut req = Request::navigation(url.clone(), self.region);
+        req.method = Method::Post;
+        req.user_agent = self.user_agent.clone();
+        req.cookie_header = self.jar.cookie_header(&url);
+        req.body_params = vec![
+            ("user".to_string(), user.to_string()),
+            ("pass".to_string(), password.to_string()),
+        ];
+        let resp = self.net.dispatch(&req);
+        let before = self.jar.len();
+        self.jar
+            .store_response_cookies(resp.set_cookies.iter().map(String::as_str), &url);
+        self.jar.len() > before
+    }
+}
+
+/// Collect elements matching `selector` in the light DOM *and* inside every
+/// shadow root of `doc` — scripts in shadow trees execute like any others.
+fn collect_with_shadow(doc: &webdom::Document, selector: &str) -> Vec<NodeId> {
+    let mut out = doc.select(doc.root(), selector).unwrap_or_default();
+    for host in doc.shadow_hosts() {
+        if let Some(sr) = doc.shadow_root(host) {
+            out.extend(doc.select(sr.root, selector).unwrap_or_default());
+        }
+    }
+    out
+}

@@ -1,0 +1,322 @@
+//! Integration tests: the browser against the synthetic web.
+
+use browser::{Browser, ClickOutcome};
+use httpsim::{Network, Region, Url};
+use std::sync::Arc;
+use webgen::{
+    server::{install, CONSENT_COOKIE, SUBSCRIPTION_COOKIE},
+    BannerKind, Population, PopulationConfig, Serving, Smp, Visibility,
+};
+
+fn world() -> (Arc<Population>, Network) {
+    let pop = Arc::new(Population::generate(PopulationConfig::small()));
+    let net = Network::new();
+    install(Arc::clone(&pop), &net);
+    (pop, net)
+}
+
+fn wall_with(
+    pop: &Population,
+    pred: impl Fn(&webgen::CookiewallSpec) -> bool,
+) -> Option<String> {
+    pop.ground_truth_walls()
+        .into_iter()
+        .find(|s| matches!(&s.banner, BannerKind::Cookiewall(c) if pred(c)))
+        .map(|s| s.domain.clone())
+}
+
+#[test]
+fn visit_regular_site_collects_cookies() {
+    let (pop, net) = world();
+    let site = pop
+        .sites()
+        .iter()
+        .find(|s| matches!(s.banner, BannerKind::None) && !s.toplists.is_empty())
+        .unwrap();
+    let mut b = Browser::new(net, Region::Germany);
+    let page = b.visit(&Url::parse(&site.domain).unwrap()).unwrap();
+    assert_eq!(page.status, 200);
+    assert_eq!(page.frames.len(), 1);
+    assert!(!b.jar().is_empty(), "first-party cookies stored");
+    assert!(page.main_text().len() > 100, "article text rendered");
+}
+
+#[test]
+fn accept_click_on_main_dom_wall_loads_trackers() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.embedding == webgen::Embedding::MainDom
+            && c.serving == Serving::FirstParty
+            && c.visibility != Visibility::DeOnly
+    })
+    .expect("a first-party main-DOM wall in the small population");
+    let mut b = Browser::new(net, Region::Germany);
+    let page = b.visit(&Url::parse(&domain).unwrap()).unwrap();
+
+    // The wall is in the main DOM: find its accept button directly.
+    let hits = page.select_all_frames("#cw-wall button");
+    assert!(!hits.is_empty(), "wall accept button visible in main DOM");
+    let before_tracking = count_tracking(&b);
+    match b.click(&page, hits[0]).unwrap() {
+        ClickOutcome::Accepted(reloaded) => {
+            // Consent cookie stored, wall gone, trackers fired.
+            assert!(b
+                .jar()
+                .iter()
+                .any(|c| c.name == CONSENT_COOKIE && c.value == "accepted"));
+            assert!(reloaded.select_all_frames("#cw-wall").is_empty());
+            assert!(count_tracking(&b) > before_tracking, "tracking cookies appeared");
+        }
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+}
+
+#[test]
+fn iframe_wall_becomes_subframe() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.embedding == webgen::Embedding::Iframe && c.visibility != Visibility::DeOnly
+    })
+    .expect("an iframe wall");
+    let mut b = Browser::new(net, Region::Germany);
+    let page = b.visit(&Url::parse(&domain).unwrap()).unwrap();
+    assert!(page.frames.len() >= 2, "iframe loaded as subframe");
+    let hits = page.select_all_frames("#cw-wall");
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].frame > 0, "wall lives in the subframe");
+    // Clicking accept inside the subframe works and reloads the top page.
+    let buttons = page.select_all_frames("#cw-wall button");
+    match b.click(&page, buttons[0]).unwrap() {
+        ClickOutcome::Accepted(reloaded) => {
+            assert_eq!(reloaded.frames.len(), 1, "no wall iframe after consent");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn shadow_wall_invisible_to_selectors() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.embedding.is_shadow()
+            && c.serving == Serving::FirstParty
+            && c.visibility != Visibility::DeOnly
+    });
+    let Some(domain) = domain else {
+        // Small population may lack this class; the webgen unit tests cover
+        // markup generation either way.
+        return;
+    };
+    let (_, net2) = (0, net);
+    let mut b = Browser::new(net2, Region::Germany);
+    let page = b.visit(&Url::parse(&domain).unwrap()).unwrap();
+    // This is the §3 pain point: ordinary selector lookup cannot see the
+    // wall.
+    assert!(page.select_all_frames("#cw-wall").is_empty());
+    // But the host with a shadow root exists in the main document.
+    assert!(!page.main().doc.shadow_hosts().is_empty());
+}
+
+#[test]
+fn script_injected_wall_appears_after_load() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.serving != Serving::FirstParty
+            && c.embedding != webgen::Embedding::Iframe
+            && c.visibility != Visibility::DeOnly
+    })
+    .expect("a script-injected wall");
+    let mut b = Browser::new(net, Region::Germany);
+    let page = b.visit(&Url::parse(&domain).unwrap()).unwrap();
+    // The mount div was filled by the injected fragment (possibly behind a
+    // shadow root).
+    let mount = page.main().doc.get_element_by_id("cw-mount").unwrap();
+    let has_light_children = page.main().doc.children(mount).count() > 0;
+    let has_shadow = !page.main().doc.shadow_hosts().is_empty();
+    assert!(has_light_children || has_shadow, "injection happened");
+}
+
+#[test]
+fn blocker_suppresses_smp_wall() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.serving == Serving::SmpCdn
+            && c.visibility != Visibility::DeOnly
+            && !c.detects_adblock
+            && !c.breaks_scroll_when_blocked
+    })
+    .expect("an SMP wall");
+    let mut b = Browser::new(net, Region::Germany)
+        .with_blocker(blocklist::FilterEngine::ublock_with_annoyances());
+    let page = b.visit(&Url::parse(&domain).unwrap()).unwrap();
+    assert!(page.anything_blocked(), "wall asset request blocked");
+    assert!(page.select_all_frames("#cw-wall").is_empty(), "no wall rendered");
+    assert!(!page.scroll_locked, "page usable");
+    assert!(!page.adblock_interstitial);
+}
+
+#[test]
+fn first_party_wall_survives_blocker() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.serving == Serving::FirstParty
+            && c.embedding == webgen::Embedding::MainDom
+            && c.visibility != Visibility::DeOnly
+    })
+    .expect("a first-party wall");
+    let mut b = Browser::new(net, Region::Germany)
+        .with_blocker(blocklist::FilterEngine::ublock_with_annoyances());
+    let page = b.visit(&Url::parse(&domain).unwrap()).unwrap();
+    assert!(
+        !page.select_all_frames("#cw-wall").is_empty(),
+        "first-party wall still shows with uBlock"
+    );
+}
+
+#[test]
+fn subscriber_flow_hides_wall_and_tracking() {
+    let (pop, net) = world();
+    let partner = pop.smp_partners(Smp::Contentpass)[0].clone();
+    let mut b = Browser::new(net, Region::Germany);
+
+    // Anonymous visit: wall present (iframe or injected).
+    let anon = b.visit(&Url::parse(&partner).unwrap()).unwrap();
+    assert!(
+        !anon.select_all_frames("#cw-wall").is_empty()
+            || !anon.main().doc.shadow_hosts().is_empty(),
+        "wall shows to anonymous visitor"
+    );
+    assert!(!anon.reloaded_for_subscription);
+
+    // Log in, then revisit: entitlement check fires, page reloads, no wall.
+    b.clear_cookies();
+    assert!(b.login_smp(Smp::Contentpass.account_host(), "alice", "pw"));
+    let sub = b.visit(&Url::parse(&partner).unwrap()).unwrap();
+    assert!(sub.reloaded_for_subscription, "entitlement reload happened");
+    assert!(sub.select_all_frames("#cw-wall").is_empty(), "no wall for subscriber");
+    assert!(b
+        .jar()
+        .iter()
+        .any(|c| c.name == SUBSCRIPTION_COOKIE), "subscription cookie set");
+    assert_eq!(count_tracking(&b), 0, "no tracking cookies for subscribers");
+}
+
+#[test]
+fn accept_then_clear_site_shows_wall_again() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.embedding == webgen::Embedding::MainDom
+            && c.serving == Serving::FirstParty
+            && c.visibility != Visibility::DeOnly
+    })
+    .unwrap();
+    let mut b = Browser::new(net, Region::Germany);
+    let url = Url::parse(&domain).unwrap();
+    let page = b.visit(&url).unwrap();
+    let btn = page.select_all_frames("#cw-wall button")[0];
+    let ClickOutcome::Accepted(after) = b.click(&page, btn).unwrap() else {
+        panic!("accept failed")
+    };
+    assert!(after.select_all_frames("#cw-wall").is_empty());
+    // Revisit: still no wall (consent persisted).
+    let again = b.visit(&url).unwrap();
+    assert!(again.select_all_frames("#cw-wall").is_empty());
+    // §5's pitfall: deleting only the cookies is NOT enough — the wall
+    // script restores the consent cookie from localStorage.
+    b.clear_site_cookies(&domain);
+    let still_consented = b.visit(&url).unwrap();
+    assert!(
+        still_consented.select_all_frames("#cw-wall").is_empty(),
+        "consent restored from localStorage; wall stays hidden"
+    );
+    // The full procedure — cookies *and* local storage — brings it back.
+    b.clear_site_data(&domain);
+    let fresh = b.visit(&url).unwrap();
+    assert!(!fresh.select_all_frames("#cw-wall").is_empty());
+}
+
+#[test]
+fn decoy_paywall_shows_overlay() {
+    let (pop, net) = world();
+    let decoy = pop.decoys()[0].domain.clone();
+    let mut b = Browser::new(net, Region::UsEast);
+    let page = b.visit(&Url::parse(&decoy).unwrap()).unwrap();
+    assert!(!page.select_all_frames("#premium-gate").is_empty());
+    assert!(page.select_all_frames("#cw-wall").is_empty());
+}
+
+#[test]
+fn unreachable_host_errors() {
+    let (_pop, net) = world();
+    let mut b = Browser::new(net, Region::Germany);
+    let err = b.visit(&Url::parse("https://does-not-exist.example/").unwrap());
+    assert!(matches!(err, Err(browser::VisitError::Unreachable(_))));
+}
+
+fn count_tracking(b: &Browser) -> usize {
+    let db = blocklist::TrackerDb::justdomains();
+    b.jar()
+        .iter()
+        .filter(|c| db.is_tracking_domain(&c.domain))
+        .count()
+}
+
+#[test]
+fn consent_survives_browser_restart() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.embedding == webgen::Embedding::MainDom
+            && c.serving == Serving::FirstParty
+            && c.visibility != Visibility::DeOnly
+    })
+    .unwrap();
+    let mut b = Browser::new(net, Region::Germany);
+    let url = Url::parse(&domain).unwrap();
+    let page = b.visit(&url).unwrap();
+    let btn = page.select_all_frames("#cw-wall button")[0];
+    let ClickOutcome::Accepted(_) = b.click(&page, btn).unwrap() else {
+        panic!("accept failed")
+    };
+    let cookies_before = b.jar().len();
+    // Restart: the session id is gone, the year-long consent cookie stays.
+    b.restart();
+    assert!(b.jar().len() < cookies_before, "session cookies dropped");
+    assert!(b
+        .jar()
+        .iter()
+        .any(|c| c.name == CONSENT_COOKIE), "consent persists");
+    let after = b.visit(&url).unwrap();
+    assert!(
+        after.select_all_frames("#cw-wall").is_empty(),
+        "no wall after restart — acceptance outlives the session"
+    );
+}
+
+#[test]
+fn request_log_records_third_parties() {
+    let (pop, net) = world();
+    let domain = wall_with(&pop, |c| {
+        c.embedding == webgen::Embedding::MainDom
+            && c.serving == Serving::FirstParty
+            && c.visibility != Visibility::DeOnly
+    })
+    .unwrap();
+    let mut b = Browser::new(net, Region::Germany);
+    let url = Url::parse(&domain).unwrap();
+    let page = b.visit(&url).unwrap();
+    let btn = page.select_all_frames("#cw-wall button")[0];
+    let ClickOutcome::Accepted(after) = b.click(&page, btn).unwrap() else {
+        panic!("accept failed")
+    };
+    // The post-consent load hits trackers: the request log shows them.
+    assert!(!after.requests.is_empty());
+    assert_eq!(after.requests[0].initiator, None, "first entry is the navigation");
+    let third_party = after.third_party_requests().count();
+    assert!(third_party > 5, "trackers were fetched: {third_party}");
+    let with_cookies = after
+        .requests
+        .iter()
+        .filter(|r| r.cookies_set > 0)
+        .count();
+    assert!(with_cookies > 3, "responses set cookies: {with_cookies}");
+}

@@ -1,0 +1,315 @@
+//! Cookies: the RFC 6265 subset the measurement pipeline depends on.
+//!
+//! Covers `Set-Cookie` parsing with the attributes that influence storage
+//! and matching (`Domain`, `Path`, `Max-Age`, `Expires` [simplified],
+//! `Secure`, `HttpOnly`, `SameSite`), host-only semantics, and the party
+//! classification used throughout §4.3/§4.4 of the paper.
+
+use crate::psl::same_site;
+use crate::url::Url;
+use std::fmt;
+
+/// `SameSite` attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SameSite {
+    /// Sent on all requests (requires `Secure` in real browsers; we do not
+    /// enforce that coupling).
+    None,
+    /// Sent on same-site requests and top-level navigations.
+    #[default]
+    Lax,
+    /// Sent only on same-site requests.
+    Strict,
+}
+
+impl SameSite {
+    fn parse(v: &str) -> Option<Self> {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "none" => Some(SameSite::None),
+            "lax" => Some(SameSite::Lax),
+            "strict" => Some(SameSite::Strict),
+            _ => None,
+        }
+    }
+}
+
+/// A stored cookie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cookie {
+    /// Cookie name (case-sensitive).
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Domain the cookie is scoped to (no leading dot). For host-only
+    /// cookies this is the exact request host.
+    pub domain: String,
+    /// True when no `Domain` attribute was given: the cookie only matches
+    /// the exact host that set it.
+    pub host_only: bool,
+    /// Path scope, defaulting to `/`.
+    pub path: String,
+    /// Lifetime in seconds from creation, `None` for session cookies.
+    /// (The simulator has no wall clock; expiry is relative to the visit
+    /// sequence number.)
+    pub max_age: Option<i64>,
+    /// `Secure` attribute.
+    pub secure: bool,
+    /// `HttpOnly` attribute.
+    pub http_only: bool,
+    /// `SameSite` attribute.
+    pub same_site: SameSite,
+}
+
+impl Cookie {
+    /// Parse one `Set-Cookie` header value received from `origin`.
+    ///
+    /// Returns `None` for unparseable or rejected cookies (empty name,
+    /// domain not matching the origin — the "domain attribute must
+    /// domain-match the request host" rule that stops cross-site planting).
+    pub fn parse_set_cookie(header: &str, origin: &Url) -> Option<Cookie> {
+        let mut parts = header.split(';');
+        let nv = parts.next()?;
+        let (name, value) = nv.split_once('=')?;
+        let name = name.trim();
+        if name.is_empty() {
+            return None;
+        }
+        let mut cookie = Cookie {
+            name: name.to_string(),
+            value: value.trim().trim_matches('"').to_string(),
+            domain: origin.host().to_string(),
+            host_only: true,
+            path: "/".to_string(),
+            max_age: None,
+            secure: false,
+            http_only: false,
+            same_site: SameSite::default(),
+        };
+        for attr in parts {
+            let (k, v) = match attr.split_once('=') {
+                Some((k, v)) => (k.trim().to_ascii_lowercase(), v.trim()),
+                None => (attr.trim().to_ascii_lowercase(), ""),
+            };
+            match k.as_str() {
+                "domain" => {
+                    let d = v.trim_start_matches('.').to_ascii_lowercase();
+                    if d.is_empty() {
+                        continue;
+                    }
+                    // Reject cookies for domains the origin doesn't live in.
+                    if !crate::psl::domain_match(origin.host(), &d) {
+                        return None;
+                    }
+                    // Reject cookies scoped to a bare public suffix.
+                    crate::psl::registrable_domain(&d)?;
+                    cookie.domain = d;
+                    cookie.host_only = false;
+                }
+                "path"
+                    if v.starts_with('/') => {
+                        cookie.path = v.to_string();
+                    }
+                "max-age" => {
+                    if let Ok(secs) = v.parse::<i64>() {
+                        cookie.max_age = Some(secs);
+                    }
+                }
+                "expires" => {
+                    // Simplified: any Expires makes the cookie persistent
+                    // with a long lifetime; an epoch-ish date expires it.
+                    if v.contains("1970") || v.contains("1969") {
+                        cookie.max_age = Some(0);
+                    } else if cookie.max_age.is_none() {
+                        cookie.max_age = Some(86400 * 365);
+                    }
+                }
+                "secure" => cookie.secure = true,
+                "httponly" => cookie.http_only = true,
+                "samesite" => {
+                    if let Some(ss) = SameSite::parse(v) {
+                        cookie.same_site = ss;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(cookie)
+    }
+
+    /// True if this cookie is already expired at creation (`Max-Age<=0`).
+    pub fn is_immediately_expired(&self) -> bool {
+        matches!(self.max_age, Some(a) if a <= 0)
+    }
+
+    /// RFC 6265 path-match.
+    pub fn path_matches(&self, request_path: &str) -> bool {
+        if self.path == request_path {
+            return true;
+        }
+        request_path.starts_with(&self.path)
+            && (self.path.ends_with('/')
+                || request_path.as_bytes().get(self.path.len()) == Some(&b'/'))
+    }
+
+    /// Should this cookie be sent on a request to `url`?
+    pub fn matches_url(&self, url: &Url) -> bool {
+        if self.secure && !url.is_secure() {
+            return false;
+        }
+        let host_ok = if self.host_only {
+            url.host().eq_ignore_ascii_case(&self.domain)
+        } else {
+            crate::psl::domain_match(url.host(), &self.domain)
+        };
+        host_ok && self.path_matches(url.path())
+    }
+
+    /// Is this cookie first-party with respect to a page at `page_host`?
+    /// (Same registrable domain.)
+    pub fn is_first_party_for(&self, page_host: &str) -> bool {
+        same_site(&self.domain, page_host)
+    }
+}
+
+impl fmt::Display for Cookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}; Domain={}", self.name, self.value, self.domain)
+    }
+}
+
+/// Party classification of a cookie relative to the visited page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CookieParty {
+    /// Same registrable domain as the page.
+    FirstParty,
+    /// Different registrable domain.
+    ThirdParty,
+}
+
+/// Classify `cookie` relative to a page hosted at `page_host`.
+pub fn classify_party(cookie: &Cookie, page_host: &str) -> CookieParty {
+    if cookie.is_first_party_for(page_host) {
+        CookieParty::FirstParty
+    } else {
+        CookieParty::ThirdParty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_basic_cookie() {
+        let o = origin("https://www.zeit.de/index");
+        let c = Cookie::parse_set_cookie("sid=abc123", &o).unwrap();
+        assert_eq!(c.name, "sid");
+        assert_eq!(c.value, "abc123");
+        assert_eq!(c.domain, "www.zeit.de");
+        assert!(c.host_only);
+        assert_eq!(c.path, "/");
+        assert!(!c.secure);
+        assert_eq!(c.same_site, SameSite::Lax);
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let o = origin("https://shop.example.de/a/b");
+        let c = Cookie::parse_set_cookie(
+            "pref=\"x\"; Domain=.example.de; Path=/a; Max-Age=3600; Secure; HttpOnly; SameSite=None",
+            &o,
+        )
+        .unwrap();
+        assert_eq!(c.value, "x", "quotes stripped");
+        assert_eq!(c.domain, "example.de");
+        assert!(!c.host_only);
+        assert_eq!(c.path, "/a");
+        assert_eq!(c.max_age, Some(3600));
+        assert!(c.secure && c.http_only);
+        assert_eq!(c.same_site, SameSite::None);
+    }
+
+    #[test]
+    fn rejects_foreign_domain() {
+        let o = origin("https://site.de/");
+        assert!(Cookie::parse_set_cookie("x=1; Domain=other.de", &o).is_none());
+        assert!(Cookie::parse_set_cookie("x=1; Domain=te.de", &o).is_none());
+        // Public-suffix-wide cookies rejected.
+        assert!(Cookie::parse_set_cookie("x=1; Domain=de", &o).is_none());
+    }
+
+    #[test]
+    fn parent_domain_allowed() {
+        let o = origin("https://sub.site.de/");
+        let c = Cookie::parse_set_cookie("x=1; Domain=site.de", &o).unwrap();
+        assert_eq!(c.domain, "site.de");
+    }
+
+    #[test]
+    fn rejects_nameless() {
+        let o = origin("https://a.de/");
+        assert!(Cookie::parse_set_cookie("=v", &o).is_none());
+        assert!(Cookie::parse_set_cookie("novalue", &o).is_none());
+    }
+
+    #[test]
+    fn empty_value_ok() {
+        let o = origin("https://a.de/");
+        let c = Cookie::parse_set_cookie("flag=", &o).unwrap();
+        assert_eq!(c.value, "");
+    }
+
+    #[test]
+    fn path_matching() {
+        let o = origin("https://a.de/x/y");
+        let c = Cookie::parse_set_cookie("n=1; Path=/x", &o).unwrap();
+        assert!(c.path_matches("/x"));
+        assert!(c.path_matches("/x/y"));
+        assert!(!c.path_matches("/xy"));
+        assert!(!c.path_matches("/"));
+        let root = Cookie::parse_set_cookie("n=1", &o).unwrap();
+        assert!(root.path_matches("/anything"));
+    }
+
+    #[test]
+    fn url_matching_secure_and_host_only() {
+        let o = origin("https://www.a.de/");
+        let host_only = Cookie::parse_set_cookie("h=1", &o).unwrap();
+        assert!(host_only.matches_url(&origin("https://www.a.de/p")));
+        assert!(!host_only.matches_url(&origin("https://sub.www.a.de/")));
+        assert!(!host_only.matches_url(&origin("https://a.de/")));
+
+        let domain_wide = Cookie::parse_set_cookie("d=1; Domain=a.de", &o).unwrap();
+        assert!(domain_wide.matches_url(&origin("https://other.a.de/")));
+
+        let secure = Cookie::parse_set_cookie("s=1; Secure", &o).unwrap();
+        assert!(!secure.matches_url(&origin("http://www.a.de/")));
+    }
+
+    #[test]
+    fn expiry_parsing() {
+        let o = origin("https://a.de/");
+        let session = Cookie::parse_set_cookie("s=1", &o).unwrap();
+        assert_eq!(session.max_age, None);
+        let expired =
+            Cookie::parse_set_cookie("g=x; Expires=Thu, 01 Jan 1970 00:00:00 GMT", &o).unwrap();
+        assert!(expired.is_immediately_expired());
+        let neg = Cookie::parse_set_cookie("n=1; Max-Age=-5", &o).unwrap();
+        assert!(neg.is_immediately_expired());
+        let persistent =
+            Cookie::parse_set_cookie("p=1; Expires=Fri, 31 Dec 2038 23:59:59 GMT", &o).unwrap();
+        assert!(persistent.max_age.unwrap() > 0);
+    }
+
+    #[test]
+    fn party_classification() {
+        let o = origin("https://cdn.tracker.com/pixel");
+        let c = Cookie::parse_set_cookie("uid=7; Domain=tracker.com", &o).unwrap();
+        assert_eq!(classify_party(&c, "www.zeit.de"), CookieParty::ThirdParty);
+        assert_eq!(classify_party(&c, "api.tracker.com"), CookieParty::FirstParty);
+    }
+}

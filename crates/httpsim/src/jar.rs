@@ -1,0 +1,267 @@
+//! Cookie jar: per-profile cookie storage with RFC 6265 matching.
+//!
+//! OpenWPM records every cookie a visit stores; the jar is our equivalent
+//! ledger. It enforces the uniqueness key (name, domain, path), expiry, and
+//! produces the party/tracking breakdowns the paper's figures are built
+//! from.
+
+use crate::cookie::{classify_party, Cookie, CookieParty};
+use crate::psl::registrable_domain;
+use crate::url::Url;
+use std::collections::HashSet;
+
+/// A cookie store for one browser profile.
+#[derive(Debug, Clone, Default)]
+pub struct CookieJar {
+    cookies: Vec<Cookie>,
+}
+
+/// Cookie counts broken down the way Figures 4 and 5 report them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CookieBreakdown {
+    /// Cookies whose domain is same-site with the page.
+    pub first_party: f64,
+    /// Cookies from other sites.
+    pub third_party: f64,
+    /// Cookies whose domain appears on the tracker blocklist
+    /// (justdomains-style classification, §4.3).
+    pub tracking: f64,
+}
+
+impl CookieBreakdown {
+    /// Total number of cookies (first + third party).
+    pub fn total(&self) -> f64 {
+        self.first_party + self.third_party
+    }
+}
+
+impl CookieJar {
+    /// Empty jar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored cookies.
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// True if no cookies are stored.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    /// Store a cookie, replacing any existing cookie with the same
+    /// (name, domain, path) key. An immediately-expired cookie deletes the
+    /// stored one (the standard deletion idiom).
+    pub fn store(&mut self, cookie: Cookie) {
+        self.cookies.retain(|c| {
+            !(c.name == cookie.name && c.domain == cookie.domain && c.path == cookie.path)
+        });
+        if !cookie.is_immediately_expired() {
+            self.cookies.push(cookie);
+        }
+    }
+
+    /// Parse and store every `Set-Cookie` header in `headers` received from
+    /// `origin`. Returns how many were accepted.
+    pub fn store_response_cookies<'a>(
+        &mut self,
+        headers: impl IntoIterator<Item = &'a str>,
+        origin: &Url,
+    ) -> usize {
+        let mut accepted = 0;
+        for h in headers {
+            if let Some(c) = Cookie::parse_set_cookie(h, origin) {
+                let deleted = c.is_immediately_expired();
+                self.store(c);
+                if !deleted {
+                    accepted += 1;
+                }
+            }
+        }
+        accepted
+    }
+
+    /// Cookies that would be sent on a request to `url`, in storage order.
+    pub fn cookies_for(&self, url: &Url) -> Vec<&Cookie> {
+        self.cookies.iter().filter(|c| c.matches_url(url)).collect()
+    }
+
+    /// The `Cookie:` header value for a request to `url`, or `None` if no
+    /// cookies match.
+    pub fn cookie_header(&self, url: &Url) -> Option<String> {
+        let cookies = self.cookies_for(url);
+        if cookies.is_empty() {
+            return None;
+        }
+        Some(
+            cookies
+                .iter()
+                .map(|c| format!("{}={}", c.name, c.value))
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
+    }
+
+    /// Iterate all stored cookies.
+    pub fn iter(&self) -> impl Iterator<Item = &Cookie> {
+        self.cookies.iter()
+    }
+
+    /// Remove every cookie whose domain is same-site with `site_host` —
+    /// the "delete your cookies for this website" step a user must perform
+    /// to revoke a cookiewall acceptance (§5 of the paper).
+    pub fn clear_site(&mut self, site_host: &str) {
+        self.cookies
+            .retain(|c| !crate::psl::same_site(&c.domain, site_host));
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+    }
+
+    /// Drop session cookies (those without `Max-Age`/`Expires`) — what a
+    /// browser restart does. Persistent cookies, like the consent cookie a
+    /// cookiewall stores for a year, survive.
+    pub fn expire_session_cookies(&mut self) {
+        self.cookies.retain(|c| c.max_age.is_some());
+    }
+
+    /// Break stored cookies down into first-party / third-party / tracking
+    /// relative to a page at `page_host`, using `is_tracker` as the
+    /// blocklist oracle (domain → listed?).
+    pub fn breakdown(
+        &self,
+        page_host: &str,
+        mut is_tracker: impl FnMut(&str) -> bool,
+    ) -> CookieBreakdown {
+        let mut b = CookieBreakdown::default();
+        for c in &self.cookies {
+            match classify_party(c, page_host) {
+                CookieParty::FirstParty => b.first_party += 1.0,
+                CookieParty::ThirdParty => b.third_party += 1.0,
+            }
+            if is_tracker(&c.domain) {
+                b.tracking += 1.0;
+            }
+        }
+        b
+    }
+
+    /// Distinct registrable domains that set cookies — a quick proxy for
+    /// "how many parties touched this visit".
+    pub fn distinct_sites(&self) -> usize {
+        self.cookies
+            .iter()
+            .filter_map(|c| registrable_domain(&c.domain))
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn store_and_retrieve() {
+        let mut jar = CookieJar::new();
+        let o = u("https://www.site.de/");
+        jar.store_response_cookies(["a=1", "b=2; Domain=site.de"], &o);
+        assert_eq!(jar.len(), 2);
+        let got = jar.cookies_for(&u("https://www.site.de/page"));
+        assert_eq!(got.len(), 2);
+        // Host-only cookie not sent to sibling subdomain; domain cookie is.
+        let sibling = jar.cookies_for(&u("https://shop.site.de/"));
+        assert_eq!(sibling.len(), 1);
+        assert_eq!(sibling[0].name, "b");
+    }
+
+    #[test]
+    fn replacement_by_key() {
+        let mut jar = CookieJar::new();
+        let o = u("https://a.de/");
+        jar.store_response_cookies(["x=old"], &o);
+        jar.store_response_cookies(["x=new"], &o);
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.cookies_for(&o)[0].value, "new");
+        // Same name, different path = different cookie.
+        jar.store_response_cookies(["x=scoped; Path=/p"], &o);
+        assert_eq!(jar.len(), 2);
+    }
+
+    #[test]
+    fn deletion_via_expiry() {
+        let mut jar = CookieJar::new();
+        let o = u("https://a.de/");
+        jar.store_response_cookies(["x=1"], &o);
+        assert_eq!(jar.len(), 1);
+        jar.store_response_cookies(["x=; Max-Age=0"], &o);
+        assert_eq!(jar.len(), 0);
+    }
+
+    #[test]
+    fn cookie_header_format() {
+        let mut jar = CookieJar::new();
+        let o = u("https://a.de/");
+        jar.store_response_cookies(["a=1", "b=2"], &o);
+        assert_eq!(jar.cookie_header(&o).unwrap(), "a=1; b=2");
+        assert_eq!(jar.cookie_header(&u("https://other.de/")), None);
+    }
+
+    #[test]
+    fn breakdown_parties_and_tracking() {
+        let mut jar = CookieJar::new();
+        jar.store_response_cookies(["fp=1"], &u("https://www.news.de/"));
+        jar.store_response_cookies(["ad=2; Domain=adnet.com"], &u("https://cdn.adnet.com/p"));
+        jar.store_response_cookies(["cdn=3"], &u("https://static.cdnhost.net/x"));
+        let trackers: HashSet<&str> = ["adnet.com"].into_iter().collect();
+        let b = jar.breakdown("www.news.de", |d| {
+            registrable_domain(d).is_some_and(|r| trackers.contains(r))
+        });
+        assert_eq!(b.first_party, 1.0);
+        assert_eq!(b.third_party, 2.0);
+        assert_eq!(b.tracking, 1.0);
+        assert_eq!(b.total(), 3.0);
+        assert_eq!(jar.distinct_sites(), 3);
+    }
+
+    #[test]
+    fn clear_site_only_removes_that_site() {
+        let mut jar = CookieJar::new();
+        jar.store_response_cookies(["a=1"], &u("https://www.wall.de/"));
+        jar.store_response_cookies(["b=2; Domain=wall.de"], &u("https://wall.de/"));
+        jar.store_response_cookies(["c=3"], &u("https://other.de/"));
+        jar.clear_site("wall.de");
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.iter().next().unwrap().name, "c");
+    }
+
+    #[test]
+    fn restart_drops_only_session_cookies() {
+        let mut jar = CookieJar::new();
+        let o = u("https://a.de/");
+        jar.store_response_cookies(["sid=1", "consent=yes; Max-Age=31536000"], &o);
+        assert_eq!(jar.len(), 2);
+        jar.expire_session_cookies();
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.iter().next().unwrap().name, "consent");
+    }
+
+    #[test]
+    fn rejected_cookies_not_counted() {
+        let mut jar = CookieJar::new();
+        let n = jar.store_response_cookies(
+            ["ok=1", "bad; Domain=elsewhere.com", "=alsobad"],
+            &u("https://a.de/"),
+        );
+        assert_eq!(n, 1);
+        assert_eq!(jar.len(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! # httpsim — the simulated HTTP layer of the cookiewall study
+//!
+//! The paper's measurements run OpenWPM/Firefox against the live Internet.
+//! This crate is the substitute substrate: a deterministic, in-process web
+//! with the pieces cookie measurement actually touches:
+//!
+//! * [`Url`] parsing and reference resolution,
+//! * public-suffix / registrable-domain logic ([`registrable_domain`],
+//!   [`same_site`]) — the basis for first- vs. third-party attribution,
+//! * RFC 6265-subset [`Cookie`] parsing and a [`CookieJar`] with
+//!   domain/path/secure matching and the party/tracking
+//!   [`CookieBreakdown`] reported in Figures 4 and 5,
+//! * the eight vantage-point [`Region`]s and their privacy regimes,
+//! * a [`Network`] of [`Server`] trait objects with redirect following —
+//!   the slot where `webgen` plugs in the synthetic web population.
+//!
+//! ## Example
+//!
+//! ```
+//! use httpsim::{CookieJar, Network, Region, Request, Response, Url};
+//!
+//! let net = Network::new();
+//! net.register_fn("news.example.de", |req: &Request| {
+//!     if req.region.is_eu() {
+//!         Response::html("<div id=banner>Cookies?</div>").with_cookie("sid=1")
+//!     } else {
+//!         Response::html("<h1>News</h1>").with_cookie("sid=1")
+//!     }
+//! });
+//!
+//! let url = Url::parse("https://news.example.de/").unwrap();
+//! let resp = net.dispatch(&Request::navigation(url.clone(), Region::Germany));
+//! assert!(resp.body_text().contains("banner"));
+//!
+//! let mut jar = CookieJar::new();
+//! jar.store_response_cookies(resp.set_cookies.iter().map(|s| s.as_str()), &url);
+//! assert_eq!(jar.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cookie;
+mod geo;
+mod http;
+mod jar;
+mod net;
+mod psl;
+mod url;
+
+pub use cookie::{classify_party, Cookie, CookieParty, SameSite};
+pub use geo::{PrivacyRegime, Region};
+pub use http::{Method, Request, Response, DEFAULT_USER_AGENT};
+pub use jar::{CookieBreakdown, CookieJar};
+pub use net::{Network, NetworkStats, Server, MAX_REDIRECTS};
+pub use psl::{domain_match, is_public_suffix, public_suffix, registrable_domain, same_site};
+pub use url::{Url, UrlParseError};

@@ -1,0 +1,154 @@
+//! Public-suffix handling and registrable-domain (eTLD+1) computation.
+//!
+//! First-party vs. third-party cookie attribution (§4.3 of the paper) hinges
+//! on comparing *registrable domains*: `ads.tracker.example.de` and
+//! `www.example.de` are the same party iff their eTLD+1 matches. We embed the
+//! slice of the Mozilla Public Suffix List relevant to this study: the
+//! generic TLDs, the country TLDs of every vantage point, and the
+//! second-level registries (`co.uk`, `com.au`, `com.br`, `co.za`, `co.in`,
+//! …) under them.
+
+/// Plain public suffixes (single- and multi-label).
+const SUFFIXES: &[&str] = &[
+    // Generic TLDs.
+    "com", "net", "org", "info", "biz", "io", "dev", "app", "club", "online", "site", "shop",
+    "news", "blog", "cloud", "xyz", "eu",
+    // Vantage-point and neighbouring ccTLDs.
+    "de", "at", "ch", "se", "fr", "it", "nl", "es", "pt", "be", "dk", "fi", "no", "pl", "uk",
+    "us", "br", "za", "in", "au", "nz", "ca", "mx", "jp", "cn",
+    // Second-level registries.
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk",
+    "com.au", "net.au", "org.au", "edu.au", "gov.au",
+    "com.br", "net.br", "org.br", "gov.br",
+    "co.za", "org.za", "web.za", "net.za",
+    "co.in", "net.in", "org.in", "gen.in", "firm.in",
+    "co.nz", "net.nz", "org.nz",
+    "com.mx", "org.mx",
+    "co.jp", "ne.jp", "or.jp",
+    "com.cn", "net.cn", "org.cn",
+];
+
+/// Is `candidate` (lowercased, no trailing dot) exactly a public suffix?
+pub fn is_public_suffix(candidate: &str) -> bool {
+    SUFFIXES.contains(&candidate)
+}
+
+/// The public suffix of `host`: the longest suffix of its labels that is a
+/// known public suffix. Unknown TLDs fall back to the last label, per PSL
+/// convention (`*` default rule).
+pub fn public_suffix(host: &str) -> &str {
+    let host = host.trim_end_matches('.');
+    // Try progressively shorter suffixes, longest (most labels) first.
+    let mut start_indices: Vec<usize> = vec![0];
+    for (i, b) in host.bytes().enumerate() {
+        if b == b'.' {
+            start_indices.push(i + 1);
+        }
+    }
+    for &start in &start_indices {
+        let cand = &host[start..];
+        if is_public_suffix(cand) {
+            return cand;
+        }
+    }
+    // Default rule: the last label.
+    match host.rfind('.') {
+        Some(i) => &host[i + 1..],
+        None => host,
+    }
+}
+
+/// The registrable domain (eTLD+1) of `host`: the public suffix plus one
+/// label. Returns `None` if `host` *is* a public suffix (no registrable
+/// part), e.g. `de` or `co.uk`.
+pub fn registrable_domain(host: &str) -> Option<&str> {
+    let host = host.trim_end_matches('.');
+    let suffix = public_suffix(host);
+    if suffix.len() == host.len() {
+        return None;
+    }
+    // Byte position where the suffix starts (host ends with ".{suffix}").
+    let prefix = &host[..host.len() - suffix.len() - 1];
+    let label_start = prefix.rfind('.').map(|i| i + 1).unwrap_or(0);
+    Some(&host[label_start..])
+}
+
+/// Do two hosts belong to the same site (same registrable domain)?
+///
+/// This is the paper's first-party test: a cookie is first-party iff its
+/// domain is same-site with the visited page.
+pub fn same_site(a: &str, b: &str) -> bool {
+    match (registrable_domain(a), registrable_domain(b)) {
+        (Some(ra), Some(rb)) => ra.eq_ignore_ascii_case(rb),
+        // If either side is a bare suffix, fall back to exact host equality.
+        _ => a.eq_ignore_ascii_case(b),
+    }
+}
+
+/// RFC 6265 §5.1.3 domain-matching: does request-host `host` domain-match
+/// the cookie `domain` attribute? True when identical, or when `host` ends
+/// with `.domain`.
+pub fn domain_match(host: &str, domain: &str) -> bool {
+    let host = host.to_ascii_lowercase();
+    let domain = domain.trim_start_matches('.').to_ascii_lowercase();
+    if host == domain {
+        return true;
+    }
+    host.ends_with(&domain)
+        && host.as_bytes()[host.len() - domain.len() - 1] == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_lookup() {
+        assert_eq!(public_suffix("www.spiegel.de"), "de");
+        assert_eq!(public_suffix("foo.co.uk"), "co.uk");
+        assert_eq!(public_suffix("a.b.com.au"), "com.au");
+        assert_eq!(public_suffix("example.com"), "com");
+        assert_eq!(public_suffix("weird.unknowntld"), "unknowntld");
+    }
+
+    #[test]
+    fn registrable() {
+        assert_eq!(registrable_domain("www.spiegel.de"), Some("spiegel.de"));
+        assert_eq!(registrable_domain("spiegel.de"), Some("spiegel.de"));
+        assert_eq!(
+            registrable_domain("news.bbc.co.uk"),
+            Some("bbc.co.uk")
+        );
+        assert_eq!(registrable_domain("a.b.c.example.com"), Some("example.com"));
+        assert_eq!(registrable_domain("de"), None);
+        assert_eq!(registrable_domain("co.uk"), None);
+        assert_eq!(registrable_domain("single"), None);
+    }
+
+    #[test]
+    fn same_site_test() {
+        assert!(same_site("www.zeit.de", "zeit.de"));
+        assert!(same_site("ads.zeit.de", "shop.zeit.de"));
+        assert!(!same_site("zeit.de", "spiegel.de"));
+        assert!(!same_site("azeit.de", "zeit.de"), "no substring confusion");
+        assert!(!same_site("tracker.example.com", "site.de"));
+        assert!(same_site("de", "de"), "bare suffix: exact equality");
+        assert!(!same_site("de", "at"));
+    }
+
+    #[test]
+    fn domain_matching() {
+        assert!(domain_match("www.example.de", "example.de"));
+        assert!(domain_match("example.de", "example.de"));
+        assert!(domain_match("a.b.example.de", ".example.de"));
+        assert!(!domain_match("badexample.de", "example.de"));
+        assert!(!domain_match("example.de", "www.example.de"));
+        assert!(domain_match("X.EXAMPLE.DE", "example.de"), "case-insensitive");
+    }
+
+    #[test]
+    fn trailing_dots() {
+        assert_eq!(registrable_domain("www.zeit.de."), Some("zeit.de"));
+        assert_eq!(public_suffix("zeit.de."), "de");
+    }
+}

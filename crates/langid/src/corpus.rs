@@ -1,0 +1,171 @@
+//! Embedded training corpora, one per supported language.
+//!
+//! These are hand-written running texts in the register the study actually
+//! encounters: news-site boilerplate, consent and subscription vocabulary,
+//! everyday prose. They are deliberately *different sentences* from the ones
+//! the `webgen` site generator emits, so classification in the pipeline is a
+//! genuine out-of-sample prediction, not memorization.
+
+/// German training text.
+pub const DE: &str = "\
+Die Bundesregierung hat am Mittwoch neue Maßnahmen beschlossen, die ab dem \
+kommenden Monat gelten sollen. Nach Angaben des Ministeriums werden die \
+Änderungen vor allem kleine und mittlere Unternehmen betreffen. Wir nutzen \
+Cookies und ähnliche Technologien, um unsere Dienste anzubieten und zu \
+verbessern. Mit Ihrer Zustimmung verarbeiten wir personenbezogene Daten zur \
+Anzeige personalisierter Werbung. Sie können Ihre Einwilligung jederzeit mit \
+Wirkung für die Zukunft widerrufen. Lesen Sie alle Artikel ohne Werbung und \
+ohne Tracking mit unserem Abonnement für monatlich drei Euro. Jetzt \
+abonnieren und werbefrei weiterlesen. Der Verein hat das Spiel am Samstag \
+deutlich gewonnen und steht nun an der Tabellenspitze. Viele Leserinnen und \
+Leser haben uns geschrieben, dass sie sich mehr Berichte aus der Region \
+wünschen. Das Wetter bleibt in den nächsten Tagen wechselhaft, mit Schauern \
+im Norden und Sonnenschein im Süden. Die Polizei sucht Zeugen, die den \
+Vorfall am Bahnhof beobachtet haben. Bitte akzeptieren Sie die Verwendung \
+von Cookies oder schließen Sie ein werbefreies Abo ab. Weitere Informationen \
+finden Sie in unserer Datenschutzerklärung. Die Preise für Strom und Gas \
+sind im vergangenen Jahr erneut gestiegen, wie das Statistische Bundesamt \
+mitteilte. Forscherinnen der Universität haben eine neue Methode entwickelt, \
+um Kunststoffe besser zu recyceln. Der Gemeinderat diskutierte über den \
+Ausbau der Radwege in der Innenstadt. Zustimmen und weiterlesen oder mit \
+einem Pur-Abo alle Inhalte ohne personalisierte Werbung genießen.";
+
+/// English training text.
+pub const EN: &str = "\
+The government announced new measures on Wednesday that will take effect \
+next month. According to the ministry, the changes will mainly affect small \
+and medium-sized businesses. We use cookies and similar technologies to \
+provide and improve our services. With your consent we process personal data \
+to show personalised advertising. You can withdraw your consent at any time \
+with effect for the future. Read every article without ads and without \
+tracking with our subscription for three euros a month. Subscribe now and \
+continue reading ad-free. The team won convincingly on Saturday and now sits \
+at the top of the table. Many readers have written to tell us they would \
+like more reporting from the region. The weather will remain changeable over \
+the coming days, with showers in the north and sunshine in the south. Police \
+are looking for witnesses who observed the incident at the station. Please \
+accept the use of cookies or take out an ad-free subscription. You can find \
+further information in our privacy policy. Electricity and gas prices rose \
+again last year, the statistics office said. Researchers at the university \
+have developed a new method to recycle plastics more effectively. The city \
+council discussed expanding cycle paths in the town centre. Agree and \
+continue reading, or enjoy all content without personalised advertising \
+with a pure subscription.";
+
+/// Italian training text.
+pub const IT: &str = "\
+Il governo ha annunciato mercoledì nuove misure che entreranno in vigore il \
+mese prossimo. Secondo il ministero, le modifiche riguarderanno soprattutto \
+le piccole e medie imprese. Utilizziamo i cookie e tecnologie simili per \
+fornire e migliorare i nostri servizi. Con il tuo consenso trattiamo dati \
+personali per mostrare pubblicità personalizzata. Puoi revocare il consenso \
+in qualsiasi momento con effetto per il futuro. Leggi tutti gli articoli \
+senza pubblicità e senza tracciamento con il nostro abbonamento a due euro \
+al mese. Abbonati ora e continua a leggere senza pubblicità. La squadra ha \
+vinto nettamente sabato e ora è in testa alla classifica. Molti lettori ci \
+hanno scritto che vorrebbero più notizie dalla regione. Il tempo rimarrà \
+variabile nei prossimi giorni, con rovesci al nord e sole al sud. La polizia \
+cerca testimoni che abbiano osservato l'incidente alla stazione. Accetta \
+l'uso dei cookie oppure sottoscrivi un abbonamento senza pubblicità. \
+Ulteriori informazioni sono disponibili nella nostra informativa sulla \
+privacy. I prezzi di luce e gas sono aumentati di nuovo l'anno scorso, ha \
+comunicato l'istituto di statistica. I ricercatori dell'università hanno \
+sviluppato un nuovo metodo per riciclare meglio la plastica. Il consiglio \
+comunale ha discusso l'ampliamento delle piste ciclabili in centro.";
+
+/// Swedish training text.
+pub const SV: &str = "\
+Regeringen presenterade i onsdags nya åtgärder som träder i kraft nästa \
+månad. Enligt departementet kommer förändringarna framför allt att påverka \
+små och medelstora företag. Vi använder kakor och liknande tekniker för att \
+tillhandahålla och förbättra våra tjänster. Med ditt samtycke behandlar vi \
+personuppgifter för att visa personaliserad annonsering. Du kan när som \
+helst återkalla ditt samtycke med verkan för framtiden. Läs alla artiklar \
+utan annonser och utan spårning med vår prenumeration för tre euro i \
+månaden. Prenumerera nu och fortsätt läsa reklamfritt. Laget vann klart i \
+lördags och ligger nu i toppen av tabellen. Många läsare har skrivit till \
+oss att de önskar fler nyheter från regionen. Vädret förblir ostadigt de \
+närmaste dagarna, med skurar i norr och sol i söder. Polisen söker vittnen \
+som såg händelsen vid stationen. Godkänn användningen av kakor eller teckna \
+en reklamfri prenumeration. Mer information finns i vår \
+integritetspolicy. Priserna på el och gas steg återigen förra året, \
+meddelade statistikmyndigheten. Forskare vid universitetet har utvecklat en \
+ny metod för att återvinna plast bättre. Kommunfullmäktige diskuterade \
+utbyggnaden av cykelbanor i centrum.";
+
+/// French training text.
+pub const FR: &str = "\
+Le gouvernement a annoncé mercredi de nouvelles mesures qui entreront en \
+vigueur le mois prochain. Selon le ministère, les changements concerneront \
+surtout les petites et moyennes entreprises. Nous utilisons des cookies et \
+des technologies similaires pour fournir et améliorer nos services. Avec \
+votre consentement, nous traitons des données personnelles afin d'afficher \
+de la publicité personnalisée. Vous pouvez retirer votre consentement à tout \
+moment avec effet pour l'avenir. Lisez tous les articles sans publicité et \
+sans suivi grâce à notre abonnement à trois euros par mois. Abonnez-vous \
+maintenant et continuez votre lecture sans publicité. L'équipe a nettement \
+gagné samedi et occupe désormais la tête du classement. De nombreux lecteurs \
+nous ont écrit qu'ils souhaitaient davantage de reportages régionaux. Le \
+temps restera variable ces prochains jours, avec des averses au nord et du \
+soleil au sud. La police recherche des témoins ayant observé l'incident à la \
+gare. Veuillez accepter l'utilisation des cookies ou souscrire un abonnement \
+sans publicité. Vous trouverez plus d'informations dans notre politique de \
+confidentialité. Les prix de l'électricité et du gaz ont encore augmenté \
+l'année dernière, a indiqué l'institut de statistique.";
+
+/// Portuguese training text.
+pub const PT: &str = "\
+O governo anunciou na quarta-feira novas medidas que entrarão em vigor no \
+próximo mês. Segundo o ministério, as mudanças afetarão sobretudo as \
+pequenas e médias empresas. Utilizamos cookies e tecnologias semelhantes \
+para fornecer e melhorar os nossos serviços. Com o seu consentimento, \
+tratamos dados pessoais para mostrar publicidade personalizada. Pode retirar \
+o seu consentimento a qualquer momento com efeito para o futuro. Leia todos \
+os artigos sem anúncios e sem rastreamento com a nossa assinatura por três \
+euros por mês. Assine agora e continue a ler sem publicidade. A equipa \
+venceu claramente no sábado e está agora no topo da classificação. Muitos \
+leitores escreveram-nos a dizer que gostariam de mais reportagens da \
+região. O tempo continuará instável nos próximos dias, com aguaceiros no \
+norte e sol no sul. A polícia procura testemunhas que tenham observado o \
+incidente na estação. Aceite a utilização de cookies ou faça uma assinatura \
+sem publicidade. Encontra mais informações na nossa política de \
+privacidade. Os preços da eletricidade e do gás voltaram a subir no ano \
+passado, informou o instituto de estatística.";
+
+/// Spanish training text.
+pub const ES: &str = "\
+El gobierno anunció el miércoles nuevas medidas que entrarán en vigor el \
+próximo mes. Según el ministerio, los cambios afectarán sobre todo a las \
+pequeñas y medianas empresas. Utilizamos cookies y tecnologías similares \
+para ofrecer y mejorar nuestros servicios. Con su consentimiento, tratamos \
+datos personales para mostrar publicidad personalizada. Puede retirar su \
+consentimiento en cualquier momento con efecto para el futuro. Lea todos \
+los artículos sin anuncios y sin seguimiento con nuestra suscripción por \
+tres euros al mes. Suscríbase ahora y siga leyendo sin publicidad. El \
+equipo ganó con claridad el sábado y ahora lidera la clasificación. Muchos \
+lectores nos han escrito que desean más reportajes de la región. El tiempo \
+seguirá variable en los próximos días, con chubascos en el norte y sol en \
+el sur. La policía busca testigos que hayan observado el incidente en la \
+estación. Acepte el uso de cookies o contrate una suscripción sin \
+publicidad. Encontrará más información en nuestra política de privacidad. \
+Los precios de la electricidad y el gas volvieron a subir el año pasado, \
+informó el instituto de estadística.";
+
+/// Dutch training text.
+pub const NL: &str = "\
+De regering kondigde woensdag nieuwe maatregelen aan die volgende maand van \
+kracht worden. Volgens het ministerie zullen de veranderingen vooral kleine \
+en middelgrote bedrijven treffen. Wij gebruiken cookies en vergelijkbare \
+technieken om onze diensten aan te bieden en te verbeteren. Met uw \
+toestemming verwerken wij persoonsgegevens om gepersonaliseerde advertenties \
+te tonen. U kunt uw toestemming op elk moment intrekken met werking voor de \
+toekomst. Lees alle artikelen zonder advertenties en zonder tracking met ons \
+abonnement voor drie euro per maand. Abonneer nu en lees verder zonder \
+reclame. Het elftal won zaterdag overtuigend en staat nu bovenaan de \
+ranglijst. Veel lezers hebben ons geschreven dat zij meer berichten uit de \
+regio willen. Het weer blijft de komende dagen wisselvallig, met buien in \
+het noorden en zon in het zuiden. De politie zoekt getuigen die het voorval \
+bij het station hebben gezien. Accepteer het gebruik van cookies of sluit \
+een reclamevrij abonnement af. Meer informatie vindt u in onze \
+privacyverklaring. De prijzen voor stroom en gas zijn vorig jaar opnieuw \
+gestegen, meldde het statistiekbureau.";

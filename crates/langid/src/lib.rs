@@ -1,0 +1,319 @@
+//! # langid — character n-gram language identification
+//!
+//! The paper uses Google's CLD3 to label the language of each cookiewall
+//! website (§4.1, Table 1's "Language" column). CLD3 is a neural model over
+//! character n-grams; this crate implements the same input representation
+//! with a multinomial naive-Bayes classifier over character trigrams —
+//! the classical, well-understood member of that family — trained on
+//! embedded corpora for the eight languages the study encounters.
+//!
+//! ## Example
+//!
+//! ```
+//! use langid::{detect, Language};
+//!
+//! let text = "Mit unserem Abo lesen Sie alle Artikel ohne Werbung.";
+//! assert_eq!(detect(text).unwrap().language, Language::German);
+//!
+//! let text = "Read all our articles without any advertising.";
+//! assert_eq!(detect(text).unwrap().language, Language::English);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Languages the detector distinguishes — the ones appearing in the study's
+/// website population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Language {
+    /// German (`de`).
+    German,
+    /// English (`en`).
+    English,
+    /// Italian (`it`).
+    Italian,
+    /// Swedish (`sv`).
+    Swedish,
+    /// French (`fr`).
+    French,
+    /// Portuguese (`pt`).
+    Portuguese,
+    /// Spanish (`es`).
+    Spanish,
+    /// Dutch (`nl`).
+    Dutch,
+}
+
+impl Language {
+    /// All supported languages.
+    pub const ALL: [Language; 8] = [
+        Language::German,
+        Language::English,
+        Language::Italian,
+        Language::Swedish,
+        Language::French,
+        Language::Portuguese,
+        Language::Spanish,
+        Language::Dutch,
+    ];
+
+    /// ISO 639-1 code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Language::German => "de",
+            Language::English => "en",
+            Language::Italian => "it",
+            Language::Swedish => "sv",
+            Language::French => "fr",
+            Language::Portuguese => "pt",
+            Language::Spanish => "es",
+            Language::Dutch => "nl",
+        }
+    }
+
+    /// Parse an ISO 639-1 code (case-insensitive).
+    pub fn from_code(code: &str) -> Option<Language> {
+        let code = code.to_ascii_lowercase();
+        Language::ALL.into_iter().find(|l| l.code() == code)
+    }
+
+    fn corpus(self) -> &'static str {
+        match self {
+            Language::German => corpus::DE,
+            Language::English => corpus::EN,
+            Language::Italian => corpus::IT,
+            Language::Swedish => corpus::SV,
+            Language::French => corpus::FR,
+            Language::Portuguese => corpus::PT,
+            Language::Spanish => corpus::ES,
+            Language::Dutch => corpus::NL,
+        }
+    }
+}
+
+/// A detection result: best language plus a reliability signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// The most probable language.
+    pub language: Language,
+    /// Mean per-trigram log-probability margin over the runner-up.
+    /// Larger is more confident; values under ~0.02 are near-ties.
+    pub margin: f64,
+    /// Number of trigrams scored (short inputs are unreliable).
+    pub trigrams: usize,
+}
+
+impl Detection {
+    /// Is this detection trustworthy? (Heuristic mirroring CLD3's
+    /// `is_reliable`: enough evidence and a clear margin.)
+    pub fn is_reliable(&self) -> bool {
+        self.trigrams >= 8 && self.margin > 0.02
+    }
+}
+
+/// Minimum alphabetic characters before detection is attempted.
+pub const MIN_INPUT_CHARS: usize = 8;
+
+struct Model {
+    /// Per-language trigram log-probabilities plus the unseen-trigram
+    /// (smoothing) log-probability.
+    tables: Vec<(Language, HashMap<[char; 3], f64>, f64)>,
+}
+
+fn trigrams(text: &str) -> Vec<[char; 3]> {
+    // Normalize: lowercase, collapse digits (prices should not sway the
+    // decision), map whitespace runs to a single space boundary.
+    let mut chars: Vec<char> = Vec::with_capacity(text.len());
+    let mut last_space = true;
+    for c in text.chars() {
+        let c = if c.is_numeric() { '#' } else { c };
+        if c.is_whitespace() {
+            if !last_space {
+                chars.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lc in c.to_lowercase() {
+                chars.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    if chars.len() < 3 {
+        return Vec::new();
+    }
+    chars.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
+}
+
+fn build_model() -> Model {
+    let mut tables = Vec::new();
+    for lang in Language::ALL {
+        let grams = trigrams(lang.corpus());
+        let mut counts: HashMap<[char; 3], f64> = HashMap::new();
+        for g in &grams {
+            *counts.entry(*g).or_insert(0.0) += 1.0;
+        }
+        // Add-one (Laplace) smoothing over the observed vocabulary.
+        let vocab = counts.len() as f64;
+        let total = grams.len() as f64 + vocab + 1.0;
+        let table: HashMap<[char; 3], f64> = counts
+            .into_iter()
+            .map(|(g, c)| (g, ((c + 1.0) / total).ln()))
+            .collect();
+        let unseen = (1.0 / total).ln();
+        tables.push((lang, table, unseen));
+    }
+    Model { tables }
+}
+
+fn model() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(build_model)
+}
+
+/// Detect the language of `text`.
+///
+/// Returns `None` for inputs that are too short or contain no letters —
+/// the cases where any answer would be noise.
+pub fn detect(text: &str) -> Option<Detection> {
+    if text.chars().filter(|c| c.is_alphabetic()).count() < MIN_INPUT_CHARS {
+        return None;
+    }
+    let grams = trigrams(text);
+    if grams.is_empty() {
+        return None;
+    }
+    let m = model();
+    let mut scores: Vec<(Language, f64)> = m
+        .tables
+        .iter()
+        .map(|(lang, table, unseen)| {
+            let score: f64 = grams
+                .iter()
+                .map(|g| table.get(g).copied().unwrap_or(*unseen))
+                .sum();
+            (*lang, score)
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (best, best_score) = scores[0];
+    let runner_up = scores[1].1;
+    Some(Detection {
+        language: best,
+        margin: (best_score - runner_up) / grams.len() as f64,
+        trigrams: grams.len(),
+    })
+}
+
+/// Detect and return just the ISO code, like CLD3's typical use.
+pub fn detect_code(text: &str) -> Option<&'static str> {
+    detect(text).map(|d| d.language.code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: &[(Language, &str)] = &[
+        (
+            Language::German,
+            "Bitte stimmen Sie der Nutzung von Cookies zu oder lesen Sie unsere Inhalte werbefrei mit einem günstigen Abonnement.",
+        ),
+        (
+            Language::English,
+            "Please agree to the use of cookies or read our content ad-free with an affordable monthly plan.",
+        ),
+        (
+            Language::Italian,
+            "Acconsenti all'uso dei cookie oppure leggi i nostri contenuti senza pubblicità con un abbonamento conveniente.",
+        ),
+        (
+            Language::Swedish,
+            "Godkänn användningen av kakor eller läs vårt innehåll reklamfritt med en billig prenumeration varje månad.",
+        ),
+        (
+            Language::French,
+            "Acceptez l'utilisation des cookies ou lisez nos contenus sans publicité grâce à un abonnement avantageux.",
+        ),
+        (
+            Language::Portuguese,
+            "Aceite a utilização de cookies ou leia os nossos conteúdos sem publicidade com uma assinatura acessível.",
+        ),
+        (
+            Language::Spanish,
+            "Acepte el uso de cookies o lea nuestros contenidos sin publicidad con una suscripción asequible cada mes.",
+        ),
+        (
+            Language::Dutch,
+            "Accepteer het gebruik van cookies of lees onze inhoud reclamevrij met een voordelig maandabonnement.",
+        ),
+    ];
+
+    #[test]
+    fn classifies_out_of_sample_consent_text() {
+        for (expected, text) in SAMPLES {
+            let d = detect(text).expect("long enough");
+            assert_eq!(
+                d.language, *expected,
+                "misclassified {:?} as {:?} (margin {})",
+                expected, d.language, d.margin
+            );
+            assert!(d.is_reliable(), "{expected:?} should be reliable");
+        }
+    }
+
+    #[test]
+    fn classifies_news_prose() {
+        let de = "Der Ausschuss berät am Donnerstag über den Haushalt der Stadt und die geplanten Investitionen in Schulen.";
+        assert_eq!(detect(de).unwrap().language, Language::German);
+        let en = "The committee will meet on Thursday to discuss the city budget and planned investment in schools.";
+        assert_eq!(detect(en).unwrap().language, Language::English);
+        let sv = "Utskottet sammanträder på torsdag för att diskutera stadens budget och planerade investeringar i skolor.";
+        assert_eq!(detect(sv).unwrap().language, Language::Swedish);
+    }
+
+    #[test]
+    fn rejects_short_or_empty() {
+        assert!(detect("").is_none());
+        assert!(detect("ok").is_none());
+        assert!(detect("3,99 € 4,99 € 12 100 7").is_none(), "digits only");
+        assert!(detect("......").is_none());
+    }
+
+    #[test]
+    fn digits_do_not_dominate() {
+        let d = detect(
+            "Nur 2,99 € im Monat statt 9,99 € — jetzt Abo abschließen und weiterlesen 2024 2025.",
+        )
+        .unwrap();
+        assert_eq!(d.language, Language::German);
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for lang in Language::ALL {
+            assert_eq!(Language::from_code(lang.code()), Some(lang));
+        }
+        assert_eq!(Language::from_code("xx"), None);
+        assert_eq!(Language::from_code("DE"), Some(Language::German));
+    }
+
+    #[test]
+    fn detect_code_api() {
+        assert_eq!(
+            detect_code("We would like to welcome all readers to our coverage of the election."),
+            Some("en")
+        );
+    }
+
+    #[test]
+    fn mixed_language_picks_dominant() {
+        let text = "Cookie settings. Wir verwenden Cookies, um Inhalte zu personalisieren und die Zugriffe auf unsere Website zu analysieren. Außerdem geben wir Informationen weiter.";
+        assert_eq!(detect(text).unwrap().language, Language::German);
+    }
+}

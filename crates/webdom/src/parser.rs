@@ -1,0 +1,522 @@
+//! Tree builder: token stream → [`Document`].
+//!
+//! Implements a pragmatic subset of the WHATWG tree-construction algorithm:
+//! a stack of open elements, void-element handling, implicit `<html>`/`<body>`
+//! insertion, tolerant end-tag matching (unwind to the nearest matching open
+//! element, ignore unmatched closers), and **declarative shadow DOM** —
+//! a `<template shadowrootmode="open|closed">` becomes a shadow root attached
+//! to its parent element, which is how the synthetic sites in this study ship
+//! shadow-DOM-embedded cookiewalls over plain HTML.
+
+use crate::tokenizer::{tokenize, Token};
+use crate::tree::{is_void_element, Document, NodeId, ShadowMode};
+
+/// Parse an HTML string into a [`Document`].
+///
+/// Never fails: malformed HTML degrades the way browsers degrade it.
+pub fn parse(html: &str) -> Document {
+    let tokens = tokenize(html);
+    let mut doc = Document::new();
+    let mut builder = TreeBuilder::new(&mut doc);
+    for token in tokens {
+        builder.process(token);
+    }
+    builder.finish();
+    doc
+}
+
+/// Parse an HTML *fragment* (no implicit html/body wrapping) and append the
+/// resulting nodes under `parent` in an existing document.
+///
+/// Used by the browser simulator for script-driven DOM injection
+/// (`element.innerHTML = …` equivalents).
+pub fn parse_fragment_into(doc: &mut Document, parent: NodeId, html: &str) {
+    let tokens = tokenize(html);
+    let mut builder = TreeBuilder::fragment(doc, parent);
+    for token in tokens {
+        builder.process(token);
+    }
+    builder.finish();
+}
+
+struct TreeBuilder<'a> {
+    doc: &'a mut Document,
+    /// Stack of open elements; bottom is the insertion root.
+    stack: Vec<NodeId>,
+    /// True when building a full document (implicit html/body synthesis).
+    full_document: bool,
+    /// Set when inside a `<template shadowrootmode>`: (host element,
+    /// shadow root id) so the matching `</template>` pops correctly.
+    shadow_templates: Vec<NodeId>,
+    html_seen: bool,
+    body_seen: bool,
+    head_seen: bool,
+}
+
+impl<'a> TreeBuilder<'a> {
+    fn new(doc: &'a mut Document) -> Self {
+        let root = doc.root();
+        TreeBuilder {
+            doc,
+            stack: vec![root],
+            full_document: true,
+            shadow_templates: Vec::new(),
+            html_seen: false,
+            body_seen: false,
+            head_seen: false,
+        }
+    }
+
+    fn fragment(doc: &'a mut Document, parent: NodeId) -> Self {
+        TreeBuilder {
+            doc,
+            stack: vec![parent],
+            full_document: false,
+            shadow_templates: Vec::new(),
+            html_seen: true,
+            body_seen: true,
+            head_seen: true,
+        }
+    }
+
+    fn top(&self) -> NodeId {
+        *self.stack.last().expect("stack never empty")
+    }
+
+    /// Ensure implicit structure exists before inserting content in a full
+    /// document: `<html>` then `<body>` (unless we're in head-only content).
+    fn ensure_body_context(&mut self, for_head_content: bool) {
+        if !self.full_document {
+            return;
+        }
+        if !self.html_seen {
+            let html = self.doc.create_element("html");
+            let root = self.doc.root();
+            self.doc.append_child(root, html);
+            self.stack.push(html);
+            self.html_seen = true;
+        }
+        if for_head_content {
+            return;
+        }
+        if !self.body_seen {
+            // Close any open <head>.
+            if self.head_seen {
+                while self.stack.len() > 1 && self.doc.tag(self.top()) != Some("html") {
+                    self.stack.pop();
+                }
+            }
+            let html_el = *self
+                .stack
+                .iter()
+                .find(|&&id| self.doc.tag(id) == Some("html"))
+                .unwrap_or(&self.top());
+            let body = self.doc.create_element("body");
+            self.doc.append_child(html_el, body);
+            // Truncate the stack down to html, then push body.
+            while self.stack.len() > 1 && self.doc.tag(self.top()) != Some("html") {
+                self.stack.pop();
+            }
+            self.stack.push(body);
+            self.body_seen = true;
+        }
+    }
+
+    fn process(&mut self, token: Token) {
+        match token {
+            Token::Doctype(_) => {}
+            Token::Comment(text) => {
+                let node = self.doc.create_comment(&text);
+                let top = self.top();
+                self.doc.append_child(top, node);
+            }
+            Token::Text(text) => {
+                let at_top_level =
+                    self.top() == self.doc.root() || self.doc.tag(self.top()) == Some("html");
+                if at_top_level && text.chars().all(|c| c.is_whitespace()) {
+                    // Inter-element whitespace outside body: drop, like the
+                    // "in html"/"before body" insertion modes do.
+                    return;
+                }
+                // Only synthesize <body> when text appears at the top level;
+                // text inside <head>/<title> etc. stays where it is.
+                if at_top_level {
+                    self.ensure_body_context(false);
+                }
+                let node = self.doc.create_text(&text);
+                let top = self.top();
+                self.doc.append_child(top, node);
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => self.start_tag(&name, attrs, self_closing),
+            Token::EndTag { name } => self.end_tag(&name),
+        }
+    }
+
+    fn start_tag(&mut self, name: &str, attrs: Vec<(String, String)>, self_closing: bool) {
+        match name {
+            "html" if self.full_document => {
+                if !self.html_seen {
+                    let html = self.doc.create_element("html");
+                    for (k, v) in &attrs {
+                        self.doc.set_attr(html, k, v);
+                    }
+                    let root = self.doc.root();
+                    self.doc.append_child(root, html);
+                    self.stack.push(html);
+                    self.html_seen = true;
+                }
+                return;
+            }
+            "head" if self.full_document => {
+                self.ensure_body_context(true);
+                if !self.head_seen {
+                    let head = self.doc.create_element("head");
+                    let top = self.top();
+                    self.doc.append_child(top, head);
+                    self.stack.push(head);
+                    self.head_seen = true;
+                }
+                return;
+            }
+            "body" if self.full_document => {
+                self.ensure_body_context(true);
+                if !self.body_seen {
+                    // Pop back to html.
+                    while self.stack.len() > 1 && self.doc.tag(self.top()) != Some("html") {
+                        self.stack.pop();
+                    }
+                    let body = self.doc.create_element("body");
+                    for (k, v) in &attrs {
+                        self.doc.set_attr(body, k, v);
+                    }
+                    let top = self.top();
+                    self.doc.append_child(top, body);
+                    self.stack.push(body);
+                    self.body_seen = true;
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        let head_content = matches!(name, "meta" | "link" | "title" | "base");
+        self.ensure_body_context(head_content && !self.body_seen);
+
+        // Declarative shadow DOM: <template shadowrootmode=…> attaches a
+        // shadow root to the current insertion point's *parent-to-be*, i.e.
+        // the element currently on top of the stack.
+        if name == "template" {
+            let mode = attrs
+                .iter()
+                .find(|(k, _)| k == "shadowrootmode")
+                .and_then(|(_, v)| ShadowMode::parse(v));
+            if let Some(mode) = mode {
+                let host = self.top();
+                if self.doc.element(host).is_some() && self.doc.shadow_root(host).is_none() {
+                    let sr = self.doc.attach_shadow(host, mode);
+                    self.stack.push(sr);
+                    self.shadow_templates.push(sr);
+                    return;
+                }
+            }
+            // Fall through: ordinary template element.
+        }
+
+        // HTML auto-closing: certain elements implicitly end an open
+        // element of a conflicting kind (<p>text<p>more ⇒ two sibling
+        // paragraphs, <li>…<li> ⇒ sibling list items, …).
+        self.apply_auto_close(name);
+
+        let el = self.doc.create_element(name);
+        for (k, v) in &attrs {
+            self.doc.set_attr(el, k, v);
+        }
+        let top = self.top();
+        self.doc.append_child(top, el);
+        if !self_closing && !is_void_element(name) {
+            self.stack.push(el);
+        }
+    }
+
+    /// Pop elements that the incoming start tag implicitly closes.
+    fn apply_auto_close(&mut self, incoming: &str) {
+        const BLOCKS_CLOSING_P: &[&str] = &[
+            "p", "div", "section", "article", "aside", "ul", "ol", "table", "header", "footer",
+            "main", "nav", "h1", "h2", "h3", "h4", "h5", "h6", "blockquote", "pre", "form",
+        ];
+        let closes_top = |top_tag: &str| -> bool {
+            match top_tag {
+                "p" => BLOCKS_CLOSING_P.contains(&incoming),
+                "li" => incoming == "li",
+                "tr" => incoming == "tr",
+                "td" | "th" => matches!(incoming, "td" | "th" | "tr"),
+                "dt" | "dd" => matches!(incoming, "dt" | "dd"),
+                "option" => incoming == "option",
+                _ => false,
+            }
+        };
+        while let Some(&top) = self.stack.last() {
+            // Never auto-close past a shadow-root boundary.
+            if self.shadow_templates.last() == Some(&top) {
+                break;
+            }
+            match self.doc.tag(top) {
+                Some(tag) if closes_top(tag) => {
+                    self.stack.pop();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn end_tag(&mut self, name: &str) {
+        if name == "template" {
+            // Close a declarative shadow root if one is open.
+            if let Some(sr) = self.shadow_templates.last().copied() {
+                if let Some(pos) = self.stack.iter().rposition(|&id| id == sr) {
+                    self.stack.truncate(pos);
+                    self.shadow_templates.pop();
+                    return;
+                }
+            }
+        }
+        if self.full_document && (name == "html" || name == "body") {
+            // Keep them open until finish(); trailing content still lands in
+            // body, matching browser behaviour.
+            return;
+        }
+        // Find the nearest matching open element; ignore if none (stray
+        // closer). Do not unwind past a shadow root boundary.
+        let boundary = self
+            .shadow_templates
+            .last()
+            .and_then(|&sr| self.stack.iter().rposition(|&id| id == sr))
+            .unwrap_or(0);
+        let matching = self.stack[boundary..]
+            .iter()
+            .rposition(|&id| self.doc.tag(id) == Some(name))
+            .map(|rel| boundary + rel);
+        if let Some(pos) = matching {
+            self.stack.truncate(pos);
+            if self.stack.is_empty() {
+                self.stack.push(self.doc.root());
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.full_document {
+            self.ensure_body_context(false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ShadowMode;
+
+    #[test]
+    fn parses_minimal_document() {
+        let d = parse("<html><body><p>hi</p></body></html>");
+        let body = d.body().expect("body");
+        let p = d.children(body).next().unwrap();
+        assert_eq!(d.tag(p), Some("p"));
+        let t = d.children(p).next().unwrap();
+        assert_eq!(d.node(t).as_text(), Some("hi"));
+    }
+
+    #[test]
+    fn implicit_html_body() {
+        let d = parse("<p>naked</p>");
+        let body = d.body().expect("implicit body synthesized");
+        assert_eq!(d.children(body).count(), 1);
+        let html = d.html().expect("implicit html");
+        assert!(d.is_ancestor(html, body));
+    }
+
+    #[test]
+    fn head_and_body_separated() {
+        let d = parse("<head><title>t</title></head><body><div>x</div></body>");
+        let body = d.body().unwrap();
+        assert_eq!(d.children(body).count(), 1);
+        let titles = d.get_elements_by_tag("title");
+        assert_eq!(titles.len(), 1);
+        assert!(!d.is_ancestor(body, titles[0]), "title not inside body");
+    }
+
+    #[test]
+    fn nested_and_misnested() {
+        let d = parse("<div><span>a<b>c</span>d</div>");
+        // </span> unwinds past the unclosed <b>; "d" lands in <div>.
+        let body = d.body().unwrap();
+        let div = d.children(body).next().unwrap();
+        let kids: Vec<_> = d.children(div).collect();
+        assert_eq!(d.tag(kids[0]), Some("span"));
+        assert_eq!(d.node(kids[1]).as_text(), Some("d"));
+    }
+
+    #[test]
+    fn stray_end_tags_ignored() {
+        let d = parse("</div><p>x</p></section>");
+        let body = d.body().unwrap();
+        assert_eq!(d.children(body).count(), 1);
+    }
+
+    #[test]
+    fn void_elements_dont_nest() {
+        let d = parse("<div><br><img src=x><span>y</span></div>");
+        let body = d.body().unwrap();
+        let div = d.children(body).next().unwrap();
+        let kids: Vec<_> = d.children(div).collect();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(d.children(kids[0]).count(), 0, "br has no children");
+    }
+
+    #[test]
+    fn declarative_shadow_dom_open() {
+        let d = parse(
+            r#"<div id="host"><template shadowrootmode="open"><button>Akzeptieren</button></template></div>"#,
+        );
+        let host = d.get_element_by_id("host").unwrap();
+        let sr = d.shadow_root(host).expect("shadow root attached");
+        assert_eq!(sr.mode, ShadowMode::Open);
+        let btn = d.children(sr.root).next().unwrap();
+        assert_eq!(d.tag(btn), Some("button"));
+        // Button invisible to light-DOM traversal.
+        assert!(d.descendants(d.root()).all(|n| n != btn));
+    }
+
+    #[test]
+    fn declarative_shadow_dom_closed_with_trailing_light_content() {
+        let d = parse(
+            r#"<div id="host"><template shadowrootmode="closed"><p>wall</p></template><em>light</em></div>"#,
+        );
+        let host = d.get_element_by_id("host").unwrap();
+        let sr = d.shadow_root(host).unwrap();
+        assert_eq!(sr.mode, ShadowMode::Closed);
+        // <em> is a light child of host, after the template closed.
+        let light: Vec<_> = d.children(host).collect();
+        assert_eq!(light.len(), 1);
+        assert_eq!(d.tag(light[0]), Some("em"));
+    }
+
+    #[test]
+    fn plain_template_is_ordinary_element() {
+        let d = parse("<div><template><span>x</span></template></div>");
+        let tmpl = d.get_elements_by_tag("template");
+        assert_eq!(tmpl.len(), 1);
+        assert_eq!(d.children(tmpl[0]).count(), 1);
+    }
+
+    #[test]
+    fn nested_shadow_roots() {
+        let d = parse(
+            r#"<div id="outer"><template shadowrootmode="open"><div id="inner"><template shadowrootmode="closed"><button id="b">Buy</button></template></div></template></div>"#,
+        );
+        let outer = d.get_element_by_id("outer").unwrap();
+        let sr1 = d.shadow_root(outer).unwrap();
+        let inner = d
+            .descendant_elements(sr1.root)
+            .find(|&n| d.attr(n, "id") == Some("inner"))
+            .unwrap();
+        let sr2 = d.shadow_root(inner).unwrap();
+        assert_eq!(sr2.mode, ShadowMode::Closed);
+        let btn = d.children(sr2.root).next().unwrap();
+        assert_eq!(d.attr(btn, "id"), Some("b"));
+    }
+
+    #[test]
+    fn fragment_parsing() {
+        let mut d = parse("<div id=target></div>");
+        let target = d.get_element_by_id("target").unwrap();
+        parse_fragment_into(&mut d, target, "<span>a</span><span>b</span>");
+        assert_eq!(d.children(target).count(), 2);
+        // No implicit body inside a fragment.
+        assert_eq!(d.get_elements_by_tag("body").len(), 1);
+    }
+
+    #[test]
+    fn attributes_preserved() {
+        let d = parse(r#"<iframe src="https://cmp.example/consent" width=400></iframe>"#);
+        let ifr = d.get_elements_by_tag("iframe")[0];
+        assert_eq!(d.attr(ifr, "src"), Some("https://cmp.example/consent"));
+        assert_eq!(d.attr(ifr, "width"), Some("400"));
+    }
+
+    #[test]
+    fn text_before_any_tag() {
+        let d = parse("hello <b>world</b>");
+        let body = d.body().unwrap();
+        let kids: Vec<_> = d.children(body).collect();
+        assert_eq!(d.node(kids[0]).as_text(), Some("hello "));
+        assert_eq!(d.tag(kids[1]), Some("b"));
+    }
+
+    #[test]
+    fn deeply_nested_does_not_stack_overflow_iter() {
+        let mut html = String::new();
+        for _ in 0..2000 {
+            html.push_str("<div>");
+        }
+        html.push('x');
+        let d = parse(&html);
+        // Traversal is iterative; counting must work.
+        assert!(d.descendants(d.root()).count() > 2000);
+    }
+}
+
+#[cfg(test)]
+mod auto_close_tests {
+    use super::parse;
+
+    #[test]
+    fn sibling_paragraphs() {
+        let d = parse("<p>one<p>two<p>three");
+        let body = d.body().unwrap();
+        let kids: Vec<_> = d.children(body).collect();
+        assert_eq!(kids.len(), 3, "three sibling <p>, not nested");
+        for k in &kids {
+            assert_eq!(d.tag(*k), Some("p"));
+        }
+        assert_eq!(d.visible_text(kids[2]), "three");
+    }
+
+    #[test]
+    fn block_closes_paragraph() {
+        let d = parse("<p>intro<div>content</div>");
+        let body = d.body().unwrap();
+        let kids: Vec<_> = d.children(body).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(d.tag(kids[0]), Some("p"));
+        assert_eq!(d.tag(kids[1]), Some("div"));
+    }
+
+    #[test]
+    fn list_items_are_siblings() {
+        let d = parse("<ul><li>a<li>b<li>c</ul>");
+        let ul = d.get_elements_by_tag("ul")[0];
+        assert_eq!(d.children(ul).count(), 3);
+    }
+
+    #[test]
+    fn table_cells_and_rows() {
+        let d = parse("<table><tr><td>1<td>2<tr><td>3</table>");
+        let rows = d.get_elements_by_tag("tr");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(d.children(rows[0]).count(), 2);
+        assert_eq!(d.children(rows[1]).count(), 1);
+    }
+
+    #[test]
+    fn inline_elements_do_not_close_p() {
+        let d = parse("<p>a <b>bold</b> and <em>em</em> end</p>");
+        let p = d.get_elements_by_tag("p")[0];
+        assert_eq!(d.visible_text(p), "a bold and em end");
+        assert_eq!(d.get_elements_by_tag("p").len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Inline style parsing.
+//!
+//! Banner detection relies on a handful of layout signals (`position:fixed`,
+//! high `z-index`, `display:none`) that real BannerClick reads through
+//! `getComputedStyle`. Our synthetic pages carry these as inline `style`
+//! attributes, so a small declaration parser is all that's needed.
+
+use std::collections::BTreeMap;
+
+/// Parsed inline style declarations (property → value, properties
+/// lowercased, values trimmed). `BTreeMap` keeps iteration deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Style {
+    decls: BTreeMap<String, String>,
+}
+
+/// CSS `position` values that take an element out of normal flow and pin it
+/// to the viewport — the strongest banner-overlay signal.
+pub const OVERLAY_POSITIONS: &[&str] = &["fixed", "sticky"];
+
+impl Style {
+    /// Parse a `style` attribute value like
+    /// `"position: fixed; z-index: 9999; display:none"`.
+    ///
+    /// Malformed declarations (missing colon) are skipped; later duplicates
+    /// win, as in CSS.
+    pub fn parse(input: &str) -> Self {
+        let mut decls = BTreeMap::new();
+        for decl in input.split(';') {
+            let Some((prop, value)) = decl.split_once(':') else {
+                continue;
+            };
+            let prop = prop.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if !prop.is_empty() && !value.is_empty() {
+                decls.insert(prop, value);
+            }
+        }
+        Style { decls }
+    }
+
+    /// Value of `property` (lowercase), if declared.
+    pub fn get(&self, property: &str) -> Option<&str> {
+        self.decls.get(property).map(|s| s.as_str())
+    }
+
+    /// Number of declarations.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// True if no declarations were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// `z-index` as an integer, if declared and numeric.
+    pub fn z_index(&self) -> Option<i64> {
+        self.get("z-index").and_then(|v| v.trim().parse().ok())
+    }
+
+    /// True if the element is pinned to the viewport (fixed/sticky).
+    pub fn is_overlay_positioned(&self) -> bool {
+        self.get("position")
+            .is_some_and(|p| OVERLAY_POSITIONS.contains(&p.to_ascii_lowercase().as_str()))
+    }
+
+    /// True if the element is hidden (`display:none` or
+    /// `visibility:hidden`).
+    pub fn is_hidden(&self) -> bool {
+        self.get("display")
+            .is_some_and(|d| d.eq_ignore_ascii_case("none"))
+            || self
+                .get("visibility")
+                .is_some_and(|v| v.eq_ignore_ascii_case("hidden"))
+    }
+
+    /// Iterate `(property, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.decls.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl crate::tree::Document {
+    /// Parsed inline style of element `id` (empty if no `style` attribute).
+    pub fn style(&self, id: crate::tree::NodeId) -> Style {
+        self.attr(id, "style").map(Style::parse).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn parses_declarations() {
+        let s = Style::parse("position: fixed; z-index: 9999; color:red");
+        assert_eq!(s.get("position"), Some("fixed"));
+        assert_eq!(s.z_index(), Some(9999));
+        assert_eq!(s.get("color"), Some("red"));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn tolerates_malformed() {
+        let s = Style::parse("nonsense; position:fixed;;; : ; x:");
+        assert_eq!(s.len(), 1);
+        assert!(s.is_overlay_positioned());
+    }
+
+    #[test]
+    fn later_duplicates_win() {
+        let s = Style::parse("display:block; display:none");
+        assert!(s.is_hidden());
+    }
+
+    #[test]
+    fn overlay_and_hidden_predicates() {
+        assert!(Style::parse("position:FIXED").is_overlay_positioned());
+        assert!(Style::parse("position:sticky").is_overlay_positioned());
+        assert!(!Style::parse("position:absolute").is_overlay_positioned());
+        assert!(Style::parse("visibility:hidden").is_hidden());
+        assert!(!Style::parse("visibility:visible").is_hidden());
+        assert!(Style::parse("").is_empty());
+    }
+
+    #[test]
+    fn document_style_accessor() {
+        let d = parse(r#"<div id="b" style="position:fixed;z-index:100000"></div><p id="p">x</p>"#);
+        let b = d.get_element_by_id("b").unwrap();
+        assert!(d.style(b).is_overlay_positioned());
+        assert_eq!(d.style(b).z_index(), Some(100000));
+        let p = d.get_element_by_id("p").unwrap();
+        assert!(d.style(p).is_empty());
+    }
+
+    #[test]
+    fn negative_and_bad_zindex() {
+        assert_eq!(Style::parse("z-index:-1").z_index(), Some(-1));
+        assert_eq!(Style::parse("z-index:auto").z_index(), None);
+    }
+}

@@ -1,0 +1,437 @@
+//! HTML tokenizer.
+//!
+//! Produces a flat token stream (start tags with attributes, end tags, text,
+//! comments, doctype) from raw HTML. The grammar is the practically-relevant
+//! subset of the WHATWG tokenizer: quoted and unquoted attribute values,
+//! self-closing tags, raw-text elements (`script`, `style`), comments, and
+//! entity decoding in text and attribute values. Error recovery follows the
+//! browser convention of never failing — malformed input degrades to text.
+
+use crate::entity::decode_entities;
+
+/// One HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<tag attr="v">`; `self_closing` records a trailing `/`.
+    StartTag {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in source order, values entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// Trailing `/` present.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    EndTag {
+        /// Lowercased tag name.
+        name: String,
+    },
+    /// Text run, entity-decoded.
+    Text(String),
+    /// `<!-- … -->` contents.
+    Comment(String),
+    /// `<!DOCTYPE …>` contents (rarely needed, kept for fidelity).
+    Doctype(String),
+}
+
+/// Tokenize `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                self.consume_markup();
+            } else {
+                self.consume_text();
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn starts_with_ci(&self, s: &str) -> bool {
+        self.input[self.pos..]
+            .get(..s.len())
+            .is_some_and(|p| p.eq_ignore_ascii_case(s))
+    }
+
+    fn consume_text(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        if !raw.is_empty() {
+            self.push_text(decode_entities(raw));
+        }
+    }
+
+    fn push_text(&mut self, text: String) {
+        // Merge adjacent text tokens so `a < b` style recovery doesn't
+        // fragment runs.
+        if let Some(Token::Text(prev)) = self.tokens.last_mut() {
+            prev.push_str(&text);
+        } else {
+            self.tokens.push(Token::Text(text));
+        }
+    }
+
+    fn consume_markup(&mut self) {
+        debug_assert_eq!(self.bytes[self.pos], b'<');
+        match self.peek(1) {
+            Some(b'!') => {
+                if self.starts_with_ci("<!--") {
+                    self.consume_comment();
+                } else if self.starts_with_ci("<!doctype") {
+                    self.consume_doctype();
+                } else {
+                    // Bogus markup declaration: skip to '>'.
+                    self.skip_until(b'>');
+                }
+            }
+            Some(b'/') => self.consume_end_tag(),
+            Some(c) if c.is_ascii_alphabetic() => self.consume_start_tag(),
+            _ => {
+                // Lone '<' is text, per spec recovery.
+                self.pos += 1;
+                self.push_text("<".to_string());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, byte: u8) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != byte {
+            self.pos += 1;
+        }
+        if self.pos < self.bytes.len() {
+            self.pos += 1; // consume the delimiter
+        }
+    }
+
+    fn consume_comment(&mut self) {
+        self.pos += 4; // "<!--"
+        let start = self.pos;
+        let end = self.input[self.pos..]
+            .find("-->")
+            .map(|i| self.pos + i)
+            .unwrap_or(self.bytes.len());
+        self.tokens
+            .push(Token::Comment(self.input[start..end].to_string()));
+        self.pos = (end + 3).min(self.bytes.len());
+    }
+
+    fn consume_doctype(&mut self) {
+        self.pos += 2; // "<!"
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'>' {
+            self.pos += 1;
+        }
+        self.tokens
+            .push(Token::Doctype(self.input[start..self.pos].to_string()));
+        if self.pos < self.bytes.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn consume_end_tag(&mut self) {
+        self.pos += 2; // "</"
+        let name = self.consume_tag_name();
+        // Skip anything up to '>' (attributes on end tags are ignored).
+        self.skip_until(b'>');
+        if !name.is_empty() {
+            self.tokens.push(Token::EndTag { name });
+        }
+    }
+
+    fn consume_tag_name(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b':')
+        {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_ascii_lowercase()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume_start_tag(&mut self) {
+        self.pos += 1; // '<'
+        let name = self.consume_tag_name();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_whitespace();
+            match self.peek(0) {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek(0) == Some(b'>') {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                    // stray '/': ignore
+                }
+                Some(_) => {
+                    if let Some(attr) = self.consume_attribute() {
+                        attrs.push(attr);
+                    }
+                }
+            }
+        }
+        let raw_text = matches!(name.as_str(), "script" | "style" | "textarea" | "title");
+        self.tokens.push(Token::StartTag {
+            name: name.clone(),
+            attrs,
+            self_closing,
+        });
+        if raw_text && !self_closing {
+            self.consume_raw_text(&name);
+        }
+    }
+
+    fn consume_attribute(&mut self) -> Option<(String, String)> {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| !b.is_ascii_whitespace() && b != b'=' && b != b'>' && b != b'/')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            // Unexpected byte (e.g. stray quote); skip it to make progress.
+            self.pos += 1;
+            return None;
+        }
+        let name = self.input[start..self.pos].to_ascii_lowercase();
+        self.skip_whitespace();
+        if self.peek(0) != Some(b'=') {
+            return Some((name, String::new())); // boolean attribute
+        }
+        self.pos += 1; // '='
+        self.skip_whitespace();
+        let value = match self.peek(0) {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let vstart = self.pos;
+                while self.peek(0).is_some_and(|b| b != q) {
+                    self.pos += 1;
+                }
+                let v = &self.input[vstart..self.pos];
+                if self.peek(0).is_some() {
+                    self.pos += 1; // closing quote
+                }
+                decode_entities(v)
+            }
+            _ => {
+                let vstart = self.pos;
+                while self
+                    .peek(0)
+                    .is_some_and(|b| !b.is_ascii_whitespace() && b != b'>')
+                {
+                    self.pos += 1;
+                }
+                decode_entities(&self.input[vstart..self.pos])
+            }
+        };
+        Some((name, value))
+    }
+
+    /// Consume raw text up to the matching `</tag` for script/style etc.
+    /// Raw text is emitted undecoded (entities are not active in scripts).
+    fn consume_raw_text(&mut self, tag: &str) {
+        let close = format!("</{tag}");
+        let rest = &self.input[self.pos..];
+        let lower = rest.to_ascii_lowercase();
+        let end_rel = lower.find(&close).unwrap_or(rest.len());
+        if end_rel > 0 {
+            self.tokens
+                .push(Token::Text(rest[..end_rel].to_string()));
+        }
+        self.pos += end_rel;
+        if self.pos < self.bytes.len() {
+            // Consume "</tag ... >".
+            self.pos += close.len();
+            self.skip_until(b'>');
+            self.tokens.push(Token::EndTag {
+                name: tag.to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let toks = tokenize("<div>hello</div>");
+        assert_eq!(
+            toks,
+            vec![
+                start("div", &[]),
+                Token::Text("hello".into()),
+                Token::EndTag { name: "div".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_all_quoting_styles() {
+        let toks = tokenize(r#"<a href="x" id='y' data-n=3 hidden>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "a");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("href".to_string(), "x".to_string()),
+                        ("id".to_string(), "y".to_string()),
+                        ("data-n".to_string(), "3".to_string()),
+                        ("hidden".to_string(), String::new()),
+                    ]
+                );
+            }
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing_and_case() {
+        let toks = tokenize("<BR/><IMG SRC=x>");
+        assert_eq!(
+            toks[0],
+            Token::StartTag {
+                name: "br".into(),
+                attrs: vec![],
+                self_closing: true
+            }
+        );
+        match &toks[1] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "img");
+                assert_eq!(attrs[0].0, "src");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = tokenize(r#"<span title="3,99&nbsp;&euro;">nur 2,99 &euro;/Monat</span>"#);
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => {
+                assert_eq!(attrs[0].1, "3,99\u{a0}€");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(toks[1], Token::Text("nur 2,99 €/Monat".into()));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- x --><p>t</p>");
+        assert_eq!(toks[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(toks[1], Token::Comment(" x ".into()));
+    }
+
+    #[test]
+    fn script_raw_text_not_tokenized() {
+        let toks = tokenize("<script>if (a < b) { x = \"<div>\"; }</script><p>after</p>");
+        assert_eq!(toks[0], start("script", &[]));
+        assert_eq!(
+            toks[1],
+            Token::Text("if (a < b) { x = \"<div>\"; }".into())
+        );
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
+        assert_eq!(toks[3], start("p", &[]));
+    }
+
+    #[test]
+    fn style_raw_text() {
+        let toks = tokenize("<style>a > b { color: red }</style>");
+        assert_eq!(toks[1], Token::Text("a > b { color: red }".into()));
+    }
+
+    #[test]
+    fn malformed_recovers_as_text() {
+        let toks = tokenize("a < b and c <3 d");
+        assert_eq!(toks, vec![Token::Text("a < b and c <3 d".into())]);
+    }
+
+    #[test]
+    fn unterminated_comment_and_tag() {
+        let toks = tokenize("<!-- never closed");
+        assert_eq!(toks, vec![Token::Comment(" never closed".into())]);
+        let toks = tokenize("<div attr");
+        assert!(matches!(toks[0], Token::StartTag { .. }));
+    }
+
+    #[test]
+    fn unterminated_script() {
+        let toks = tokenize("<script>var x = 1;");
+        assert_eq!(toks[1], Token::Text("var x = 1;".into()));
+        assert_eq!(toks.len(), 2, "no phantom end tag");
+    }
+
+    #[test]
+    fn end_tag_with_junk_attrs() {
+        let toks = tokenize("<div>x</div id=5>");
+        assert_eq!(toks[2], Token::EndTag { name: "div".into() });
+    }
+
+    #[test]
+    fn adjacent_text_merged() {
+        let toks = tokenize("x < y");
+        assert_eq!(toks.len(), 1);
+    }
+}

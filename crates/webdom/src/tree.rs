@@ -1,0 +1,745 @@
+//! Arena-based DOM tree.
+//!
+//! A [`Document`] owns every node in a flat arena; nodes reference each other
+//! through [`NodeId`] indices. This mirrors how browser engines store DOM
+//! trees and keeps the borrow checker out of tree-walking code.
+//!
+//! Shadow roots are stored as ordinary subtrees inside the same arena whose
+//! root node has kind [`NodeKind::ShadowRoot`] and no parent in the light
+//! tree; the host element points at the shadow root through
+//! [`ElementData::shadow_root`]. Normal tree traversal and the selector
+//! engine deliberately do *not* descend into shadow roots — exactly the
+//! opacity the paper's shadow-DOM workaround (§3) has to pierce.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node inside a [`Document`] arena.
+///
+/// `NodeId`s are only meaningful together with the document that produced
+/// them; using an id from one document on another is a logic error (and will
+/// either panic or address an unrelated node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Numeric index of this node in the arena, useful for debugging and for
+    /// building side tables keyed by node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Whether a shadow root is open (visible to page script) or closed.
+///
+/// The paper found cookiewalls behind both kinds, so the detection pipeline
+/// must handle both; the distinction matters for the [`crate::Document`]
+/// accessors that model what page JavaScript can see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShadowMode {
+    /// `attachShadow({mode: "open"})` — `element.shadowRoot` is non-null.
+    Open,
+    /// `attachShadow({mode: "closed"})` — hidden from page script, but
+    /// automation tooling (Selenium's `shadow_root` property, and our
+    /// simulator) can still reach it.
+    Closed,
+}
+
+impl ShadowMode {
+    /// Canonical string, as used in the declarative `shadowrootmode`
+    /// attribute.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShadowMode::Open => "open",
+            ShadowMode::Closed => "closed",
+        }
+    }
+
+    /// Parse from a `shadowrootmode` attribute value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "open" => Some(ShadowMode::Open),
+            "closed" => Some(ShadowMode::Closed),
+            _ => None,
+        }
+    }
+}
+
+/// Payload of an element node.
+#[derive(Debug, Clone)]
+pub struct ElementData {
+    /// Tag name, always lowercase (`div`, `iframe`, …).
+    pub tag: String,
+    /// Attributes in document order. Lookup helpers treat names
+    /// case-insensitively and return the first match, like browsers do.
+    pub attrs: Vec<(String, String)>,
+    /// Shadow root attached to this element, if any.
+    pub shadow_root: Option<ShadowRootRef>,
+}
+
+/// Host element's reference to its shadow root subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowRootRef {
+    /// Root node of the shadow subtree (kind [`NodeKind::ShadowRoot`]).
+    pub root: NodeId,
+    /// Open or closed.
+    pub mode: ShadowMode,
+}
+
+impl ElementData {
+    /// First value of attribute `name` (ASCII case-insensitive), if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `id` attribute, if present.
+    pub fn id(&self) -> Option<&str> {
+        self.attr("id")
+    }
+
+    /// Whitespace-separated class list from the `class` attribute.
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.attr("class").unwrap_or("").split_ascii_whitespace()
+    }
+
+    /// True if the class list contains `class_name` (case-sensitive, like
+    /// the DOM's `classList.contains`).
+    pub fn has_class(&self, class_name: &str) -> bool {
+        self.classes().any(|c| c == class_name)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// The document root. Exactly one per arena, always id 0.
+    Document,
+    /// An element with tag, attributes, and possibly a shadow root.
+    Element(ElementData),
+    /// A text node (already entity-decoded).
+    Text(String),
+    /// A comment (`<!-- … -->`); ignored by text extraction.
+    Comment(String),
+    /// Root of a shadow subtree. Its children are the shadow DOM contents.
+    ShadowRoot(ShadowMode),
+}
+
+/// One node slot in the arena: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node payload.
+    pub kind: NodeKind,
+    /// Parent in the light tree (or shadow tree, for shadow contents).
+    pub parent: Option<NodeId>,
+    /// First child, if any.
+    pub first_child: Option<NodeId>,
+    /// Last child, if any.
+    pub last_child: Option<NodeId>,
+    /// Previous sibling, if any.
+    pub prev_sibling: Option<NodeId>,
+    /// Next sibling, if any.
+    pub next_sibling: Option<NodeId>,
+}
+
+impl Node {
+    fn new(kind: NodeKind) -> Self {
+        Node {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+        }
+    }
+
+    /// Element payload, if this node is an element.
+    pub fn as_element(&self) -> Option<&ElementData> {
+        match &self.kind {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Text payload, if this node is a text node.
+    pub fn as_text(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Text(t) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Void elements (never have children, no closing tag).
+pub(crate) const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
+];
+
+/// Returns true for tags that cannot have children.
+pub fn is_void_element(tag: &str) -> bool {
+    VOID_ELEMENTS.contains(&tag)
+}
+
+/// A DOM document: flat node arena plus the root id.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Create an empty document containing only the document root node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node::new(NodeKind::Document)],
+            root: NodeId(0),
+        }
+    }
+
+    /// The document root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes in the arena (including detached ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document contains only the root node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Element payload of `id`, if it is an element.
+    pub fn element(&self, id: NodeId) -> Option<&ElementData> {
+        self.node(id).as_element()
+    }
+
+    /// Tag name of `id`, if it is an element.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        self.element(id).map(|e| e.tag.as_str())
+    }
+
+    /// Attribute `name` on element `id`.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.element(id).and_then(|e| e.attr(name))
+    }
+
+    // ---------------------------------------------------------------- build
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Create a detached element node.
+    pub fn create_element(&mut self, tag: &str) -> NodeId {
+        self.push(Node::new(NodeKind::Element(ElementData {
+            tag: tag.to_ascii_lowercase(),
+            attrs: Vec::new(),
+            shadow_root: None,
+        })))
+    }
+
+    /// Create a detached text node.
+    pub fn create_text(&mut self, text: &str) -> NodeId {
+        self.push(Node::new(NodeKind::Text(text.to_string())))
+    }
+
+    /// Create a detached comment node.
+    pub fn create_comment(&mut self, text: &str) -> NodeId {
+        self.push(Node::new(NodeKind::Comment(text.to_string())))
+    }
+
+    /// Set (or replace) attribute `name` on element `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an element.
+    pub fn set_attr(&mut self, id: NodeId, name: &str, value: &str) {
+        let name_lc = name.to_ascii_lowercase();
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element(e) => {
+                if let Some(slot) = e.attrs.iter_mut().find(|(k, _)| *k == name_lc) {
+                    slot.1 = value.to_string();
+                } else {
+                    e.attrs.push((name_lc, value.to_string()));
+                }
+            }
+            other => panic!("set_attr on non-element node: {other:?}"),
+        }
+    }
+
+    /// Append `child` as the last child of `parent`, detaching it from any
+    /// previous parent first.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        assert_ne!(parent, child, "cannot append a node to itself");
+        self.detach(child);
+        let old_last = self.node(parent).last_child;
+        {
+            let c = self.node_mut(child);
+            c.parent = Some(parent);
+            c.prev_sibling = old_last;
+            c.next_sibling = None;
+        }
+        match old_last {
+            Some(last) => self.node_mut(last).next_sibling = Some(child),
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+        self.node_mut(parent).last_child = Some(child);
+    }
+
+    /// Remove `id` from its parent's child list (no-op if already detached).
+    /// The node and its subtree stay in the arena, just unlinked.
+    pub fn detach(&mut self, id: NodeId) {
+        let (parent, prev, next) = {
+            let n = self.node(id);
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        if let Some(p) = prev {
+            self.node_mut(p).next_sibling = next;
+        }
+        if let Some(n) = next {
+            self.node_mut(n).prev_sibling = prev;
+        }
+        if let Some(par) = parent {
+            if self.node(par).first_child == Some(id) {
+                self.node_mut(par).first_child = next;
+            }
+            if self.node(par).last_child == Some(id) {
+                self.node_mut(par).last_child = prev;
+            }
+        }
+        let n = self.node_mut(id);
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+    }
+
+    /// Attach a shadow root to element `host` and return the shadow root's
+    /// node id. Children appended under that id form the shadow DOM.
+    ///
+    /// # Panics
+    /// Panics if `host` is not an element or already has a shadow root.
+    pub fn attach_shadow(&mut self, host: NodeId, mode: ShadowMode) -> NodeId {
+        let root = self.push(Node::new(NodeKind::ShadowRoot(mode)));
+        match &mut self.node_mut(host).kind {
+            NodeKind::Element(e) => {
+                assert!(
+                    e.shadow_root.is_none(),
+                    "element {host} already has a shadow root"
+                );
+                e.shadow_root = Some(ShadowRootRef { root, mode });
+            }
+            other => panic!("attach_shadow on non-element node: {other:?}"),
+        }
+        root
+    }
+
+    /// Shadow root reference of element `id`, regardless of mode.
+    ///
+    /// This models the automation-level `shadow_root` property (works for
+    /// open *and* closed roots), which is the handle the paper's workaround
+    /// relies on.
+    pub fn shadow_root(&self, id: NodeId) -> Option<ShadowRootRef> {
+        self.element(id).and_then(|e| e.shadow_root)
+    }
+
+    /// Shadow root of element `id` only if it is open — what page JavaScript
+    /// sees as `element.shadowRoot`.
+    pub fn open_shadow_root(&self, id: NodeId) -> Option<NodeId> {
+        match self.shadow_root(id) {
+            Some(r) if r.mode == ShadowMode::Open => Some(r.root),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------ traversal
+
+    /// Iterate direct children of `id` in order.
+    pub fn children(&self, id: NodeId) -> ChildIter<'_> {
+        ChildIter {
+            doc: self,
+            next: self.node(id).first_child,
+        }
+    }
+
+    /// Iterate the light-DOM subtree rooted at `id` in document (pre-)order,
+    /// including `id` itself. Does **not** descend into shadow roots or
+    /// iframes — callers that need those must pierce explicitly.
+    pub fn descendants(&self, id: NodeId) -> DescendantIter<'_> {
+        DescendantIter {
+            doc: self,
+            root: id,
+            next: Some(id),
+        }
+    }
+
+    /// Iterate element ids in the subtree at `id` (light DOM only).
+    pub fn descendant_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.descendants(id)
+            .filter(move |&n| matches!(self.node(n).kind, NodeKind::Element(_)))
+    }
+
+    /// Iterate ancestors of `id`, starting from its parent.
+    pub fn ancestors(&self, id: NodeId) -> AncestorIter<'_> {
+        AncestorIter {
+            doc: self,
+            next: self.node(id).parent,
+        }
+    }
+
+    /// All elements in the whole arena (light trees *and* shadow trees) that
+    /// have a shadow root attached. This is the "look for possible elements
+    /// within the main HTML DOM with the `shadow_root` property" step of the
+    /// paper's workaround.
+    pub fn shadow_hosts(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&id| self.shadow_root(id).is_some())
+            .collect()
+    }
+
+    /// The `<body>` element, if the document has one.
+    pub fn body(&self) -> Option<NodeId> {
+        self.descendant_elements(self.root)
+            .find(|&id| self.tag(id) == Some("body"))
+    }
+
+    /// The `<html>` element, if present.
+    pub fn html(&self) -> Option<NodeId> {
+        self.children(self.root)
+            .find(|&id| self.tag(id) == Some("html"))
+    }
+
+    /// First element with the given `id` attribute, searching the light DOM
+    /// from the document root (like `getElementById`).
+    pub fn get_element_by_id(&self, html_id: &str) -> Option<NodeId> {
+        self.descendant_elements(self.root)
+            .find(|&n| self.attr(n, "id") == Some(html_id))
+    }
+
+    /// All elements with the given tag name in the light DOM.
+    pub fn get_elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
+        let tag = tag.to_ascii_lowercase();
+        self.descendant_elements(self.root)
+            .filter(|&n| self.tag(n) == Some(tag.as_str()))
+            .collect()
+    }
+
+    /// Depth of `id` below the document root (root itself is depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// True if `maybe_ancestor` is an ancestor of `id` (strictly above it).
+    pub fn is_ancestor(&self, maybe_ancestor: NodeId, id: NodeId) -> bool {
+        self.ancestors(id).any(|a| a == maybe_ancestor)
+    }
+
+    // -------------------------------------------------------------- cloning
+
+    /// Deep-clone the subtree rooted at `src` and return the id of the
+    /// detached clone root.
+    ///
+    /// Shadow roots attached to cloned elements are cloned too. The returned
+    /// mapping from original to cloned ids lets callers locate, in the
+    /// original tree, an element they found in the clone — the exact reverse
+    /// lookup the paper's shadow-DOM workaround performs ("find the desired
+    /// button in the cloned DOM and then run the interaction function on the
+    /// corresponding element in the shadow DOM").
+    pub fn clone_subtree_mapped(&mut self, src: NodeId) -> (NodeId, HashMap<NodeId, NodeId>) {
+        let mut map = HashMap::new();
+        let clone = self.clone_rec(src, &mut map);
+        (clone, map)
+    }
+
+    /// Deep-clone the subtree at `src`, discarding the id mapping.
+    pub fn clone_subtree(&mut self, src: NodeId) -> NodeId {
+        self.clone_subtree_mapped(src).0
+    }
+
+    fn clone_rec(&mut self, src: NodeId, map: &mut HashMap<NodeId, NodeId>) -> NodeId {
+        let kind = self.node(src).kind.clone();
+        let new_kind = match kind {
+            NodeKind::Element(mut e) => {
+                // Clone the shadow subtree (if any) and point the cloned
+                // element at the cloned shadow root.
+                if let Some(sref) = e.shadow_root {
+                    let new_root = self.clone_rec(sref.root, map);
+                    e.shadow_root = Some(ShadowRootRef {
+                        root: new_root,
+                        mode: sref.mode,
+                    });
+                }
+                NodeKind::Element(e)
+            }
+            other => other,
+        };
+        let clone = self.push(Node::new(new_kind));
+        map.insert(src, clone);
+        let children: Vec<NodeId> = self.children(src).collect();
+        for child in children {
+            let child_clone = self.clone_rec(child, map);
+            self.append_child(clone, child_clone);
+        }
+        clone
+    }
+}
+
+/// Iterator over direct children. See [`Document::children`].
+pub struct ChildIter<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).next_sibling;
+        Some(id)
+    }
+}
+
+/// Pre-order subtree iterator. See [`Document::descendants`].
+pub struct DescendantIter<'a> {
+    doc: &'a Document,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl Iterator for DescendantIter<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.next?;
+        // Compute the successor in pre-order, staying within `root`.
+        let node = self.doc.node(current);
+        self.next = if let Some(c) = node.first_child {
+            Some(c)
+        } else {
+            let mut cursor = current;
+            loop {
+                if cursor == self.root {
+                    break None;
+                }
+                let n = self.doc.node(cursor);
+                if let Some(sib) = n.next_sibling {
+                    break Some(sib);
+                }
+                match n.parent {
+                    Some(p) => cursor = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(current)
+    }
+}
+
+/// Iterator over ancestors. See [`Document::ancestors`].
+pub struct AncestorIter<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).parent;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_doc() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let html = d.create_element("html");
+        let body = d.create_element("body");
+        let div = d.create_element("div");
+        d.append_child(d.root(), html);
+        d.append_child(html, body);
+        d.append_child(body, div);
+        (d, html, body, div)
+    }
+
+    #[test]
+    fn build_and_traverse() {
+        let (d, html, body, div) = small_doc();
+        assert_eq!(d.children(d.root()).collect::<Vec<_>>(), vec![html]);
+        assert_eq!(d.children(html).collect::<Vec<_>>(), vec![body]);
+        let desc: Vec<_> = d.descendants(d.root()).collect();
+        assert_eq!(desc, vec![d.root(), html, body, div]);
+        assert_eq!(d.body(), Some(body));
+        assert_eq!(d.depth(div), 3);
+        assert!(d.is_ancestor(html, div));
+        assert!(!d.is_ancestor(div, html));
+    }
+
+    #[test]
+    fn attrs_and_classes() {
+        let mut d = Document::new();
+        let e = d.create_element("DIV");
+        assert_eq!(d.tag(e), Some("div"), "tags are lowercased");
+        d.set_attr(e, "ID", "banner");
+        d.set_attr(e, "class", "cmp overlay");
+        assert_eq!(d.attr(e, "id"), Some("banner"));
+        assert!(d.element(e).unwrap().has_class("overlay"));
+        assert!(!d.element(e).unwrap().has_class("over"));
+        d.set_attr(e, "id", "other");
+        assert_eq!(d.attr(e, "id"), Some("other"), "set_attr replaces");
+        assert_eq!(
+            d.element(e).unwrap().attrs.len(),
+            2,
+            "no duplicate attribute entries"
+        );
+    }
+
+    #[test]
+    fn detach_relinks_siblings() {
+        let mut d = Document::new();
+        let p = d.create_element("p");
+        let a = d.create_text("a");
+        let b = d.create_text("b");
+        let c = d.create_text("c");
+        d.append_child(d.root(), p);
+        d.append_child(p, a);
+        d.append_child(p, b);
+        d.append_child(p, c);
+        d.detach(b);
+        assert_eq!(d.children(p).collect::<Vec<_>>(), vec![a, c]);
+        assert_eq!(d.node(a).next_sibling, Some(c));
+        assert_eq!(d.node(c).prev_sibling, Some(a));
+        // Re-append moves it to the end.
+        d.append_child(p, b);
+        assert_eq!(d.children(p).collect::<Vec<_>>(), vec![a, c, b]);
+    }
+
+    #[test]
+    fn append_moves_between_parents() {
+        let (mut d, _, body, div) = small_doc();
+        let span = d.create_element("span");
+        d.append_child(div, span);
+        d.append_child(body, span); // move
+        assert_eq!(d.node(span).parent, Some(body));
+        assert_eq!(d.children(div).count(), 0);
+        assert_eq!(d.children(body).collect::<Vec<_>>(), vec![div, span]);
+    }
+
+    #[test]
+    fn shadow_roots_are_opaque_to_descendants() {
+        let (mut d, _, body, div) = small_doc();
+        let sr = d.attach_shadow(div, ShadowMode::Closed);
+        let inner = d.create_element("button");
+        d.append_child(sr, inner);
+        // Light-DOM traversal must not see the button.
+        assert!(d.descendants(body).all(|n| n != inner));
+        // But the shadow_root handle reaches it.
+        let sref = d.shadow_root(div).unwrap();
+        assert_eq!(sref.mode, ShadowMode::Closed);
+        assert_eq!(d.children(sref.root).collect::<Vec<_>>(), vec![inner]);
+        // Closed root is invisible via the page-script accessor.
+        assert_eq!(d.open_shadow_root(div), None);
+        let div2 = d.create_element("div");
+        d.append_child(body, div2);
+        let sr2 = d.attach_shadow(div2, ShadowMode::Open);
+        assert_eq!(d.open_shadow_root(div2), Some(sr2));
+        // shadow_hosts finds both.
+        let hosts = d.shadow_hosts();
+        assert!(hosts.contains(&div) && hosts.contains(&div2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a shadow root")]
+    fn double_attach_shadow_panics() {
+        let mut d = Document::new();
+        let e = d.create_element("div");
+        d.attach_shadow(e, ShadowMode::Open);
+        d.attach_shadow(e, ShadowMode::Open);
+    }
+
+    #[test]
+    fn clone_subtree_maps_ids_and_clones_shadow() {
+        let (mut d, _, body, div) = small_doc();
+        d.set_attr(div, "id", "host");
+        let sr = d.attach_shadow(div, ShadowMode::Open);
+        let btn = d.create_element("button");
+        d.append_child(sr, btn);
+        let txt = d.create_text("Accept");
+        d.append_child(btn, txt);
+
+        let (clone, map) = d.clone_subtree_mapped(div);
+        assert_ne!(clone, div);
+        assert!(d.node(clone).parent.is_none(), "clone starts detached");
+        assert_eq!(d.attr(clone, "id"), Some("host"));
+        // Shadow subtree cloned, with distinct ids.
+        let cloned_sr = d.shadow_root(clone).unwrap();
+        assert_ne!(cloned_sr.root, sr);
+        let cloned_btn = d.children(cloned_sr.root).next().unwrap();
+        assert_ne!(cloned_btn, btn);
+        assert_eq!(map.get(&btn), Some(&cloned_btn));
+        // Original untouched.
+        assert_eq!(d.node(div).parent, Some(body));
+
+        // The reverse lookup the workaround needs: given the cloned button,
+        // find the original.
+        let original = map
+            .iter()
+            .find(|(_, &v)| v == cloned_btn)
+            .map(|(&k, _)| k)
+            .unwrap();
+        assert_eq!(original, btn);
+    }
+
+    #[test]
+    fn descendants_stays_within_subtree() {
+        let (mut d, _, body, div) = small_doc();
+        let sib = d.create_element("aside");
+        d.append_child(body, sib);
+        let inner = d.create_element("em");
+        d.append_child(div, inner);
+        let got: Vec<_> = d.descendants(div).collect();
+        assert_eq!(got, vec![div, inner], "must not leak into siblings");
+    }
+
+    #[test]
+    fn void_elements() {
+        assert!(is_void_element("br"));
+        assert!(is_void_element("img"));
+        assert!(!is_void_element("div"));
+    }
+}

@@ -1,0 +1,568 @@
+//! The cookiewall roster: the calibrated ground-truth assignment of every
+//! cookiewall (and decoy) site in the synthetic web.
+//!
+//! The paper reports a *joint* distribution over cookiewall properties —
+//! which toplist the site is on, its TLD, language, geographic targeting,
+//! structural embedding, serving infrastructure, SMP membership, and price.
+//! This module reconstructs a concrete population satisfying those published
+//! marginals exactly at paper scale:
+//!
+//! * 280 cookiewalls: 259 on the German toplist (85 in the top-1k bucket),
+//!   15 Swedish, 5 Australian, 1 Brazilian-list special case (the
+//!   `climate-data`-style site of footnote 2);
+//! * TLDs: 233 `.de`, 14 `.com`, 14 `.net`, 4 `.org`, 6 `.it`, 4 `.at`,
+//!   2 `.fr`, 2 `.ch`, 1 `.eu`;
+//! * languages: 252 German, 12 English, 6 Italian, 10 other — and zero
+//!   Swedish, matching Table 1's Sweden "Language" column;
+//! * embedding: 76 shadow DOM, 132 iframe, 72 main DOM (§3);
+//! * serving: 196 blockable (SMP CDN or CMP script) vs 84 first-party,
+//!   yielding the 70% uBlock bypass rate (§4.5);
+//! * SMPs: 76 contentpass + 62 freechoice partners in-list (§4.4);
+//! * visibility: 200 global, 76 EU-only, 4 Germany-only, producing the
+//!   EU ≈ 280 vs non-EU ≈ 195 detection split (Table 1);
+//! * prices: €2.99 for all SMP sites, a calibrated spread for the rest
+//!   (~80% ≤ €3, ~90% ≤ €4, a ≥ €9 tail; `.it` cheaper — Figure 2).
+
+use crate::names::stable_shuffle;
+use crate::spec::{
+    Country, Currency, Embedding, Period, PriceSpec, RankBucket, Serving, Smp, Visibility,
+};
+use categorize::Category;
+use langid::Language;
+
+/// Which detection group a wall site belongs to (the single toplist it
+/// appears on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WallGroup {
+    /// German toplist (259 sites at paper scale).
+    De,
+    /// Swedish toplist (15).
+    Se,
+    /// Australian toplist (5).
+    Au,
+    /// The Brazilian-toplist special case: a German-operated site whose
+    /// Portuguese subdomain is popular in Brazil but walls only EU visitors.
+    BrSpecial,
+}
+
+impl WallGroup {
+    /// The toplist country of this group.
+    pub fn country(self) -> Country {
+        match self {
+            WallGroup::De => Country::De,
+            WallGroup::Se => Country::Se,
+            WallGroup::Au => Country::Au,
+            WallGroup::BrSpecial => Country::Br,
+        }
+    }
+}
+
+/// Serving/embedding/SMP class of a wall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallClass {
+    /// Who serves the markup.
+    pub serving: Serving,
+    /// Structural embedding.
+    pub embedding: Embedding,
+    /// SMP operating the wall, if any.
+    pub smp: Option<Smp>,
+}
+
+/// One cookiewall site's complete ground-truth assignment.
+#[derive(Debug, Clone)]
+pub struct WallAssignment {
+    /// Toplist group.
+    pub group: WallGroup,
+    /// Popularity bucket on that toplist.
+    pub bucket: RankBucket,
+    /// TLD the domain is registered under.
+    pub tld: &'static str,
+    /// Content language.
+    pub language: Language,
+    /// Geographic wall targeting.
+    pub visibility: Visibility,
+    /// Serving/embedding/SMP class.
+    pub class: WallClass,
+    /// Subscription offer.
+    pub price: PriceSpec,
+    /// Website category.
+    pub category: Category,
+    /// The hausbau-forum-style adblock detector site.
+    pub detects_adblock: bool,
+    /// The promipool-style scroll-broken-when-blocked site.
+    pub breaks_scroll: bool,
+}
+
+/// One decoy (false-positive trap) assignment: a hard paywall whose copy
+/// mentions cookies and a price.
+#[derive(Debug, Clone)]
+pub struct DecoyAssignment {
+    /// Toplist the decoy appears on.
+    pub country: Country,
+    /// Language of the decoy site.
+    pub language: Language,
+    /// TLD.
+    pub tld: &'static str,
+    /// The paywall price shown.
+    pub price: PriceSpec,
+}
+
+fn eur(cents: u32) -> PriceSpec {
+    PriceSpec { amount_cents: cents, currency: Currency::Eur, period: Period::Month }
+}
+
+fn eur_year(cents: u32) -> PriceSpec {
+    PriceSpec { amount_cents: cents, currency: Currency::Eur, period: Period::Year }
+}
+
+/// Expand `(count, value)` runs into a flat vector.
+fn expand<T: Copy>(runs: &[(usize, T)]) -> Vec<T> {
+    runs.iter()
+        .flat_map(|&(n, v)| std::iter::repeat_n(v, n))
+        .collect()
+}
+
+/// Build the full paper-scale roster: 280 walls + 5 decoys.
+///
+/// Every column is expanded from its published marginal, deterministically
+/// shuffled with an independent key, and zipped — so marginals hold exactly
+/// while the joint assignment is pseudo-random but stable.
+pub fn paper_roster() -> (Vec<WallAssignment>, Vec<DecoyAssignment>) {
+    let mut walls = Vec::with_capacity(280);
+    walls.extend(build_de_group());
+    walls.extend(build_se_group());
+    walls.extend(build_au_group());
+    walls.push(build_br_special());
+    assert_eq!(walls.len(), 280);
+
+    // Categories across all 280 (Figure 1 marginals: news > 1/4, business
+    // 9%, IT 7%, remainder spread).
+    let mut categories = expand(&[
+        (74, Category::NewsAndMedia),
+        (25, Category::Business),
+        (20, Category::InformationTechnology),
+        (18, Category::Shopping),
+        (22, Category::Entertainment),
+        (20, Category::Sports),
+        (16, Category::Travel),
+        (12, Category::Education),
+        (14, Category::Health),
+        (12, Category::Finance),
+        (12, Category::Games),
+        (35, Category::GeneralInterest),
+    ]);
+    assert_eq!(categories.len(), 280);
+    stable_shuffle(&mut categories, "roster/categories");
+    for (w, c) in walls.iter_mut().zip(categories) {
+        w.category = c;
+    }
+
+    // The two §4.5 special cases live among blockable DE-group sites.
+    let mut specials = walls
+        .iter_mut()
+        .filter(|w| w.group == WallGroup::De && w.class.serving != Serving::FirstParty);
+    specials
+        .next()
+        .expect("blockable DE site exists")
+        .detects_adblock = true;
+    specials
+        .next()
+        .expect("second blockable DE site exists")
+        .breaks_scroll = true;
+
+    (walls, decoys())
+}
+
+/// The German-toplist group: 259 walls carrying all SMP deployments.
+fn build_de_group() -> Vec<WallAssignment> {
+    let n = 259;
+
+    let mut tlds = expand(&[
+        (233, "de"),
+        (6, "com"),
+        (8, "net"),
+        (2, "org"),
+        (2, "it"),
+        (4, "at"),
+        (2, "fr"),
+        (1, "ch"),
+        (1, "eu"),
+    ]);
+    let mut langs = expand(&[
+        (243, Language::German),
+        (5, Language::English),
+        (2, Language::Italian),
+        (5, Language::Dutch),
+        (3, Language::Spanish),
+        (1, Language::Portuguese),
+    ]);
+    let mut vis = expand(&[
+        (185, Visibility::Global),
+        (70, Visibility::EuOnly),
+        (4, Visibility::DeOnly),
+    ]);
+    let mut buckets = expand(&[(85, RankBucket::Top1k), (174, RankBucket::Top10k)]);
+
+    // Serving/embedding/SMP classes. Blockable: 76 contentpass + 62
+    // freechoice + 58 CMP-script = 196 across all groups; the DE group holds
+    // every SMP deployment and most of the CMP ones.
+    let mut classes = Vec::with_capacity(n);
+    classes.extend(expand(&[
+        // contentpass: 70 iframe + 6 shadow (script-injected into shadow).
+        (70, WallClass { serving: Serving::SmpCdn, embedding: Embedding::Iframe, smp: Some(Smp::Contentpass) }),
+        (3, WallClass { serving: Serving::SmpCdn, embedding: Embedding::ShadowOpen, smp: Some(Smp::Contentpass) }),
+        (3, WallClass { serving: Serving::SmpCdn, embedding: Embedding::ShadowClosed, smp: Some(Smp::Contentpass) }),
+        // freechoice: 55 iframe + 7 shadow.
+        (55, WallClass { serving: Serving::SmpCdn, embedding: Embedding::Iframe, smp: Some(Smp::Freechoice) }),
+        (4, WallClass { serving: Serving::SmpCdn, embedding: Embedding::ShadowOpen, smp: Some(Smp::Freechoice) }),
+        (3, WallClass { serving: Serving::SmpCdn, embedding: Embedding::ShadowClosed, smp: Some(Smp::Freechoice) }),
+        // CMP-script walls in the DE group: 41 of the global 58.
+        (2, WallClass { serving: Serving::CmpScript, embedding: Embedding::Iframe, smp: None }),
+        (13, WallClass { serving: Serving::CmpScript, embedding: Embedding::ShadowOpen, smp: None }),
+        (9, WallClass { serving: Serving::CmpScript, embedding: Embedding::ShadowClosed, smp: None }),
+        (19, WallClass { serving: Serving::CmpScript, embedding: Embedding::MainDom, smp: None }),
+        // First-party walls in the DE group: 80 of the global 84.
+        (17, WallClass { serving: Serving::FirstParty, embedding: Embedding::ShadowOpen, smp: None }),
+        (16, WallClass { serving: Serving::FirstParty, embedding: Embedding::ShadowClosed, smp: None }),
+        (45, WallClass { serving: Serving::FirstParty, embedding: Embedding::MainDom, smp: None }),
+    ]));
+    assert_eq!(classes.len(), n);
+
+    stable_shuffle(&mut tlds, "roster/de/tld");
+    stable_shuffle(&mut langs, "roster/de/lang");
+    stable_shuffle(&mut vis, "roster/de/vis");
+    stable_shuffle(&mut buckets, "roster/de/bucket");
+    stable_shuffle(&mut classes, "roster/de/class");
+
+    // Price column for non-SMP sites (SMP price is fixed 2.99 EUR).
+    // 121 non-SMP DE-group sites.
+    let mut prices = expand(&[
+        (22, eur(199)),
+        (12, eur(249)),
+        (28, eur(299)),
+        (12, eur(349)),
+        (17, eur(399)),
+        (5, eur(449)),
+        (4, eur(499)),
+        (3, eur(599)),
+        (3, eur(699)),
+        (4, eur_year(3588)), // 35.88 €/year = 2.99/month
+        (2, eur_year(4788)), // 47.88 €/year = 3.99/month
+        (1, PriceSpec { amount_cents: 250, currency: Currency::Chf, period: Period::Month }),
+        (5, eur(999)),
+        (2, eur(1299)),
+        (1, eur(1499)),
+    ]);
+    assert_eq!(prices.len(), 121);
+    stable_shuffle(&mut prices, "roster/de/price");
+    let mut price_iter = prices.into_iter();
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = classes[i];
+        let price = if class.smp.is_some() {
+            eur(299)
+        } else {
+            price_iter.next().expect("price column sized for non-SMP count")
+        };
+        // Italian TLD sites are cheaper on average (Figure 2 heatmap).
+        let price = if tlds[i] == "it" && class.smp.is_none() {
+            eur(149)
+        } else {
+            price
+        };
+        out.push(WallAssignment {
+            group: WallGroup::De,
+            bucket: buckets[i],
+            tld: tlds[i],
+            language: langs[i],
+            visibility: vis[i],
+            class,
+            price,
+            category: Category::GeneralInterest, // overwritten by caller
+            detects_adblock: false,
+            breaks_scroll: false,
+        });
+    }
+    out
+}
+
+/// The Swedish-toplist group: 15 walls, none on `.se`, none in Swedish —
+/// matching Table 1's zero ccTLD/Language cells for Sweden.
+fn build_se_group() -> Vec<WallAssignment> {
+    let n = 15;
+    let mut tlds = expand(&[(3, "com"), (6, "net"), (4, "it"), (1, "org"), (1, "ch")]);
+    let mut langs = expand(&[
+        (9, Language::German),
+        (2, Language::English),
+        (4, Language::Italian),
+    ]);
+    let mut vis = expand(&[(10, Visibility::Global), (5, Visibility::EuOnly)]);
+    let mut buckets = expand(&[(3, RankBucket::Top1k), (12, RankBucket::Top10k)]);
+    let mut classes = expand(&[
+        (3, WallClass { serving: Serving::CmpScript, embedding: Embedding::Iframe, smp: None }),
+        (4, WallClass { serving: Serving::CmpScript, embedding: Embedding::ShadowOpen, smp: None }),
+        (5, WallClass { serving: Serving::CmpScript, embedding: Embedding::MainDom, smp: None }),
+        (2, WallClass { serving: Serving::FirstParty, embedding: Embedding::ShadowClosed, smp: None }),
+        (1, WallClass { serving: Serving::FirstParty, embedding: Embedding::MainDom, smp: None }),
+    ]);
+    let mut prices = expand(&[
+        (4, eur(199)),
+        (4, eur(299)),
+        (3, eur(399)),
+        (2, eur(499)),
+        (1, eur(999)),
+        (1, PriceSpec { amount_cents: 399, currency: Currency::Gbp, period: Period::Month }),
+    ]);
+    stable_shuffle(&mut tlds, "roster/se/tld");
+    stable_shuffle(&mut langs, "roster/se/lang");
+    stable_shuffle(&mut vis, "roster/se/vis");
+    stable_shuffle(&mut buckets, "roster/se/bucket");
+    stable_shuffle(&mut classes, "roster/se/class");
+    stable_shuffle(&mut prices, "roster/se/price");
+
+    (0..n)
+        .map(|i| WallAssignment {
+            group: WallGroup::Se,
+            bucket: buckets[i],
+            tld: tlds[i],
+            language: langs[i],
+            visibility: vis[i],
+            class: classes[i],
+            price: if tlds[i] == "it" { eur(199) } else { prices[i] },
+            category: Category::GeneralInterest,
+            detects_adblock: false,
+            breaks_scroll: false,
+        })
+        .collect()
+}
+
+/// The Australian-toplist group: 5 English `.com` walls, globally visible
+/// (they must be detectable from the Australian vantage point).
+fn build_au_group() -> Vec<WallAssignment> {
+    let classes = expand(&[
+        (2, WallClass { serving: Serving::CmpScript, embedding: Embedding::Iframe, smp: None }),
+        (1, WallClass { serving: Serving::CmpScript, embedding: Embedding::ShadowOpen, smp: None }),
+        (1, WallClass { serving: Serving::FirstParty, embedding: Embedding::ShadowOpen, smp: None }),
+        (1, WallClass { serving: Serving::FirstParty, embedding: Embedding::MainDom, smp: None }),
+    ]);
+    let prices = [
+        PriceSpec { amount_cents: 499, currency: Currency::Aud, period: Period::Month },
+        PriceSpec { amount_cents: 349, currency: Currency::Usd, period: Period::Month },
+        eur(299),
+        PriceSpec { amount_cents: 299, currency: Currency::Gbp, period: Period::Month },
+        eur(399),
+    ];
+    (0..5)
+        .map(|i| WallAssignment {
+            group: WallGroup::Au,
+            bucket: if i == 0 { RankBucket::Top1k } else { RankBucket::Top10k },
+            tld: "com",
+            language: Language::English,
+            visibility: Visibility::Global,
+            class: classes[i],
+            price: prices[i],
+            category: Category::GeneralInterest,
+            detects_adblock: false,
+            breaks_scroll: false,
+        })
+        .collect()
+}
+
+/// The footnote-2 special case: a site on the Brazilian toplist (its
+/// Portuguese subdomain is popular in Brazil) that walls only EU visitors.
+fn build_br_special() -> WallAssignment {
+    WallAssignment {
+        group: WallGroup::BrSpecial,
+        bucket: RankBucket::Top10k,
+        tld: "org",
+        language: Language::Portuguese,
+        visibility: Visibility::EuOnly,
+        class: WallClass {
+            serving: Serving::FirstParty,
+            embedding: Embedding::MainDom,
+            smp: None,
+        },
+        price: eur(199),
+        category: Category::GeneralInterest,
+        detects_adblock: false,
+        breaks_scroll: false,
+    }
+}
+
+/// The five decoy paywalls behind the 98.2% precision figure.
+fn decoys() -> Vec<DecoyAssignment> {
+    vec![
+        DecoyAssignment { country: Country::De, language: Language::German, tld: "de", price: eur(499) },
+        DecoyAssignment { country: Country::De, language: Language::German, tld: "de", price: eur(799) },
+        DecoyAssignment { country: Country::De, language: Language::German, tld: "com", price: eur(699) },
+        DecoyAssignment { country: Country::Us, language: Language::English, tld: "com", price: PriceSpec { amount_cents: 999, currency: Currency::Usd, period: Period::Month } },
+        DecoyAssignment { country: Country::Br, language: Language::Portuguese, tld: "com", price: eur(399) },
+    ]
+}
+
+/// Deterministically subsample the paper roster down to roughly `1/divisor`
+/// of its size, preserving strata approximately (stride sampling over the
+/// grouped roster). Used by reduced-scale populations for tests and benches.
+pub fn scaled_roster(divisor: usize) -> (Vec<WallAssignment>, Vec<DecoyAssignment>) {
+    let (walls, decoys) = paper_roster();
+    if divisor <= 1 {
+        return (walls, decoys);
+    }
+    // Stride-sample within each group so every stratum survives — the
+    // minority groups (Sweden, Australia, the Brazilian special case) keep
+    // at least one representative.
+    let mut out = Vec::new();
+    for group in [WallGroup::De, WallGroup::Se, WallGroup::Au, WallGroup::BrSpecial] {
+        let members: Vec<&WallAssignment> = walls.iter().filter(|w| w.group == group).collect();
+        let keep = members.len().div_ceil(divisor).max(1);
+        let stride = members.len().div_ceil(keep);
+        out.extend(members.iter().step_by(stride).take(keep).map(|w| (*w).clone()));
+    }
+    let decoys = vec![decoys[0].clone()];
+    (out, decoys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_marginals_exact() {
+        let (walls, decoys) = paper_roster();
+        assert_eq!(walls.len(), 280);
+        assert_eq!(decoys.len(), 5);
+
+        // Group sizes.
+        let count = |g: WallGroup| walls.iter().filter(|w| w.group == g).count();
+        assert_eq!(count(WallGroup::De), 259);
+        assert_eq!(count(WallGroup::Se), 15);
+        assert_eq!(count(WallGroup::Au), 5);
+        assert_eq!(count(WallGroup::BrSpecial), 1);
+
+        // TLD marginals (§4.1).
+        let tld = |t: &str| walls.iter().filter(|w| w.tld == t).count();
+        assert_eq!(tld("de"), 233);
+        assert_eq!(tld("com"), 14);
+        assert_eq!(tld("net"), 14);
+        assert_eq!(tld("org"), 4);
+        assert_eq!(tld("it"), 6);
+        assert_eq!(tld("at"), 4);
+        assert_eq!(tld("fr"), 2);
+        assert_eq!(tld("se"), 0, "Sweden ccTLD column is zero in Table 1");
+
+        // Language marginals.
+        let lang = |l: Language| walls.iter().filter(|w| w.language == l).count();
+        assert_eq!(lang(Language::German), 252);
+        assert_eq!(lang(Language::English), 12);
+        assert_eq!(lang(Language::Italian), 6);
+        assert_eq!(lang(Language::Swedish), 0, "Language column for Sweden is 0");
+
+        // Embedding split (§3): 76 shadow / 132 iframe / 72 main.
+        let emb_shadow = walls.iter().filter(|w| w.class.embedding.is_shadow()).count();
+        let emb_iframe = walls.iter().filter(|w| w.class.embedding == Embedding::Iframe).count();
+        let emb_main = walls.iter().filter(|w| w.class.embedding == Embedding::MainDom).count();
+        assert_eq!(emb_shadow, 76);
+        assert_eq!(emb_iframe, 132);
+        assert_eq!(emb_main, 72);
+
+        // Blockability (§4.5): 196 of 280 = 70%.
+        let blockable = walls.iter().filter(|w| w.class.serving != Serving::FirstParty).count();
+        assert_eq!(blockable, 196);
+
+        // SMP membership (§4.4): 76 contentpass + 62 freechoice in-list.
+        let cp = walls.iter().filter(|w| w.class.smp == Some(Smp::Contentpass)).count();
+        let fc = walls.iter().filter(|w| w.class.smp == Some(Smp::Freechoice)).count();
+        assert_eq!(cp, 76);
+        assert_eq!(fc, 62);
+
+        // Visibility: EU sees 280, Sweden misses the 4 DeOnly sites.
+        let de_only = walls.iter().filter(|w| w.visibility == Visibility::DeOnly).count();
+        let global = walls.iter().filter(|w| w.visibility == Visibility::Global).count();
+        assert_eq!(de_only, 4);
+        assert_eq!(global, 200);
+
+        // Top-1k bucket: 85 on the German list (8.5% of its top-1k).
+        let de_top1k = walls
+            .iter()
+            .filter(|w| w.group == WallGroup::De && w.bucket == RankBucket::Top1k)
+            .count();
+        assert_eq!(de_top1k, 85);
+
+        // Exactly one adblock-detector and one scroll-breaker, both blockable.
+        let det: Vec<_> = walls.iter().filter(|w| w.detects_adblock).collect();
+        let scr: Vec<_> = walls.iter().filter(|w| w.breaks_scroll).collect();
+        assert_eq!(det.len(), 1);
+        assert_eq!(scr.len(), 1);
+        assert_ne!(det[0].class.serving, Serving::FirstParty);
+        assert_ne!(scr[0].class.serving, Serving::FirstParty);
+    }
+
+    #[test]
+    fn price_marginals() {
+        let (walls, _) = paper_roster();
+        let prices: Vec<f64> = walls.iter().map(|w| w.price.monthly_eur()).collect();
+        let at_most = |x: f64| prices.iter().filter(|&&p| p <= x).count() as f64 / prices.len() as f64;
+        // ~80% ≤ €3, ~90% ≤ €4 (§4.2).
+        assert!(at_most(3.05) > 0.72 && at_most(3.05) < 0.88, "p≤3: {}", at_most(3.05));
+        assert!(at_most(4.05) > 0.85 && at_most(4.05) < 0.96, "p≤4: {}", at_most(4.05));
+        // A tail of sites at €9 or more.
+        let expensive = prices.iter().filter(|&&p| p >= 9.0).count();
+        assert!((5..=15).contains(&expensive), "expensive tail: {expensive}");
+        // SMP sites are all €2.99.
+        for w in walls.iter().filter(|w| w.class.smp.is_some()) {
+            assert!((w.price.monthly_eur() - 2.99).abs() < 1e-9);
+        }
+        // Italian TLD is cheaper on average than German.
+        let avg = |tld: &str| {
+            let v: Vec<f64> = walls.iter().filter(|w| w.tld == tld).map(|w| w.price.monthly_eur()).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg("it") < avg("de"), "it {} vs de {}", avg("it"), avg("de"));
+        // Yearly-quoted offers exist (normalization must be exercised).
+        assert!(walls.iter().any(|w| w.price.period == Period::Year));
+    }
+
+    #[test]
+    fn category_marginals() {
+        let (walls, _) = paper_roster();
+        let news = walls.iter().filter(|w| w.category == Category::NewsAndMedia).count();
+        assert!(news as f64 / 280.0 > 0.25, "news > one fourth: {news}");
+        let business = walls.iter().filter(|w| w.category == Category::Business).count();
+        assert_eq!(business, 25);
+        let it = walls.iter().filter(|w| w.category == Category::InformationTechnology).count();
+        assert_eq!(it, 20);
+        // Every category appears.
+        for c in Category::ALL {
+            assert!(walls.iter().any(|w| w.category == c), "{c:?} missing");
+        }
+    }
+
+    #[test]
+    fn roster_is_deterministic() {
+        let (a, _) = paper_roster();
+        let (b, _) = paper_roster();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tld, y.tld);
+            assert_eq!(x.language, y.language);
+            assert_eq!(x.price.monthly_eur(), y.price.monthly_eur());
+            assert_eq!(x.category, y.category);
+        }
+    }
+
+    #[test]
+    fn scaled_roster_shrinks_but_keeps_strata() {
+        let (walls, decoys) = scaled_roster(10);
+        // 26 De + 2 Se + 1 Au + 1 BrSpecial.
+        assert_eq!(walls.len(), 30);
+        assert!(walls.iter().any(|w| w.group == WallGroup::BrSpecial));
+        assert_eq!(decoys.len(), 1);
+        // The dominant strata survive.
+        assert!(walls.iter().any(|w| w.group == WallGroup::De));
+        assert!(walls.iter().any(|w| w.group == WallGroup::Au));
+        assert!(walls.iter().any(|w| w.class.smp.is_some()));
+        assert!(walls.iter().any(|w| w.tld == "de"));
+        let (full, _) = scaled_roster(1);
+        assert_eq!(full.len(), 280);
+    }
+}

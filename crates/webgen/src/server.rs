@@ -1,0 +1,829 @@
+//! Origin servers of the synthetic web.
+//!
+//! [`install`] mounts a generated [`Population`] onto an
+//! [`httpsim::Network`]: one geo- and consent-aware server per site, the
+//! tracker and benign third-party hosts, the two SMP platforms (CDN +
+//! account hosts), and the CMP delivery host. Everything a page does —
+//! which banner it embeds and how, which trackers it loads after consent,
+//! how many cookies each party sets, how it reacts to bots and blocked
+//! bait scripts — is decided here, purely as a function of the request and
+//! the site's ground-truth spec.
+
+use crate::content;
+use crate::names::rng_for;
+use crate::population::Population;
+use crate::spec::{BannerKind, Cmp, CookieCounts, Embedding, Serving, SiteSpec, Smp};
+use crate::trackers::{plan_benign, plan_trackers};
+use httpsim::{Method, Network, Region, Request, Response};
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Name of the consent cookie sites set after banner interaction.
+pub const CONSENT_COOKIE: &str = "cw_consent";
+/// Name of the first-party cookie marking a verified SMP subscription.
+pub const SUBSCRIPTION_COOKIE: &str = "cw_sub";
+
+/// Install the whole population onto `net`. Returns the shared handle that
+/// also serves the infrastructure hosts.
+pub fn install(population: Arc<Population>, net: &Network) {
+    let shared = Arc::new(WebServers {
+        population: Arc::clone(&population),
+        visits: (0..population.sites().len()).map(|_| AtomicU64::new(0)).collect(),
+    });
+
+    for (idx, site) in population.sites().iter().enumerate() {
+        // Dead sites stay unregistered: visiting them fails with a
+        // connection error, like a lapsed domain in a real toplist.
+        if population.is_dead(&site.domain) {
+            continue;
+        }
+        let server = Arc::new(SiteHandler { shared: Arc::clone(&shared), site_index: idx });
+        net.register(&site.domain, server);
+    }
+    for tracker in crate::trackers::tracker_pool() {
+        net.register(tracker, Arc::new(TrackerHandler));
+    }
+    for benign in crate::trackers::BENIGN_THIRD_PARTIES {
+        net.register(benign, Arc::new(BenignHandler));
+    }
+    for smp in [Smp::Contentpass, Smp::Freechoice] {
+        net.register(
+            smp.cdn_host(),
+            Arc::new(SmpCdnHandler { shared: Arc::clone(&shared), smp }),
+        );
+        net.register(smp.account_host(), Arc::new(SmpAccountHandler { smp }));
+    }
+    for cmp in Cmp::ALL {
+        net.register(
+            cmp.host(),
+            Arc::new(CmpCdnHandler { shared: Arc::clone(&shared) }),
+        );
+    }
+}
+
+/// State shared by every handler: the population plus per-site visit
+/// counters (the only mutable state; it drives per-repetition noise).
+struct WebServers {
+    population: Arc<Population>,
+    visits: Vec<AtomicU64>,
+}
+
+/// Consent state a request reveals about the visitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConsentState {
+    Fresh,
+    Accepted,
+    Rejected,
+    Subscribed,
+}
+
+fn consent_state(req: &Request) -> ConsentState {
+    if req.cookie(SUBSCRIPTION_COOKIE) == Some("1") {
+        ConsentState::Subscribed
+    } else {
+        match req.cookie(CONSENT_COOKIE) {
+            Some("accepted") => ConsentState::Accepted,
+            Some("rejected") => ConsentState::Rejected,
+            _ => ConsentState::Fresh,
+        }
+    }
+}
+
+/// Does the UA look like an automation tool? Sites with bot detection hide
+/// their consent UI from such clients (§3's measurement limitation).
+fn looks_like_bot(user_agent: &str) -> bool {
+    let ua = user_agent.to_ascii_lowercase();
+    ["bot", "crawler", "spider", "headless", "python-requests", "curl"]
+        .iter()
+        .any(|m| ua.contains(m))
+}
+
+/// Per-repetition multiplicative noise on cookie counts (advertising
+/// variability; the reason the paper averages five repetitions).
+fn noisy(base: u32, domain: &str, visit: u64, lane: u64) -> u32 {
+    if base == 0 {
+        return 0;
+    }
+    let mut rng = rng_for(&format!("noise/{domain}/{visit}"), lane);
+    let factor: f64 = rng.random_range(0.85..1.15);
+    ((base as f64) * factor).round().max(0.0) as u32
+}
+
+fn noisy_counts(c: CookieCounts, domain: &str, visit: u64) -> CookieCounts {
+    CookieCounts {
+        first_party: noisy(c.first_party, domain, visit, 1),
+        benign_third_party: noisy(c.benign_third_party, domain, visit, 2),
+        tracking: noisy(c.tracking, domain, visit, 3),
+    }
+}
+
+/// Should this site's wall/banner be shown to a visitor from `region` right
+/// now? Applies ground-truth targeting plus the small per-(site, region)
+/// flakiness that makes non-EU detection counts vary between 190 and 199
+/// across vantage points (Table 1).
+fn ui_visible(site: &SiteSpec, region: Region) -> bool {
+    match &site.banner {
+        BannerKind::None => false,
+        BannerKind::DecoyPaywall => true,
+        BannerKind::Banner(b) => !b.eu_only || region.is_eu(),
+        BannerKind::Cookiewall(_) => {
+            if !site.wall_targets_region(region) {
+                return false;
+            }
+            if region.is_eu() {
+                return true;
+            }
+            // Sites on the visitor's own country list are always stable
+            // (the five Australian walls must show from Australia).
+            if site.on_toplist(crate::spec::Country::for_region(region)) {
+                return true;
+            }
+            // ~3% per-(site, region) dropout: geo-CDN quirks.
+            crate::names::stable_hash(&format!("flaky/{}/{}", site.domain, region.label())) % 1000
+                >= 30
+        }
+    }
+}
+
+// ------------------------------------------------------------------ sites
+
+struct SiteHandler {
+    shared: Arc<WebServers>,
+    site_index: usize,
+}
+
+impl httpsim::Server for SiteHandler {
+    fn handle(&self, req: &Request) -> Response {
+        let site = &self.shared.population.sites()[self.site_index];
+        match req.url.path() {
+            "/static/app.js" => Response::script("/* site application bundle */"),
+            path if path.starts_with("/ads/") => Response::script("/* ad slot loader */"),
+            "/privacy" | "/datenschutz" => {
+                Response::html("<html><body><h1>Privacy</h1></body></html>")
+            }
+            "/abo" | "/subscribe" => Response::html(
+                "<html><body><h1>Subscription checkout</h1><form>…</form></body></html>",
+            ),
+            _ => {
+                let visit = self.shared.visits[self.site_index].fetch_add(1, Ordering::Relaxed);
+                render_main_page(site, req, visit)
+            }
+        }
+    }
+}
+
+/// Render a site's main page for one request.
+fn render_main_page(site: &SiteSpec, req: &Request, visit: u64) -> Response {
+    let state = consent_state(req);
+    let lang = site.language;
+    let domain = &site.domain;
+    let bot = site.bot_sensitive && looks_like_bot(&req.user_agent);
+    let show_ui = !bot && state == ConsentState::Fresh && ui_visible(site, req.region);
+
+    // Which cookie quantities apply in this state.
+    let base = match state {
+        ConsentState::Accepted => site.cookies.accepted,
+        ConsentState::Subscribed => site.cookies.subscribed,
+        ConsentState::Fresh | ConsentState::Rejected => site.cookies.pre_consent,
+    };
+    let counts = noisy_counts(base, domain, visit);
+
+    let mut body = String::with_capacity(4096);
+    body.push_str("<html><head><title>");
+    body.push_str(domain);
+    body.push_str("</title></head>");
+
+    // Scroll lock: inline when the wall markup itself is inline (first
+    // party), or when the site is the scroll-breaker special case whose
+    // inline style outlives a blocked wall. Remote-served walls normally
+    // manage the lock from their own (blockable) script, so nothing is
+    // emitted for them here.
+    let wall_inline_lock = match &site.banner {
+        BannerKind::Cookiewall(cw) if show_ui => {
+            cw.serving == Serving::FirstParty || cw.breaks_scroll_when_blocked
+        }
+        _ => false,
+    };
+    if wall_inline_lock {
+        body.push_str("<body style=\"overflow:hidden\">");
+    } else {
+        body.push_str("<body>");
+    }
+
+    body.push_str("<header><h1>");
+    body.push_str(domain);
+    body.push_str("</h1><nav><a href=\"/privacy\">Privacy</a></nav></header><main>");
+    let sentences = content::body_sentences(lang);
+    let offset = crate::names::stable_hash(domain) as usize;
+    for i in 0..4 {
+        body.push_str("<p>");
+        body.push_str(sentences[(offset + i) % sentences.len()]);
+        body.push_str("</p>");
+    }
+    body.push_str("</main>");
+
+    // Essential first-party script, always present.
+    body.push_str("<script src=\"/static/app.js\"></script>");
+
+    // Adblock bait + detector shell (special-case site).
+    if let BannerKind::Cookiewall(cw) = &site.banner {
+        if cw.detects_adblock {
+            body.push_str(
+                "<script src=\"/ads/ad-delivery/bait.js\"></script>\
+                 <div data-detect-adblock data-message=\"",
+            );
+            body.push_str(content::adblock_message(lang));
+            body.push_str("\"></div>");
+        }
+    }
+
+    // Consent UI.
+    if show_ui {
+        render_consent_ui(&mut body, site);
+    }
+
+    // Post-consent third parties.
+    if state == ConsentState::Accepted {
+        for plan in plan_trackers(domain, visit, counts.tracking) {
+            body.push_str(&format!(
+                "<script src=\"https://{}/t.js?n={}&o={}&site={}{}\"></script>",
+                plan.host,
+                plan.cookies,
+                plan.name_offset,
+                domain,
+                plan.sync_with
+                    .map(|s| format!("&sync={s}"))
+                    .unwrap_or_default(),
+            ));
+        }
+    }
+    if matches!(state, ConsentState::Accepted | ConsentState::Subscribed) {
+        for (i, host) in plan_benign(domain, visit, counts.benign_third_party)
+            .into_iter()
+            .enumerate()
+        {
+            body.push_str(&format!(
+                "<script src=\"https://{host}/c.js?site={domain}&slot={i}\"></script>"
+            ));
+        }
+    }
+
+    body.push_str("<footer>© ");
+    body.push_str(domain);
+    body.push_str("</footer></body></html>");
+
+    // First-party cookies.
+    let mut resp = Response::html(body);
+    resp.set_cookies.push(format!("sid={visit}; Path=/"));
+    for i in 1..counts.first_party {
+        resp.set_cookies
+            .push(format!("fp{i}=v{visit}; Path=/; Max-Age=31536000"));
+    }
+    resp
+}
+
+/// Emit the consent UI (banner, wall, or decoy paywall) for a fresh visit.
+fn render_consent_ui(body: &mut String, site: &SiteSpec) {
+    let lang = site.language;
+    let domain = &site.domain;
+    match &site.banner {
+        BannerKind::None => {}
+        BannerKind::DecoyPaywall => {
+            // Inline hard paywall whose copy trips the word classifier.
+            body.push_str(
+                "<div id=\"premium-gate\" class=\"paywall-overlay\" \
+                 style=\"position:fixed;top:0;z-index:99999\"><p>",
+            );
+            // Decoy price is stored in the roster; the population keeps
+            // decoys simple, so derive a stable price from the domain.
+            let price = crate::spec::PriceSpec {
+                amount_cents: 499 + (crate::names::stable_hash(domain) % 5) as u32 * 100,
+                currency: crate::spec::Currency::Eur,
+                period: crate::spec::Period::Month,
+            };
+            body.push_str(&content::decoy_paywall_text(lang, domain, &price));
+            body.push_str("</p><a href=\"/subscribe\" class=\"paywall-cta\">");
+            body.push_str(content::subscribe_label(lang));
+            body.push_str("</a></div>");
+        }
+        BannerKind::Banner(b) => {
+            let fragment = banner_fragment(site, b.has_reject, b.has_settings);
+            match (b.embedding, b.serving) {
+                (Embedding::Iframe, _) => {
+                    body.push_str(&format!(
+                        "<iframe id=\"cmp-frame\" title=\"consent\" \
+                         src=\"https://{}/banner?site={}\" \
+                         style=\"position:fixed;bottom:0;z-index:9999;width:100%;height:220px\">\
+                         </iframe>",
+                        Cmp::for_domain(domain).host(),
+                        domain
+                    ));
+                }
+                (emb, Serving::CmpScript) => {
+                    body.push_str(&format!(
+                        "<div id=\"cmp-mount\" data-cmp-shell></div>\
+                         <script src=\"https://{}/banner.js?site={}&shadow={}\" \
+                         data-cw-inject=\"cmp-mount\"></script>",
+                        Cmp::for_domain(domain).host(),
+                        domain,
+                        shadow_param(emb)
+                    ));
+                }
+                (emb, _) => body.push_str(&wrap_embedding(emb, "cmp-host", &fragment)),
+            }
+        }
+        BannerKind::Cookiewall(cw) => {
+            let fragment = wall_fragment(site, cw);
+            match (cw.embedding, cw.serving) {
+                (Embedding::Iframe, Serving::SmpCdn) => {
+                    let cdn = cw.smp.expect("SmpCdn serving implies an SMP").cdn_host();
+                    body.push_str(&format!(
+                        "<iframe id=\"cw-frame\" title=\"consent-or-pay\" \
+                         src=\"https://{cdn}/wall?site={domain}\" \
+                         style=\"position:fixed;top:0;z-index:100000;width:100%;height:100%\">\
+                         </iframe>"
+                    ));
+                }
+                (Embedding::Iframe, _) => {
+                    body.push_str(&format!(
+                        "<iframe id=\"cw-frame\" title=\"consent-or-pay\" \
+                         src=\"https://{}/wall?site={}\" \
+                         style=\"position:fixed;top:0;z-index:100000;width:100%;height:100%\">\
+                         </iframe>",
+                        Cmp::for_domain(domain).host(),
+                        domain
+                    ));
+                }
+                (emb, Serving::SmpCdn) => {
+                    let cdn = cw.smp.expect("SmpCdn serving implies an SMP").cdn_host();
+                    body.push_str(&format!(
+                        "<div id=\"cw-mount\" data-cmp-shell></div>\
+                         <script src=\"https://{cdn}/wall.js?site={domain}&shadow={}\" \
+                         data-cw-inject=\"cw-mount\"></script>",
+                        shadow_param(emb)
+                    ));
+                }
+                (emb, Serving::CmpScript) => {
+                    body.push_str(&format!(
+                        "<div id=\"cw-mount\" data-cmp-shell></div>\
+                         <script src=\"https://{}/wall.js?site={}&shadow={}\" \
+                         data-cw-inject=\"cw-mount\"></script>",
+                        Cmp::for_domain(domain).host(),
+                        domain,
+                        shadow_param(emb)
+                    ));
+                }
+                (emb, Serving::FirstParty) => {
+                    body.push_str(&wrap_embedding(emb, "cw-host", &fragment));
+                }
+            }
+        }
+    }
+}
+
+fn shadow_param(emb: Embedding) -> &'static str {
+    match emb {
+        Embedding::ShadowOpen => "open",
+        Embedding::ShadowClosed => "closed",
+        _ => "none",
+    }
+}
+
+/// Wrap a fragment according to its embedding: plain (main DOM) or behind a
+/// declarative shadow root.
+fn wrap_embedding(emb: Embedding, host_id: &str, fragment: &str) -> String {
+    match emb {
+        Embedding::ShadowOpen => format!(
+            "<div id=\"{host_id}\"><template shadowrootmode=\"open\">{fragment}</template></div>"
+        ),
+        Embedding::ShadowClosed => format!(
+            "<div id=\"{host_id}\"><template shadowrootmode=\"closed\">{fragment}</template></div>"
+        ),
+        _ => fragment.to_string(),
+    }
+}
+
+/// The markup of a regular cookie banner.
+fn banner_fragment(site: &SiteSpec, has_reject: bool, has_settings: bool) -> String {
+    let lang = site.language;
+    let mut s = format!(
+        "<div id=\"cmp-banner\" class=\"cmp-container cookie-consent\" \
+         style=\"position:fixed;bottom:0;z-index:9999\"><p>{}</p>\
+         <button class=\"cmp-accept\" data-cw-action=\"accept\">{}</button>",
+        content::banner_text(lang),
+        content::accept_label(lang),
+    );
+    if has_reject {
+        s.push_str(&format!(
+            "<button class=\"cmp-reject\" data-cw-action=\"reject\">{}</button>",
+            content::reject_label(lang)
+        ));
+    }
+    if has_settings {
+        s.push_str(&format!(
+            "<a class=\"cmp-settings\" data-cw-action=\"settings\" href=\"/privacy\">{}</a>",
+            content::settings_label(lang)
+        ));
+    }
+    s.push_str("<a href=\"/privacy\">·</a></div>");
+    s
+}
+
+/// The markup of a cookiewall (no reject — accept or pay).
+fn wall_fragment(site: &SiteSpec, cw: &crate::spec::CookiewallSpec) -> String {
+    let lang = site.language;
+    let text = content::wall_text(lang, &site.domain, &cw.price, cw.smp.map(Smp::name));
+    let subscribe_href = match cw.smp {
+        Some(smp) => format!("https://{}/subscribe?site={}", smp.account_host(), site.domain),
+        None => "/abo".to_string(),
+    };
+    let mut s = format!(
+        "<div id=\"cw-wall\" class=\"consent-wall purabo\" \
+         style=\"position:fixed;top:0;z-index:100000\"><h2>{}</h2><p>{}</p>\
+         <button class=\"cw-accept\" data-cw-action=\"accept\">{}</button>\
+         <a class=\"cw-subscribe\" data-cw-action=\"subscribe\" href=\"{}\">{}</a>",
+        site.domain,
+        text,
+        content::accept_label(lang),
+        subscribe_href,
+        content::subscribe_label(lang),
+    );
+    if let Some(smp) = cw.smp {
+        // Entitlement probe: runs against the SMP account host where the
+        // login session cookie lives. The browser reacts to the response.
+        s.push_str(&format!(
+            "<script src=\"https://{}/check.js?site={}\" data-smp-check=\"{}\"></script>",
+            smp.account_host(),
+            site.domain,
+            smp.name()
+        ));
+    }
+    s.push_str("</div>");
+    s
+}
+
+// --------------------------------------------------------------- trackers
+
+struct TrackerHandler;
+
+impl httpsim::Server for TrackerHandler {
+    fn handle(&self, req: &Request) -> Response {
+        let q = query_map(req);
+        let site = q.get("site").cloned().unwrap_or_default();
+        if req.url.path() == "/s.gif" {
+            // Cookie-sync endpoint: one distinctly named cookie.
+            return Response::no_content().with_cookie(format!(
+                "sync_{site}=1; Path=/; Max-Age=31536000; SameSite=None; Secure"
+            ));
+        }
+        let n: u32 = q.get("n").and_then(|v| v.parse().ok()).unwrap_or(1);
+        let o: u32 = q.get("o").and_then(|v| v.parse().ok()).unwrap_or(0);
+        let mut resp = Response::script("/* tracking tag */");
+        if let Some(sync) = q.get("sync") {
+            // Classic cookie syncing: bounce to the partner, which sets one
+            // cookie under its own domain. The sync cookie name is distinct
+            // from the partner's regular `uid_…` cookies so the jar's
+            // (name, domain, path) replacement cannot silently merge them.
+            resp = Response::redirect(format!("https://{sync}/s.gif?site={site}"));
+        }
+        for i in 0..n {
+            let k = o + i;
+            resp.set_cookies.push(format!(
+                "uid_{site}_{k}=u{}; Path=/; Max-Age=31536000; SameSite=None; Secure",
+                crate::names::stable_hash(&format!("{}/{site}/{k}", req.url.host()))
+            ));
+        }
+        resp
+    }
+}
+
+struct BenignHandler;
+
+impl httpsim::Server for BenignHandler {
+    fn handle(&self, req: &Request) -> Response {
+        let q = query_map(req);
+        let site = q.get("site").cloned().unwrap_or_default();
+        let slot = q.get("slot").cloned().unwrap_or_default();
+        Response::script("/* cdn asset */")
+            .with_cookie(format!("pref_{site}_{slot}=1; Path=/; Max-Age=604800"))
+    }
+}
+
+// ------------------------------------------------------------------- SMPs
+
+struct SmpCdnHandler {
+    shared: Arc<WebServers>,
+    smp: Smp,
+}
+
+impl httpsim::Server for SmpCdnHandler {
+    fn handle(&self, req: &Request) -> Response {
+        let q = query_map(req);
+        let Some(site_domain) = q.get("site") else {
+            return Response::not_found();
+        };
+        let Some(site) = self.shared.population.site(site_domain) else {
+            return Response::not_found();
+        };
+        let BannerKind::Cookiewall(cw) = &site.banner else {
+            return Response::not_found();
+        };
+        match req.url.path() {
+            "/wall" => {
+                // Full document for iframe embedding.
+                let fragment = wall_fragment(site, cw);
+                Response::html(format!(
+                    "<html><head><title>{} consent</title></head><body>{fragment}</body></html>",
+                    self.smp.name()
+                ))
+            }
+            "/wall.js" => {
+                // Injectable fragment; shadow wrapping decided by query.
+                let fragment = wall_fragment(site, cw);
+                let wrapped = match q.get("shadow").map(String::as_str) {
+                    Some("open") => wrap_embedding(Embedding::ShadowOpen, "cw-inner", &fragment),
+                    Some("closed") => {
+                        wrap_embedding(Embedding::ShadowClosed, "cw-inner", &fragment)
+                    }
+                    _ => fragment,
+                };
+                Response {
+                    content_type: "application/javascript".to_string(),
+                    ..Response::html(wrapped)
+                }
+            }
+            _ => Response::not_found(),
+        }
+    }
+}
+
+struct SmpAccountHandler {
+    smp: Smp,
+}
+
+impl httpsim::Server for SmpAccountHandler {
+    fn handle(&self, req: &Request) -> Response {
+        match req.url.path() {
+            "/login" if req.method == Method::Post => {
+                let ok = req
+                    .body_params
+                    .iter()
+                    .any(|(k, v)| k == "user" && !v.is_empty());
+                if ok {
+                    Response::html("<html><body>Welcome back</body></html>").with_cookie(format!(
+                        "{}=tok-{}; Path=/; Secure; HttpOnly; SameSite=None; Max-Age=2592000",
+                        self.smp.session_cookie(),
+                        crate::names::stable_hash(self.smp.name())
+                    ))
+                } else {
+                    Response::html("<html><body>Login failed</body></html>")
+                }
+            }
+            "/check.js" => {
+                // Entitlement probe: valid session cookie ⇒ entitled.
+                let entitled = req
+                    .cookie(self.smp.session_cookie())
+                    .is_some_and(|v| v.starts_with("tok-"));
+                Response::script(if entitled { "entitled" } else { "anon" })
+            }
+            "/subscribe" => Response::html(format!(
+                "<html><body><h1>{} — 2,99 € pro Monat</h1><form>…</form></body></html>",
+                self.smp.name()
+            )),
+            _ => Response::not_found(),
+        }
+    }
+}
+
+// -------------------------------------------------------------------- CMP
+
+struct CmpCdnHandler {
+    shared: Arc<WebServers>,
+}
+
+impl httpsim::Server for CmpCdnHandler {
+    fn handle(&self, req: &Request) -> Response {
+        let q = query_map(req);
+        let Some(site_domain) = q.get("site") else {
+            return Response::not_found();
+        };
+        let Some(site) = self.shared.population.site(site_domain) else {
+            return Response::not_found();
+        };
+        let shadow = q.get("shadow").map(String::as_str);
+        let wrap = |fragment: String| match shadow {
+            Some("open") => wrap_embedding(Embedding::ShadowOpen, "cmp-inner", &fragment),
+            Some("closed") => wrap_embedding(Embedding::ShadowClosed, "cmp-inner", &fragment),
+            _ => fragment,
+        };
+        match (req.url.path(), &site.banner) {
+            ("/banner", BannerKind::Banner(b)) => {
+                let fragment = banner_fragment(site, b.has_reject, b.has_settings);
+                Response::html(format!("<html><body>{fragment}</body></html>"))
+            }
+            ("/banner.js", BannerKind::Banner(b)) => Response {
+                content_type: "application/javascript".to_string(),
+                ..Response::html(wrap(banner_fragment(site, b.has_reject, b.has_settings)))
+            },
+            ("/wall", BannerKind::Cookiewall(cw)) => {
+                let fragment = wall_fragment(site, cw);
+                Response::html(format!("<html><body>{fragment}</body></html>"))
+            }
+            ("/wall.js", BannerKind::Cookiewall(cw)) => Response {
+                content_type: "application/javascript".to_string(),
+                ..Response::html(wrap(wall_fragment(site, cw)))
+            },
+            _ => Response::not_found(),
+        }
+    }
+}
+
+/// Parse the query string into a map (simple `k=v&k=v`, no percent
+/// decoding — the generator never emits reserved characters).
+fn query_map(req: &Request) -> std::collections::HashMap<String, String> {
+    req.url
+        .query()
+        .unwrap_or("")
+        .split('&')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            Some((k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{Population, PopulationConfig};
+    use httpsim::Url;
+
+    fn setup() -> (Arc<Population>, Network) {
+        let pop = Arc::new(Population::generate(PopulationConfig::tiny()));
+        let net = Network::new();
+        install(Arc::clone(&pop), &net);
+        (pop, net)
+    }
+
+    fn get(net: &Network, url: &str, region: Region) -> Response {
+        net.dispatch(&Request::navigation(Url::parse(url).unwrap(), region))
+    }
+
+    #[test]
+    fn every_site_serves_a_page() {
+        let (pop, net) = setup();
+        for domain in pop.merged_targets() {
+            let resp = get(&net, &format!("https://{domain}/"), Region::Germany);
+            assert_eq!(resp.status, 200, "{domain}");
+            assert!(resp.body_text().contains(&domain), "{domain} page mentions itself");
+            assert!(!resp.set_cookies.is_empty(), "{domain} sets a session cookie");
+        }
+    }
+
+    #[test]
+    fn wall_site_shows_wall_to_eu_not_when_accepted() {
+        let (pop, net) = setup();
+        let wall = pop.ground_truth_walls()[0].domain.clone();
+        let url = format!("https://{wall}/");
+        let fresh = get(&net, &url, Region::Germany);
+        let body = fresh.body_text();
+        assert!(
+            body.contains("cw-wall") || body.contains("cw-frame") || body.contains("cw-mount"),
+            "wall UI present for fresh EU visit: {body}"
+        );
+        // With the consent cookie, trackers load and no wall shows.
+        let mut req = Request::navigation(Url::parse(&url).unwrap(), Region::Germany);
+        req.cookie_header = Some(format!("{CONSENT_COOKIE}=accepted"));
+        let accepted = net.dispatch(&req);
+        let body = accepted.body_text();
+        assert!(!body.contains("cw-wall") && !body.contains("cw-frame"));
+        assert!(body.contains("/t.js?"), "tracker tags present after accept");
+    }
+
+    #[test]
+    fn eu_only_wall_hidden_from_us() {
+        let (pop, net) = setup();
+        let eu_only = pop
+            .ground_truth_walls()
+            .into_iter()
+            .find(|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.visibility == crate::spec::Visibility::EuOnly));
+        if let Some(site) = eu_only {
+            let url = format!("https://{}/", site.domain);
+            let us = get(&net, &url, Region::UsEast).body_text();
+            assert!(!us.contains("cw-wall") && !us.contains("cw-frame") && !us.contains("cw-mount"));
+            let de = get(&net, &url, Region::Germany).body_text();
+            assert!(de.contains("cw-wall") || de.contains("cw-frame") || de.contains("cw-mount"));
+        }
+    }
+
+    #[test]
+    fn tracker_host_sets_requested_cookies() {
+        let (_pop, net) = setup();
+        let resp = get(
+            &net,
+            "https://doubleclick.net/t.js?n=4&site=zeitung.de",
+            Region::Germany,
+        );
+        assert_eq!(resp.set_cookies.len(), 4);
+        assert!(resp.set_cookies[0].starts_with("uid_zeitung.de_0="));
+    }
+
+    #[test]
+    fn tracker_sync_redirects() {
+        let (_pop, net) = setup();
+        let resp = get(
+            &net,
+            "https://doubleclick.net/t.js?n=3&site=x.de&sync=criteo.com",
+            Region::Germany,
+        );
+        assert!(resp.is_redirect());
+        assert!(resp.location.as_deref().unwrap().contains("criteo.com"));
+        assert!(!resp.set_cookies.is_empty());
+    }
+
+    #[test]
+    fn smp_login_and_entitlement() {
+        let (_pop, net) = setup();
+        let account = Smp::Contentpass.account_host();
+        // Anonymous check.
+        let anon = get(&net, &format!("https://{account}/check.js?site=x.de"), Region::Germany);
+        assert_eq!(anon.body_text(), "anon");
+        // Login.
+        let mut login = Request::navigation(
+            Url::parse(&format!("https://{account}/login")).unwrap(),
+            Region::Germany,
+        );
+        login.method = Method::Post;
+        login.body_params = vec![("user".into(), "alice".into()), ("pass".into(), "pw".into())];
+        let resp = net.dispatch(&login);
+        assert!(resp.set_cookies.iter().any(|c| c.starts_with("cp_session=tok-")));
+        // Entitled check with the session cookie.
+        let mut check = Request::navigation(
+            Url::parse(&format!("https://{account}/check.js?site=x.de")).unwrap(),
+            Region::Germany,
+        );
+        check.cookie_header = Some("cp_session=tok-1".to_string());
+        assert_eq!(net.dispatch(&check).body_text(), "entitled");
+    }
+
+    #[test]
+    fn smp_cdn_serves_wall_for_partner() {
+        let (pop, net) = setup();
+        let partner = pop.smp_partners(Smp::Contentpass).first().cloned();
+        if let Some(partner) = partner {
+            let cdn = Smp::Contentpass.cdn_host();
+            let resp = get(&net, &format!("https://{cdn}/wall?site={partner}"), Region::Germany);
+            assert_eq!(resp.status, 200);
+            let body = resp.body_text();
+            assert!(body.contains("cw-wall"));
+            assert!(body.contains("2,99"));
+            assert!(body.contains("check.js"), "entitlement probe embedded");
+        }
+    }
+
+    #[test]
+    fn bot_sensitive_site_hides_ui_from_bots() {
+        let (pop, net) = setup();
+        // Find any bot-sensitive site with some consent UI.
+        let candidate = pop.sites().iter().find(|s| {
+            s.bot_sensitive && !matches!(s.banner, BannerKind::None)
+        });
+        if let Some(site) = candidate {
+            let url = Url::parse(&format!("https://{}/", site.domain)).unwrap();
+            let mut req = Request::navigation(url, Region::Germany);
+            req.user_agent = "SuperCrawler bot/1.0".to_string();
+            let body = net.dispatch(&req).body_text();
+            assert!(
+                !body.contains("cmp-banner") && !body.contains("cw-wall") && !body.contains("cw-mount") && !body.contains("cmp-mount") && !body.contains("cmp-frame") && !body.contains("cw-frame"),
+                "bot visit must hide consent UI on {}",
+                site.domain
+            );
+        }
+    }
+
+    #[test]
+    fn noise_varies_between_visits_but_is_bounded() {
+        let (pop, net) = setup();
+        let wall = pop
+            .ground_truth_walls()
+            .into_iter()
+            .find(|s| s.cookies.accepted.first_party >= 10)
+            .expect("a wall with enough fp cookies");
+        let url = format!("https://{}/", wall.domain);
+        let mut counts = Vec::new();
+        for _ in 0..5 {
+            let mut req = Request::navigation(Url::parse(&url).unwrap(), Region::Germany);
+            req.cookie_header = Some(format!("{CONSENT_COOKIE}=accepted"));
+            counts.push(net.dispatch(&req).set_cookies.len() as f64);
+        }
+        let base = wall.cookies.accepted.first_party as f64;
+        for c in &counts {
+            assert!((c - base).abs() / base < 0.25, "noise bounded: {c} vs {base}");
+        }
+        assert!(
+            counts.iter().any(|c| (c - counts[0]).abs() > 0.5),
+            "repetitions differ: {counts:?}"
+        );
+    }
+}

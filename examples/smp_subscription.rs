@@ -1,0 +1,62 @@
+//! The §4.4 experiment in miniature: compare the contentpass subscriber
+//! experience against accepting the wall, per partner site.
+//!
+//! Run with: `cargo run --release --example smp_subscription`
+
+use std::sync::Arc;
+
+use analysis::{measure_sites, InteractionMode};
+use bannerclick::BannerClick;
+use httpsim::{Network, Region};
+use webgen::{Population, PopulationConfig, Smp};
+
+fn main() {
+    let population = Arc::new(Population::generate(PopulationConfig::small()));
+    let net = Network::new();
+    webgen::server::install(Arc::clone(&population), &net);
+    let tool = BannerClick::new();
+
+    let partners: Vec<String> = population.smp_partners(Smp::Contentpass).to_vec();
+    println!(
+        "contentpass claims {} partner sites ({} of them in the crawl target list)\n",
+        partners.len(),
+        partners
+            .iter()
+            .filter(|d| population.site(d).is_some_and(|s| !s.toplists.is_empty()))
+            .count()
+    );
+
+    println!("measuring the ACCEPT experience (5 repetitions per site)…");
+    let accept = measure_sites(&net, Region::Germany, &partners, InteractionMode::Accept, &tool, 4);
+
+    println!("measuring the SUBSCRIBER experience (login + entitlement check)…\n");
+    let subscribed = measure_sites(
+        &net,
+        Region::Germany,
+        &partners,
+        InteractionMode::Subscribed { account_host: Smp::Contentpass.account_host() },
+        &tool,
+        4,
+    );
+
+    let med = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    };
+    let mut acc_fp: Vec<f64> = accept.iter().map(|m| m.first_party).collect();
+    let mut acc_tp: Vec<f64> = accept.iter().map(|m| m.third_party).collect();
+    let mut acc_tr: Vec<f64> = accept.iter().map(|m| m.tracking).collect();
+    let mut sub_fp: Vec<f64> = subscribed.iter().map(|m| m.first_party).collect();
+    let mut sub_tp: Vec<f64> = subscribed.iter().map(|m| m.third_party).collect();
+    let mut sub_tr: Vec<f64> = subscribed.iter().map(|m| m.tracking).collect();
+
+    println!("median cookies per partner site (avg over 5 visits):");
+    println!("                first-party   third-party   tracking");
+    println!("  accept        {:>8.1}      {:>8.1}      {:>8.1}", med(&mut acc_fp), med(&mut acc_tp), med(&mut acc_tr));
+    println!("  subscription  {:>8.1}      {:>8.1}      {:>8.1}", med(&mut sub_fp), med(&mut sub_tp), med(&mut sub_tr));
+
+    let max_tr = sub_tr.iter().cloned().fold(0.0, f64::max);
+    println!("\nsubscribers see {} tracking cookies (max across all partners: {max_tr:.0})",
+        if max_tr == 0.0 { "zero" } else { "some!" });
+    println!("paper shape: accept ≈ 16 tracking median, subscription = 0 (Figure 5)");
+}

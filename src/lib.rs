@@ -1,0 +1,19 @@
+//! # cookiewall-study — umbrella crate
+//!
+//! Re-exports the public API of every crate in the reproduction workspace
+//! so examples and downstream users can depend on a single package.
+//!
+//! See the workspace README for the architecture overview and DESIGN.md
+//! for the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use analysis;
+pub use bannerclick;
+pub use blocklist;
+pub use browser;
+pub use categorize;
+pub use httpsim;
+pub use langid;
+pub use webdom;
+pub use webgen;

@@ -1,0 +1,251 @@
+//! `cookiewall-study` — command-line front end for the reproduction.
+//!
+//! ```text
+//! cookiewall-study run     [--scale tiny|small|paper] [--json PATH]
+//! cookiewall-study crawl   --region <vp> [--scale …]
+//! cookiewall-study detect  <domain> [--region <vp>] [--adblock] [--scale …]
+//! cookiewall-study walls   [--scale …]
+//! cookiewall-study help
+//! ```
+
+use analysis::Study;
+use std::io::Write;
+use bannerclick::BannerClick;
+use browser::Browser;
+use httpsim::Region;
+use std::process::ExitCode;
+use webgen::PopulationConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        Some("run") => cmd_run(args.collect()),
+        Some("crawl") => cmd_crawl(args.collect()),
+        Some("detect") => cmd_detect(args.collect()),
+        Some("walls") => cmd_walls(args.collect()),
+        Some("help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "cookiewall-study — reproduction of 'Thou Shalt Not Reject' (IMC '23)\n\
+         \n\
+         USAGE:\n\
+         \u{20}  cookiewall-study run    [--scale tiny|small|paper] [--json PATH]\n\
+         \u{20}      Run every experiment (Table 1, Figures 1-6, accuracy, bypass, SMPs)\n\
+         \u{20}  cookiewall-study crawl  --region <vp> [--scale …]\n\
+         \u{20}      Crawl the target list from one vantage point, print detections\n\
+         \u{20}  cookiewall-study detect <domain> [--region <vp>] [--adblock] [--scale …]\n\
+         \u{20}      Analyze a single site and explain what the pipeline saw\n\
+         \u{20}  cookiewall-study walls  [--scale …]\n\
+         \u{20}      List the ground-truth cookiewall roster of the synthetic web\n\
+         \n\
+         Vantage points: germany sweden us-east us-west brazil south-africa india australia"
+    );
+}
+
+/// Parse `--scale`, defaulting to small.
+fn parse_scale(flags: &[&str]) -> Result<PopulationConfig, String> {
+    match flag_value(flags, "--scale") {
+        None | Some("small") => Ok(PopulationConfig::small()),
+        Some("tiny") => Ok(PopulationConfig::tiny()),
+        Some("paper") => Ok(PopulationConfig::paper()),
+        Some(other) => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+    }
+}
+
+fn parse_region(flags: &[&str]) -> Result<Region, String> {
+    let name = flag_value(flags, "--region").unwrap_or("germany");
+    match name.to_ascii_lowercase().as_str() {
+        "germany" | "de" => Ok(Region::Germany),
+        "sweden" | "se" => Ok(Region::Sweden),
+        "us-east" | "useast" => Ok(Region::UsEast),
+        "us-west" | "uswest" => Ok(Region::UsWest),
+        "brazil" | "br" => Ok(Region::Brazil),
+        "south-africa" | "za" => Ok(Region::SouthAfrica),
+        "india" | "in" => Ok(Region::India),
+        "australia" | "au" => Ok(Region::Australia),
+        other => Err(format!("unknown vantage point {other:?}")),
+    }
+}
+
+fn flag_value<'a>(flags: &[&'a str], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .position(|&f| f == name)
+        .and_then(|i| flags.get(i + 1))
+        .copied()
+}
+
+fn cmd_run(flags: Vec<&str>) -> ExitCode {
+    let config = match parse_scale(&flags) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let t0 = std::time::Instant::now();
+    eprintln!("building the synthetic web…");
+    let study = Study::new(config);
+    eprintln!(
+        "  {} sites, {} targets, {} ground-truth walls ({:?})",
+        study.population.sites().len(),
+        study.targets().len(),
+        study.population.ground_truth_walls().len(),
+        t0.elapsed()
+    );
+    eprintln!("running every experiment…");
+    let report = analysis::run_all(&study);
+    println!("{}", report.render());
+    if let Some(path) = flag_value(&flags, "--json") {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!("JSON results written to {path}"),
+            Err(e) => return fail(&format!("writing {path}: {e}")),
+        }
+    }
+    eprintln!("total: {:?}", t0.elapsed());
+    ExitCode::SUCCESS
+}
+
+fn cmd_crawl(flags: Vec<&str>) -> ExitCode {
+    let config = match parse_scale(&flags) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let region = match parse_region(&flags) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let study = Study::new(config);
+    let targets = study.targets();
+    eprintln!("crawling {} targets from {}…", targets.len(), region.label());
+    let crawl = analysis::crawl_region(&study.net, region, &targets, &study.tool, study.workers);
+    let mut banners = 0;
+    let mut out = std::io::stdout().lock();
+    for r in &crawl.records {
+        if r.banner {
+            banners += 1;
+        }
+        if r.cookiewall {
+            let line = format!(
+                "{}\tembedding={:?}\tprice={}\tlang={}\tprovider={}",
+                r.domain,
+                r.embedding,
+                r.monthly_eur
+                    .map(|p| format!("{p:.2}€/mo"))
+                    .unwrap_or_else(|| "-".into()),
+                r.language.unwrap_or("-"),
+                r.provider.as_deref().unwrap_or("first-party"),
+            );
+            if writeln!(out, "{line}").is_err() {
+                return ExitCode::SUCCESS; // downstream pipe closed (e.g. head)
+            }
+        }
+    }
+    eprintln!(
+        "{} cookiewalls, {} banners, {} reachable of {} targets",
+        crawl.wall_count(),
+        banners,
+        crawl.records.iter().filter(|r| r.reachable).count(),
+        targets.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_detect(flags: Vec<&str>) -> ExitCode {
+    let Some(&domain) = flags.iter().find(|f| !f.starts_with("--")) else {
+        return fail("detect needs a domain argument");
+    };
+    let config = match parse_scale(&flags) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let region = match parse_region(&flags) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let study = Study::new(config);
+    let mut browser = Browser::new(study.net.clone(), region);
+    if flags.contains(&"--adblock") {
+        browser = browser.with_blocker(blocklist::FilterEngine::ublock_with_annoyances());
+    }
+    let tool = BannerClick::new();
+    let analysis = tool.analyze(&mut browser, domain);
+    if !analysis.reachable {
+        return fail(&format!("{domain} is not reachable in this synthetic web \
+            (use `walls` to list sites)"));
+    }
+    println!("domain:       {domain}");
+    println!("vantage:      {}", region.label());
+    println!("banner:       {}", analysis.banner_detected());
+    println!("cookiewall:   {}", analysis.cookiewall_detected());
+    if let Some(e) = analysis.embedding() {
+        println!("embedding:    {e:?}");
+    }
+    if let Some(p) = analysis.price() {
+        println!(
+            "price:        {} {} ≙ {:.2} €/month{}",
+            p.amount,
+            p.currency,
+            p.monthly_eur,
+            if p.per_year { " (yearly offer)" } else { "" }
+        );
+    }
+    if let Some(provider) = &analysis.provider {
+        println!("provider:     {provider}");
+    }
+    if let Some(b) = &analysis.banner {
+        println!("banner text:  {}", b.text);
+    }
+    if analysis.page_flags.anything_blocked {
+        println!("blocked:      content blocker cancelled requests");
+    }
+    if analysis.page_flags.adblock_interstitial {
+        println!("interstitial: site demands the blocker be disabled");
+    }
+    // Ground truth comparison (the 'manual verification' step).
+    let truth = study
+        .population
+        .site(domain)
+        .map(|s| s.banner.is_cookiewall())
+        .unwrap_or(false);
+    println!("ground truth: {}", if truth { "cookiewall" } else { "not a cookiewall" });
+    ExitCode::SUCCESS
+}
+
+fn cmd_walls(flags: Vec<&str>) -> ExitCode {
+    let config = match parse_scale(&flags) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let study = Study::new(config);
+    let mut out = std::io::stdout().lock();
+    for site in study.population.ground_truth_walls() {
+        let webgen::BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        let line = format!(
+            "{}\t{:?}\t{:?}\t{:.2}€/mo\t{}",
+            site.domain,
+            cw.embedding,
+            cw.visibility,
+            cw.price.monthly_eur(),
+            cw.smp.map(|s| s.name()).unwrap_or("independent"),
+        );
+        if writeln!(out, "{line}").is_err() {
+            return ExitCode::SUCCESS; // downstream pipe closed (e.g. head)
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
