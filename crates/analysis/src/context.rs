@@ -17,6 +17,9 @@ pub struct Study {
     pub tool: BannerClick,
     /// Parallel crawl workers.
     pub workers: usize,
+    /// Share fetch/analysis work across vantage points that received
+    /// byte-identical documents (see `analysis::crawl`).
+    pub cache: bool,
 }
 
 impl Study {
@@ -33,7 +36,13 @@ impl Study {
             net,
             tool: BannerClick::new(),
             workers,
+            cache: true,
         }
+    }
+
+    /// Scheduler options derived from this study's configuration.
+    pub fn crawl_options(&self) -> crate::crawl::CrawlOptions {
+        crate::crawl::CrawlOptions { workers: self.workers, cache: self.cache }
     }
 
     /// Full paper-scale study (45,222 targets, 280 walls).

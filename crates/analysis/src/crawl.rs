@@ -1,12 +1,44 @@
 //! Crawl orchestration: run the BannerClick pipeline over a target list
 //! from one or more vantage points, in parallel.
+//!
+//! ## The global scheduler
+//!
+//! Table 1 crawls the same target list from eight vantage points. The
+//! original implementation ran those regions strictly one after another,
+//! paying eight sequential barriers (each region's tail latency adds up).
+//! [`crawl_all_regions`] instead schedules the full `(region × domain)`
+//! task matrix over one work-stealing pool: every worker has a home region
+//! (regions are spread round-robin over the pool) and claims tasks from it
+//! until the region is exhausted, then steals from the next region. All
+//! eight vantage points therefore crawl concurrently and the sweep ends
+//! when the *global* matrix is drained, not when the slowest region of
+//! each sequential phase is.
+//!
+//! ## The shared-fetch cache
+//!
+//! The synthetic web is deterministic: for a cookie-less (fresh-profile)
+//! navigation, the main document a site serves is a pure function of
+//! `(domain, region)` — and every downstream observation (subresources,
+//! injected fragments, parsed DOM, detection verdict) is in turn a pure
+//! function of that document. Two vantage points that receive
+//! byte-identical documents would do byte-identical analysis work. The
+//! scheduler therefore keys a cache on `(domain, content_hash(document))`:
+//! the navigation request is always dispatched (so origin servers observe
+//! every vantage point's visit and per-site counters advance exactly as in
+//! an uncached crawl), but the subresource loading, DOM parse, and
+//! BannerClick analysis run only once per distinct document. Regions that
+//! get geo-gated content (a wall hidden from a non-EU visitor) hash to a
+//! different key and are analyzed separately, so region-dependent
+//! observations are never shared by construction.
 
 use bannerclick::{BannerClick, ObservedEmbedding};
 use browser::Browser;
 use crossbeam::thread;
-use httpsim::{Network, Region};
+use httpsim::{content_hash, Network, Region};
 use serde::Serialize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// One crawled site, as the measurement pipeline saw it (no ground truth).
 #[derive(Debug, Clone, Serialize)]
@@ -30,6 +62,114 @@ pub struct CrawlRecord {
     pub language: Option<&'static str>,
 }
 
+/// Scheduler observations for one vantage point.
+#[derive(Debug, Clone, Default)]
+pub struct RegionMetrics {
+    /// Tasks crawled for this region.
+    pub tasks: usize,
+    /// Tasks executed by workers whose home region is elsewhere.
+    pub stolen: usize,
+    /// Milliseconds from sweep start until this region's last record.
+    pub wall_ms: u64,
+}
+
+/// Scheduler observations for a whole multi-region sweep.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlMetrics {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Whether the shared-fetch cache was enabled.
+    pub cache_enabled: bool,
+    /// Tasks completed across all regions.
+    pub tasks_completed: usize,
+    /// Tasks answered from the shared-fetch cache.
+    pub cache_hits: usize,
+    /// Tasks that did the full load + analysis.
+    pub cache_misses: usize,
+    /// Wall-clock for the whole sweep, milliseconds.
+    pub wall_ms: u64,
+    /// Summed per-task busy time across workers, microseconds.
+    pub busy_us: u64,
+    /// Per-region observations, in [`Region::ALL`] order.
+    pub per_region: Vec<(Region, RegionMetrics)>,
+}
+
+impl CrawlMetrics {
+    /// Busy time / available worker time: 1.0 means no worker ever idled.
+    pub fn utilization(&self) -> f64 {
+        let available = self.wall_ms as f64 * 1000.0 * self.workers.max(1) as f64;
+        if available == 0.0 {
+            return 0.0;
+        }
+        (self.busy_us as f64 / available).min(1.0)
+    }
+
+    /// Cache hits / tasks, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.tasks_completed == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.tasks_completed as f64
+    }
+
+    /// Human-readable summary, one region per line.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "crawl scheduler: {} tasks on {} workers in {} ms ({} utilization){}\n",
+            self.tasks_completed,
+            self.workers,
+            self.wall_ms,
+            format_args!("{:.0}%", self.utilization() * 100.0),
+            if self.cache_enabled {
+                format!(
+                    ", shared-fetch cache {} hits / {} misses ({:.0}% hit rate)",
+                    self.cache_hits,
+                    self.cache_misses,
+                    self.hit_rate() * 100.0
+                )
+            } else {
+                ", cache disabled".to_string()
+            }
+        );
+        for (region, m) in &self.per_region {
+            out.push_str(&format!(
+                "  {:<13} {} tasks ({} stolen) done at {} ms\n",
+                region.label(),
+                m.tasks,
+                m.stolen,
+                m.wall_ms
+            ));
+        }
+        out
+    }
+}
+
+/// Configuration for a multi-region sweep.
+#[derive(Debug, Clone)]
+pub struct CrawlOptions {
+    /// Worker threads in the shared pool.
+    pub workers: usize,
+    /// Share fetch/parse/analysis results across vantage points that
+    /// received byte-identical documents.
+    pub cache: bool,
+}
+
+impl Default for CrawlOptions {
+    fn default() -> Self {
+        CrawlOptions {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            cache: true,
+        }
+    }
+}
+
+impl CrawlOptions {
+    /// Default options with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        CrawlOptions { workers, ..Self::default() }
+    }
+}
+
 /// One vantage point's crawl over the full target list.
 #[derive(Debug)]
 pub struct VantageCrawl {
@@ -37,6 +177,8 @@ pub struct VantageCrawl {
     pub region: Region,
     /// Per-domain records, in target-list order.
     pub records: Vec<CrawlRecord>,
+    /// Scheduler observations for this vantage point.
+    pub metrics: RegionMetrics,
 }
 
 impl VantageCrawl {
@@ -63,10 +205,10 @@ pub fn crawl_region(
     workers: usize,
 ) -> VantageCrawl {
     let workers = workers.max(1);
+    let start = Instant::now();
     let next = AtomicUsize::new(0);
-    let mut records: Vec<Option<CrawlRecord>> = vec![None; targets.len()];
     let slots: Vec<parking_lot::Mutex<Option<CrawlRecord>>> =
-        records.iter_mut().map(|_| parking_lot::Mutex::new(None)).collect();
+        targets.iter().map(|_| parking_lot::Mutex::new(None)).collect();
 
     thread::scope(|scope| {
         for _ in 0..workers {
@@ -90,11 +232,32 @@ pub fn crawl_region(
         .into_iter()
         .map(|slot| slot.into_inner().expect("every target crawled"))
         .collect();
-    VantageCrawl { region, records }
+    VantageCrawl {
+        region,
+        records,
+        metrics: RegionMetrics {
+            tasks: targets.len(),
+            stolen: 0,
+            wall_ms: start.elapsed().as_millis() as u64,
+        },
+    }
 }
 
-/// Crawl every region over the same target list (Table 1's measurement).
+/// Crawl every region over the same target list (Table 1's measurement),
+/// with the global scheduler and the shared-fetch cache enabled.
 pub fn crawl_all_regions(
+    net: &Network,
+    targets: &[String],
+    tool: &BannerClick,
+    workers: usize,
+) -> Vec<VantageCrawl> {
+    crawl_all_regions_with(net, targets, tool, &CrawlOptions { workers, cache: true }).0
+}
+
+/// The original region-after-region sweep, kept as the reference
+/// implementation: the scheduler's output must be byte-identical to it
+/// (see the determinism tests), and the bench suite compares against it.
+pub fn crawl_all_regions_serial(
     net: &Network,
     targets: &[String],
     tool: &BannerClick,
@@ -106,40 +269,202 @@ pub fn crawl_all_regions(
         .collect()
 }
 
+/// Crawl every region with the global work-stealing scheduler.
+///
+/// The full `(region × domain)` matrix is one task pool: workers start on
+/// their home region (assigned round-robin) and steal from other regions
+/// once it drains. With `opts.cache`, analysis results are shared across
+/// vantage points that received byte-identical documents; the navigation
+/// request itself is always dispatched so origin servers observe every
+/// visit either way.
+pub fn crawl_all_regions_with(
+    net: &Network,
+    targets: &[String],
+    tool: &BannerClick,
+    opts: &CrawlOptions,
+) -> (Vec<VantageCrawl>, CrawlMetrics) {
+    let workers = opts.workers.max(1);
+    let n_regions = Region::ALL.len();
+    let n_targets = targets.len();
+    let start = Instant::now();
+
+    // Per-region claim cursors and completion tracking.
+    let cursors: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(0)).collect();
+    let remaining: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(n_targets)).collect();
+    let region_wall_ms: Vec<AtomicU64> = (0..n_regions).map(|_| AtomicU64::new(0)).collect();
+    let stolen: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(0)).collect();
+    let busy_us = AtomicU64::new(0);
+    let slots: Vec<Vec<parking_lot::Mutex<Option<CrawlRecord>>>> = (0..n_regions)
+        .map(|_| targets.iter().map(|_| parking_lot::Mutex::new(None)).collect())
+        .collect();
+    let cache = FetchCache::new(opts.cache);
+
+    thread::scope(|scope| {
+        for w in 0..workers {
+            let cursors = &cursors;
+            let remaining = &remaining;
+            let region_wall_ms = &region_wall_ms;
+            let stolen = &stolen;
+            let busy_us = &busy_us;
+            let slots = &slots;
+            let cache = &cache;
+            scope.spawn(move |_| {
+                let home = w % n_regions;
+                let mut browsers: HashMap<Region, Browser> = HashMap::new();
+                loop {
+                    // Claim: home region first, then steal round-robin.
+                    let mut claimed = None;
+                    for k in 0..n_regions {
+                        let r = (home + k) % n_regions;
+                        let i = cursors[r].fetch_add(1, Ordering::Relaxed);
+                        if i < n_targets {
+                            claimed = Some((r, i, k != 0));
+                            break;
+                        }
+                    }
+                    let Some((r, i, stole)) = claimed else { break };
+                    let region = Region::ALL[r];
+                    let task_start = Instant::now();
+                    let browser = browsers
+                        .entry(region)
+                        .or_insert_with(|| Browser::new(net.clone(), region));
+                    browser.clear_cookies();
+                    let record = if cache.enabled {
+                        analyze_domain_cached(tool, browser, &targets[i], cache)
+                    } else {
+                        analyze_domain(tool, browser, &targets[i])
+                    };
+                    *slots[r][i].lock() = Some(record);
+                    busy_us.fetch_add(task_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    if stole {
+                        stolen[r].fetch_add(1, Ordering::Relaxed);
+                    }
+                    if remaining[r].fetch_sub(1, Ordering::Relaxed) == 1 {
+                        region_wall_ms[r]
+                            .store(start.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    })
+    .expect("crawl workers must not panic");
+
+    let mut crawls = Vec::with_capacity(n_regions);
+    let mut per_region = Vec::with_capacity(n_regions);
+    for (r, region_slots) in slots.into_iter().enumerate() {
+        let records: Vec<CrawlRecord> = region_slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every target crawled"))
+            .collect();
+        let metrics = RegionMetrics {
+            tasks: n_targets,
+            stolen: stolen[r].load(Ordering::Relaxed),
+            wall_ms: region_wall_ms[r].load(Ordering::Relaxed),
+        };
+        per_region.push((Region::ALL[r], metrics.clone()));
+        crawls.push(VantageCrawl { region: Region::ALL[r], records, metrics });
+    }
+    let metrics = CrawlMetrics {
+        workers,
+        cache_enabled: opts.cache,
+        tasks_completed: n_regions * n_targets,
+        cache_hits: cache.hits.load(Ordering::Relaxed),
+        cache_misses: cache.misses.load(Ordering::Relaxed),
+        wall_ms: start.elapsed().as_millis() as u64,
+        busy_us: busy_us.load(Ordering::Relaxed),
+        per_region,
+    };
+    (crawls, metrics)
+}
+
+/// Shared-fetch cache: `(domain, document hash)` → finished record.
+struct FetchCache {
+    enabled: bool,
+    map: parking_lot::Mutex<HashMap<(String, u64), CrawlRecord>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl FetchCache {
+    fn new(enabled: bool) -> Self {
+        FetchCache {
+            enabled,
+            map: parking_lot::Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+}
+
 /// Analyze a single domain into a crawl record.
 pub fn analyze_domain(tool: &BannerClick, browser: &mut Browser, domain: &str) -> CrawlRecord {
     match browser.visit_domain(domain) {
-        Ok(mut page) => {
-            let analysis = tool.analyze_page(domain, &mut page);
-            // Language identification over page prose plus banner copy —
-            // the CLD3 step of §4.1.
-            let mut text = page.main_text();
-            if let Some(b) = &analysis.banner {
-                text.push(' ');
-                text.push_str(&b.text);
-            }
-            let language = langid::detect(&text).map(|d| d.language.code());
-            CrawlRecord {
-                domain: domain.to_string(),
-                reachable: true,
-                banner: analysis.banner_detected(),
-                cookiewall: analysis.cookiewall_detected(),
-                embedding: analysis.embedding(),
-                monthly_eur: analysis.price().map(|p| p.monthly_eur),
-                provider: analysis.provider.clone(),
-                language,
-            }
-        }
-        Err(_) => CrawlRecord {
-            domain: domain.to_string(),
-            reachable: false,
-            banner: false,
-            cookiewall: false,
-            embedding: None,
-            monthly_eur: None,
-            provider: None,
-            language: None,
-        },
+        Ok(mut page) => record_from_page(tool, domain, &mut page),
+        Err(_) => unreachable_record(domain),
+    }
+}
+
+/// Cached variant: fetch the main document (the origin always sees the
+/// navigation), then reuse a previous analysis of byte-identical content
+/// or complete the load and remember the result.
+fn analyze_domain_cached(
+    tool: &BannerClick,
+    browser: &mut Browser,
+    domain: &str,
+    cache: &FetchCache,
+) -> CrawlRecord {
+    let fetched = match browser.fetch_domain_document(domain) {
+        Ok(f) => f,
+        Err(_) => return unreachable_record(domain),
+    };
+    let key = (domain.to_string(), content_hash(fetched.body().as_bytes()));
+    if let Some(record) = cache.map.lock().get(&key) {
+        cache.hits.fetch_add(1, Ordering::Relaxed);
+        return record.clone();
+    }
+    // Concurrent misses on the same key may both do the work; the results
+    // are identical by construction, so the second insert is harmless.
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    let record = match browser.load_fetched(&fetched) {
+        Ok(mut page) => record_from_page(tool, domain, &mut page),
+        Err(_) => unreachable_record(domain),
+    };
+    cache.map.lock().insert(key, record.clone());
+    record
+}
+
+fn record_from_page(tool: &BannerClick, domain: &str, page: &mut browser::Page) -> CrawlRecord {
+    let analysis = tool.analyze_page(domain, page);
+    // Language identification over page prose plus banner copy —
+    // the CLD3 step of §4.1.
+    let mut text = page.main_text();
+    if let Some(b) = &analysis.banner {
+        text.push(' ');
+        text.push_str(&b.text);
+    }
+    let language = langid::detect(&text).map(|d| d.language.code());
+    CrawlRecord {
+        domain: domain.to_string(),
+        reachable: true,
+        banner: analysis.banner_detected(),
+        cookiewall: analysis.cookiewall_detected(),
+        embedding: analysis.embedding(),
+        monthly_eur: analysis.price().map(|p| p.monthly_eur),
+        provider: analysis.provider.clone(),
+        language,
+    }
+}
+
+fn unreachable_record(domain: &str) -> CrawlRecord {
+    CrawlRecord {
+        domain: domain.to_string(),
+        reachable: false,
+        banner: false,
+        cookiewall: false,
+        embedding: None,
+        monthly_eur: None,
+        provider: None,
+        language: None,
     }
 }
 
@@ -149,11 +474,22 @@ mod tests {
     use std::sync::Arc;
     use webgen::{Population, PopulationConfig};
 
-    #[test]
-    fn parallel_crawl_matches_serial() {
+    fn install_tiny() -> (Arc<Population>, Network) {
         let pop = Arc::new(Population::generate(PopulationConfig::tiny()));
         let net = Network::new();
         webgen::server::install(Arc::clone(&pop), &net);
+        (pop, net)
+    }
+
+    /// Render a record including the serde-skipped embedding, so equality
+    /// checks really cover every observation.
+    fn fingerprint(records: &[CrawlRecord]) -> String {
+        records.iter().map(|r| format!("{r:?}\n")).collect()
+    }
+
+    #[test]
+    fn parallel_crawl_matches_serial() {
+        let (pop, net) = install_tiny();
         let targets: Vec<String> = pop.merged_targets().into_iter().take(60).collect();
         let tool = BannerClick::new();
         let serial = crawl_region(&net, Region::Germany, &targets, &tool, 1);
@@ -164,6 +500,60 @@ mod tests {
             assert_eq!(a.cookiewall, b.cookiewall, "{}", a.domain);
             assert_eq!(a.banner, b.banner, "{}", a.domain);
         }
+    }
+
+    #[test]
+    fn scheduler_matches_serial_for_all_regions() {
+        let (pop, net) = install_tiny();
+        let targets = pop.merged_targets();
+        let tool = BannerClick::new();
+        let serial = crawl_all_regions_serial(&net, &targets, &tool, 1);
+        for cache in [true, false] {
+            let opts = CrawlOptions { workers: 4, cache };
+            let (scheduled, metrics) = crawl_all_regions_with(&net, &targets, &tool, &opts);
+            assert_eq!(scheduled.len(), Region::ALL.len());
+            assert_eq!(metrics.tasks_completed, Region::ALL.len() * targets.len());
+            for (s, p) in serial.iter().zip(&scheduled) {
+                assert_eq!(s.region, p.region);
+                assert_eq!(
+                    fingerprint(&s.records),
+                    fingerprint(&p.records),
+                    "region {} must be byte-identical to the serial crawl (cache={cache})",
+                    s.region.label()
+                );
+            }
+            if cache {
+                assert!(
+                    metrics.cache_hits > 0,
+                    "EU vantage points serve identical documents; hits expected"
+                );
+            } else {
+                assert_eq!(metrics.cache_hits, 0);
+                assert_eq!(metrics.cache_misses, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_metrics_are_consistent() {
+        let (pop, net) = install_tiny();
+        let targets: Vec<String> = pop.merged_targets().into_iter().take(40).collect();
+        let tool = BannerClick::new();
+        let opts = CrawlOptions { workers: 3, cache: true };
+        let (crawls, metrics) = crawl_all_regions_with(&net, &targets, &tool, &opts);
+        assert_eq!(metrics.workers, 3);
+        assert_eq!(metrics.cache_hits + metrics.cache_misses, metrics.tasks_completed);
+        assert_eq!(metrics.per_region.len(), Region::ALL.len());
+        for (crawl, (region, m)) in crawls.iter().zip(&metrics.per_region) {
+            assert_eq!(crawl.region, *region);
+            assert_eq!(m.tasks, targets.len());
+            assert_eq!(crawl.metrics.tasks, targets.len());
+            assert!(m.wall_ms <= metrics.wall_ms);
+        }
+        let util = metrics.utilization();
+        assert!((0.0..=1.0).contains(&util), "utilization {util}");
+        assert!(metrics.hit_rate() > 0.0);
+        assert!(metrics.render().contains("crawl scheduler"));
     }
 
     #[test]

@@ -89,13 +89,12 @@ fn crawl_with_ua(
         }
     })
     .expect("bot-crawl workers");
-    crate::crawl::VantageCrawl {
-        region: Region::Germany,
-        records: slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("crawled"))
-            .collect(),
-    }
+    let records: Vec<crate::crawl::CrawlRecord> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("crawled"))
+        .collect();
+    let metrics = crate::crawl::RegionMetrics { tasks: records.len(), ..Default::default() };
+    crate::crawl::VantageCrawl { region: Region::Germany, records, metrics }
 }
 
 impl BotDetection {

@@ -35,6 +35,11 @@ pub mod runner;
 pub mod stats;
 
 pub use context::Study;
-pub use crawl::{analyze_domain, crawl_all_regions, crawl_region, CrawlRecord, VantageCrawl};
+pub use crawl::{
+    analyze_domain, crawl_all_regions, crawl_all_regions_serial, crawl_all_regions_with,
+    crawl_region, CrawlMetrics, CrawlOptions, CrawlRecord, RegionMetrics, VantageCrawl,
+};
 pub use measure::{measure_site, measure_sites, InteractionMode, SiteCookieMeasurement, REPETITIONS};
-pub use runner::{run_all, run_all_with_crawls, run_crawls, StudyReport};
+pub use runner::{
+    run_all, run_all_with_crawls, run_crawls, run_crawls_with_metrics, StudyReport,
+};

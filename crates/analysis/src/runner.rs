@@ -2,7 +2,7 @@
 //! expensive crawls.
 
 use crate::context::Study;
-use crate::crawl::{crawl_all_regions, VantageCrawl};
+use crate::crawl::{crawl_all_regions_with, CrawlMetrics, VantageCrawl};
 use crate::experiments::{
     ablation, accuracy, banners, botdetect, bypass, darkpatterns, fig1, fig2, fig3, fig4, fig5,
     fig6, smp, table1,
@@ -42,19 +42,31 @@ pub struct StudyReport {
     pub darkpatterns: darkpatterns::DarkPatterns,
     /// Bot-detection impact (§3 limitation).
     pub botdetect: botdetect::BotDetection,
+    /// Scheduler/cache observations for the crawl phase. Machine- and
+    /// configuration-dependent, so excluded from the serialized report
+    /// (the golden-snapshot tests compare JSON across cache modes).
+    #[serde(skip)]
+    pub crawl_metrics: CrawlMetrics,
 }
 
 /// Run the crawl phase only (Table 1's eight-vantage-point sweep).
 pub fn run_crawls(study: &Study) -> Vec<VantageCrawl> {
+    run_crawls_with_metrics(study).0
+}
+
+/// Run the crawl phase and report what the scheduler observed.
+pub fn run_crawls_with_metrics(study: &Study) -> (Vec<VantageCrawl>, CrawlMetrics) {
     let targets = study.targets();
-    crawl_all_regions(&study.net, &targets, &study.tool, study.workers)
+    crawl_all_regions_with(&study.net, &targets, &study.tool, &study.crawl_options())
 }
 
 /// Run every experiment. The crawls are shared: Table 1, accuracy,
 /// Figures 1–3 and 6, bypass, and the SMP report all reuse them.
 pub fn run_all(study: &Study) -> StudyReport {
-    let crawls = run_crawls(study);
-    run_all_with_crawls(study, &crawls)
+    let (crawls, metrics) = run_crawls_with_metrics(study);
+    let mut report = run_all_with_crawls(study, &crawls);
+    report.crawl_metrics = metrics;
+    report
 }
 
 /// Run every experiment against pre-computed crawls.
@@ -90,6 +102,7 @@ pub fn run_all_with_crawls(study: &Study, crawls: &[VantageCrawl]) -> StudyRepor
         ablation,
         darkpatterns,
         botdetect,
+        crawl_metrics: CrawlMetrics::default(),
     }
 }
 

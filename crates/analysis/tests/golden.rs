@@ -1,0 +1,48 @@
+//! Golden snapshot: the full small-scale study, serialized, against a
+//! checked-in fixture.
+//!
+//! The study is deterministic end to end — the population is seeded, the
+//! synthetic web is a pure function of it, and the crawl scheduler is
+//! required to produce records independent of worker count, interleaving,
+//! and cache mode. Any diff against the fixture is therefore a behavior
+//! change that must be reviewed (and the fixture regenerated with
+//! `UPDATE_GOLDEN=1 cargo test -p analysis --test golden`).
+
+use analysis::Study;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_small.json"
+);
+
+fn report_json(cache: bool) -> String {
+    let mut study = Study::small();
+    study.cache = cache;
+    analysis::run_all(&study).to_json()
+}
+
+#[test]
+fn small_study_matches_golden_snapshot() {
+    let json = report_json(true);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &json).expect("write fixture");
+        eprintln!("fixture regenerated: {FIXTURE}");
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE).expect(
+        "golden fixture missing — regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p analysis --test golden",
+    );
+    assert_eq!(
+        golden, json,
+        "StudyReport JSON drifted from the golden fixture; if the change \
+         is intended, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_snapshot_is_cache_mode_independent() {
+    // The shared-fetch cache must be a pure optimization: disabling it may
+    // not change a single byte of the report.
+    assert_eq!(report_json(true), report_json(false));
+}

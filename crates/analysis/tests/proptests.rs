@@ -1,0 +1,76 @@
+//! Property test: the shared-fetch cache is a pure optimization.
+//!
+//! For an arbitrary small population, a cached sweep and an uncached sweep
+//! must agree on every headline observation — banner presence, cookiewall
+//! verdict, and extracted price — per (region, domain) cell. This is the
+//! soundness property the cache design rests on: the main document is
+//! always fetched, so a hit may only skip work whose outcome is a pure
+//! function of that document.
+
+use analysis::{crawl_all_regions_with, CrawlOptions};
+use bannerclick::BannerClick;
+use httpsim::Network;
+use proptest::prelude::*;
+use std::sync::Arc;
+use webgen::{Population, PopulationConfig};
+
+proptest! {
+    fn cache_on_and_off_crawls_agree(
+        // Ranges track the tiny() preset's proportions: the generator
+        // seeds each country's top-1k bucket with its share of the wall
+        // roster unconditionally, so top1k_size must stay comfortably
+        // above the per-country roster share (280 / roster_divisor walls).
+        list_size in 60usize..120,
+        top1k in 8usize..14,
+        global in 5usize..15,
+        dual in 0usize..8,
+        roster_divisor in 15usize..40,
+        banner_pct in 10u32..70,
+        unreachable in 0u16..120,
+    ) {
+        let config = PopulationConfig {
+            list_size,
+            top1k_size: top1k,
+            global_sites: global,
+            dual_sites: dual,
+            roster_divisor,
+            banner_fraction: banner_pct as f64 / 100.0,
+            smp_divisor: roster_divisor,
+            unreachable_per_mille: unreachable,
+        };
+        let pop = Arc::new(Population::generate(config));
+        let net = Network::new();
+        webgen::server::install(Arc::clone(&pop), &net);
+        let targets = pop.merged_targets();
+        let tool = BannerClick::new();
+
+        let (cached, metrics) = crawl_all_regions_with(
+            &net, &targets, &tool, &CrawlOptions { workers: 4, cache: true });
+        let (plain, _) = crawl_all_regions_with(
+            &net, &targets, &tool, &CrawlOptions { workers: 4, cache: false });
+
+        prop_assert_eq!(cached.len(), plain.len());
+        // Unreachable fetches never consult the cache, so hits + misses
+        // accounts for exactly the reachable (region, domain) cells.
+        let unreachable_cells: usize = cached
+            .iter()
+            .flat_map(|c| &c.records)
+            .filter(|r| !r.reachable)
+            .count();
+        prop_assert_eq!(
+            metrics.cache_hits + metrics.cache_misses + unreachable_cells,
+            metrics.tasks_completed
+        );
+        for (c, p) in cached.iter().zip(&plain) {
+            prop_assert_eq!(c.region, p.region);
+            prop_assert_eq!(c.records.len(), p.records.len());
+            for (a, b) in c.records.iter().zip(&p.records) {
+                prop_assert_eq!(&a.domain, &b.domain);
+                prop_assert_eq!(a.reachable, b.reachable, "reachable: {}", a.domain);
+                prop_assert_eq!(a.banner, b.banner, "banner: {}", a.domain);
+                prop_assert_eq!(a.cookiewall, b.cookiewall, "cookiewall: {}", a.domain);
+                prop_assert_eq!(a.monthly_eur, b.monthly_eur, "price: {}", a.domain);
+            }
+        }
+    }
+}

@@ -1,7 +1,10 @@
 //! Bench: Table 1 — the eight-vantage-point crawl and its aggregation,
 //! plus the parallel-crawl scaling ablation.
 
-use analysis::{crawl_region, experiments::table1, run_crawls};
+use analysis::{
+    crawl_all_regions_serial, crawl_all_regions_with, crawl_region, experiments::table1,
+    run_crawls, CrawlOptions,
+};
 use bannerclick::BannerClick;
 use bench::{small_crawls, small_study, tiny_study};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -36,6 +39,30 @@ fn bench_crawl(c: &mut Criterion) {
         b.iter(|| {
             let t = table1::compute(small, crawls);
             black_box(t.unique_walls)
+        })
+    });
+    g.finish();
+
+    // Scheduler vs. the seed's serial region loop, at equal worker counts:
+    // the serial sweep pays eight sequential barriers, the global scheduler
+    // drains one (region × domain) matrix — with and without the
+    // shared-fetch cache, to separate the two effects.
+    let mut g = c.benchmark_group("table1/sweep_8_regions");
+    g.sample_size(10);
+    let workers = 4usize;
+    g.bench_function("serial_loop", |b| {
+        b.iter(|| black_box(crawl_all_regions_serial(&tiny.net, &targets, &tool, workers).len()))
+    });
+    g.bench_function("scheduler_no_cache", |b| {
+        b.iter(|| {
+            let opts = CrawlOptions { workers, cache: false };
+            black_box(crawl_all_regions_with(&tiny.net, &targets, &tool, &opts).0.len())
+        })
+    });
+    g.bench_function("scheduler_cached", |b| {
+        b.iter(|| {
+            let opts = CrawlOptions { workers, cache: true };
+            black_box(crawl_all_regions_with(&tiny.net, &targets, &tool, &opts).0.len())
         })
     });
     g.finish();

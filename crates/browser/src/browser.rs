@@ -54,6 +54,44 @@ impl std::fmt::Display for VisitError {
 
 impl std::error::Error for VisitError {}
 
+/// A fetched top-level document: the result of phase one of a visit,
+/// before any subresource loading, script execution, or parsing happened.
+///
+/// Splitting the navigation fetch from the load lets a crawl scheduler
+/// decide — after seeing the document bytes — whether the expensive load
+/// phase is needed at all (shared-fetch caching across vantage points),
+/// while the origin server still observes the navigation request exactly
+/// as it would during a full visit.
+#[derive(Debug, Clone)]
+pub struct FetchedDocument {
+    url: Url,
+    final_url: Url,
+    status: u16,
+    body: String,
+}
+
+impl FetchedDocument {
+    /// The URL the navigation started from.
+    pub fn url(&self) -> &Url {
+        &self.url
+    }
+
+    /// The URL the document was served from (after redirects).
+    pub fn final_url(&self) -> &Url {
+        &self.final_url
+    }
+
+    /// The response status.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The raw document text.
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+}
+
 /// What a click did.
 #[derive(Debug)]
 pub enum ClickOutcome {
@@ -184,7 +222,14 @@ impl Browser {
         self.visit(&url)
     }
 
-    fn visit_inner(&mut self, url: &Url, allow_entitlement_reload: bool) -> Result<Page, VisitError> {
+    /// Phase one of a visit: consent-state restore plus the top-level
+    /// document fetch, with nothing parsed or loaded yet. The origin sees
+    /// this request exactly as it would under [`Browser::visit`].
+    ///
+    /// Callers that decide the document is worth loading continue with
+    /// [`Browser::load_fetched`]; callers that already know the outcome for
+    /// these bytes (a shared-fetch cache) simply stop here.
+    pub fn fetch_document(&mut self, url: &Url) -> Result<FetchedDocument, VisitError> {
         self.restore_consent_from_storage(url);
         self.request_log.clear();
         let (resp, final_url) = self.fetch_following(url, None);
@@ -194,11 +239,45 @@ impl Browser {
         if resp.status >= 400 {
             return Err(VisitError::HttpError(resp.status));
         }
-        let doc = parse(&resp.body_text());
+        Ok(FetchedDocument {
+            url: url.clone(),
+            final_url,
+            status: resp.status,
+            body: resp.body_text(),
+        })
+    }
+
+    /// Convenience: phase-one fetch of `https://{domain}/`.
+    pub fn fetch_domain_document(&mut self, domain: &str) -> Result<FetchedDocument, VisitError> {
+        let url = Url::parse(domain).map_err(|_| VisitError::Unreachable(domain.to_string()))?;
+        self.fetch_document(&url)
+    }
+
+    /// Phase two of a visit: parse a fetched document and complete the load
+    /// (subresources, script effects, iframes, entitlement checks).
+    ///
+    /// `visit` is exactly `fetch_document` followed by `load_fetched`.
+    pub fn load_fetched(&mut self, fetched: &FetchedDocument) -> Result<Page, VisitError> {
+        self.load_fetched_inner(fetched, true)
+    }
+
+    fn visit_inner(&mut self, url: &Url, allow_entitlement_reload: bool) -> Result<Page, VisitError> {
+        let fetched = self.fetch_document(url)?;
+        self.load_fetched_inner(&fetched, allow_entitlement_reload)
+    }
+
+    fn load_fetched_inner(
+        &mut self,
+        fetched: &FetchedDocument,
+        allow_entitlement_reload: bool,
+    ) -> Result<Page, VisitError> {
+        let doc = parse(&fetched.body);
+        let final_url = fetched.final_url.clone();
+        let url = &fetched.url;
         let mut page = Page {
             url: url.clone(),
             final_url: final_url.clone(),
-            status: resp.status,
+            status: fetched.status,
             frames: vec![Frame { doc, url: final_url, parent: None }],
             blocked: Vec::new(),
             requests: Vec::new(),

@@ -52,6 +52,6 @@ pub use cookie::{classify_party, Cookie, CookieParty, SameSite};
 pub use geo::{PrivacyRegime, Region};
 pub use http::{Method, Request, Response, DEFAULT_USER_AGENT};
 pub use jar::{CookieBreakdown, CookieJar};
-pub use net::{Network, NetworkStats, Server, MAX_REDIRECTS};
+pub use net::{content_hash, Network, NetworkStats, Server, MAX_REDIRECTS};
 pub use psl::{domain_match, is_public_suffix, public_suffix, registrable_domain, same_site};
 pub use url::{Url, UrlParseError};

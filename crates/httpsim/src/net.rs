@@ -173,6 +173,20 @@ impl Network {
     }
 }
 
+/// Stable 64-bit FNV-1a hash of response content.
+///
+/// Used as the region-invariant half of shared-fetch cache keys: two
+/// vantage points that received byte-identical documents hash equal, so
+/// downstream parse/analysis work can be shared between them.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +260,24 @@ mod tests {
         let (resp, final_url) = net.dispatch_following(&req("https://rel.de/"));
         assert_eq!(resp.body_text(), "home");
         assert_eq!(final_url.path(), "/home");
+    }
+
+    #[test]
+    fn clones_share_servers_and_stats() {
+        // The crawl scheduler hands one Network to many workers; a clone
+        // must be a handle onto the same registry and counters, not a copy.
+        let net = Network::new();
+        let clone = net.clone();
+        net.register_fn("shared.de", |_| Response::html("ok"));
+        assert!(clone.resolves("shared.de"));
+        clone.dispatch(&req("https://shared.de/"));
+        assert_eq!(net.stats().requests(), 1);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"<html>"), content_hash(b"<html>"));
+        assert_ne!(content_hash(b"<html>"), content_hash(b"<htmk>"));
     }
 }

@@ -826,4 +826,56 @@ mod tests {
             "repetitions differ: {counts:?}"
         );
     }
+
+    /// The shared-fetch cache keys on `(domain, body hash)` and assumes a
+    /// fresh-profile (cookie-less) main document never changes across
+    /// visits: per-visit noise must stay in the Set-Cookie headers, never
+    /// the markup. This pins that invariant down.
+    #[test]
+    fn fresh_main_page_body_is_visit_invariant() {
+        let (pop, net) = setup();
+        for domain in pop.merged_targets().into_iter().take(40) {
+            let url = format!("https://{domain}/");
+            let first = get(&net, &url, Region::Germany).body_text();
+            for _ in 0..3 {
+                let again = get(&net, &url, Region::Germany).body_text();
+                assert_eq!(first, again, "{domain} fresh body must not vary per visit");
+            }
+        }
+    }
+
+    /// Page generation must be idempotent under concurrent requests from
+    /// different vantage points: each region always sees its own stable
+    /// document, regardless of interleaving with the other regions.
+    #[test]
+    fn page_generation_idempotent_under_concurrent_regions() {
+        let (pop, net) = setup();
+        let domains: Vec<String> = pop.merged_targets().into_iter().take(12).collect();
+        // Reference bodies, fetched serially region by region.
+        let mut reference = Vec::new();
+        for region in Region::ALL {
+            for domain in &domains {
+                reference.push(get(&net, &format!("https://{domain}/"), region).body_text());
+            }
+        }
+        // The same matrix fetched with every region hammering concurrently.
+        let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = Region::ALL
+                .iter()
+                .map(|&region| {
+                    let net = net.clone();
+                    let domains = &domains;
+                    scope.spawn(move || {
+                        domains
+                            .iter()
+                            .map(|d| get(&net, &format!("https://{d}/"), region).body_text())
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("region fetcher")).collect()
+        });
+        let flat: Vec<String> = concurrent.into_iter().flatten().collect();
+        assert_eq!(reference, flat, "concurrent generation must match serial");
+    }
 }

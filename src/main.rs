@@ -1,8 +1,8 @@
 //! `cookiewall-study` — command-line front end for the reproduction.
 //!
 //! ```text
-//! cookiewall-study run     [--scale tiny|small|paper] [--json PATH]
-//! cookiewall-study crawl   --region <vp> [--scale …]
+//! cookiewall-study run     [--scale tiny|small|paper] [--workers N] [--no-cache] [--json PATH]
+//! cookiewall-study crawl   --region <vp> [--scale …] [--workers N]
 //! cookiewall-study detect  <domain> [--region <vp>] [--adblock] [--scale …]
 //! cookiewall-study walls   [--scale …]
 //! cookiewall-study help
@@ -41,17 +41,34 @@ fn print_help() {
         "cookiewall-study — reproduction of 'Thou Shalt Not Reject' (IMC '23)\n\
          \n\
          USAGE:\n\
-         \u{20}  cookiewall-study run    [--scale tiny|small|paper] [--json PATH]\n\
+         \u{20}  cookiewall-study run    [--scale tiny|small|paper] [--workers N] [--no-cache] [--json PATH]\n\
          \u{20}      Run every experiment (Table 1, Figures 1-6, accuracy, bypass, SMPs)\n\
-         \u{20}  cookiewall-study crawl  --region <vp> [--scale …]\n\
+         \u{20}  cookiewall-study crawl  --region <vp> [--scale …] [--workers N]\n\
          \u{20}      Crawl the target list from one vantage point, print detections\n\
          \u{20}  cookiewall-study detect <domain> [--region <vp>] [--adblock] [--scale …]\n\
          \u{20}      Analyze a single site and explain what the pipeline saw\n\
          \u{20}  cookiewall-study walls  [--scale …]\n\
          \u{20}      List the ground-truth cookiewall roster of the synthetic web\n\
          \n\
-         Vantage points: germany sweden us-east us-west brazil south-africa india australia"
+         Vantage points: germany sweden us-east us-west brazil south-africa india australia\n\
+         \n\
+         The eight-vantage-point sweep runs on one work-stealing scheduler with a\n\
+         shared-fetch cache; --workers sizes the pool (default: CPU count) and\n\
+         --no-cache disables result sharing across vantage points. The scheduler\n\
+         prints task/cache/utilization metrics to stderr after each run."
     );
+}
+
+/// Parse `--workers`, defaulting to `default` when absent.
+fn parse_workers(flags: &[&str], default: usize) -> Result<usize, String> {
+    match flag_value(flags, "--workers") {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--workers needs a positive integer, got {raw:?}")),
+    }
 }
 
 /// Parse `--scale`, defaulting to small.
@@ -94,7 +111,12 @@ fn cmd_run(flags: Vec<&str>) -> ExitCode {
     };
     let t0 = std::time::Instant::now();
     eprintln!("building the synthetic web…");
-    let study = Study::new(config);
+    let mut study = Study::new(config);
+    match parse_workers(&flags, study.workers) {
+        Ok(w) => study.workers = w,
+        Err(e) => return fail(&e),
+    }
+    study.cache = !flags.contains(&"--no-cache");
     eprintln!(
         "  {} sites, {} targets, {} ground-truth walls ({:?})",
         study.population.sites().len(),
@@ -105,6 +127,7 @@ fn cmd_run(flags: Vec<&str>) -> ExitCode {
     eprintln!("running every experiment…");
     let report = analysis::run_all(&study);
     println!("{}", report.render());
+    eprint!("{}", report.crawl_metrics.render());
     if let Some(path) = flag_value(&flags, "--json") {
         match std::fs::write(path, report.to_json()) {
             Ok(()) => eprintln!("JSON results written to {path}"),
@@ -125,9 +148,13 @@ fn cmd_crawl(flags: Vec<&str>) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let study = Study::new(config);
+    let workers = match parse_workers(&flags, study.workers) {
+        Ok(w) => w,
+        Err(e) => return fail(&e),
+    };
     let targets = study.targets();
     eprintln!("crawling {} targets from {}…", targets.len(), region.label());
-    let crawl = analysis::crawl_region(&study.net, region, &targets, &study.tool, study.workers);
+    let crawl = analysis::crawl_region(&study.net, region, &targets, &study.tool, workers);
     let mut banners = 0;
     let mut out = std::io::stdout().lock();
     for r in &crawl.records {
@@ -151,11 +178,13 @@ fn cmd_crawl(flags: Vec<&str>) -> ExitCode {
         }
     }
     eprintln!(
-        "{} cookiewalls, {} banners, {} reachable of {} targets",
+        "{} cookiewalls, {} banners, {} reachable of {} targets ({} ms on {} workers)",
         crawl.wall_count(),
         banners,
         crawl.records.iter().filter(|r| r.reachable).count(),
-        targets.len()
+        targets.len(),
+        crawl.metrics.wall_ms,
+        workers
     );
     ExitCode::SUCCESS
 }

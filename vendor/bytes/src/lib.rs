@@ -1,0 +1,96 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this repo builds in has no crates.io access, so the small
+//! slice of `bytes` the workspace actually uses — a cheaply cloneable,
+//! immutable byte buffer — is reimplemented here on top of `Arc<[u8]>`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous slice of memory.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    inner: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { inner: Arc::from(&[][..]) }
+    }
+
+    /// A buffer backed by a static slice (copied; the real crate borrows,
+    /// but nothing here depends on zero-copy semantics).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { inner: Arc::from(bytes) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{}\"", String::from_utf8_lossy(&self.inner))
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { inner: Arc::from(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes { inner: Arc::from(s.into_bytes()) }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes { inner: Arc::from(s.as_bytes()) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes { inner: Arc::from(s) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let b = Bytes::from("hello");
+        assert_eq!(&*b, b"hello");
+        assert_eq!(b.len(), 5);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(&*Bytes::from_static(b"x"), b"x");
+    }
+}

@@ -1,0 +1,77 @@
+//! `any::<T>()` support for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text valid for the simulators.
+        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for ArbitraryStrategy<T> {
+    fn clone(&self) -> Self {
+        ArbitraryStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_covers_both() {
+        let s = any::<bool>();
+        let mut rng = TestRng::from_seed(13);
+        let draws: Vec<bool> = (0..50).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+}

@@ -1,0 +1,41 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `Some(inner)` half the time, `None` otherwise.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(0.5) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let s = of(0u8..10);
+        let mut rng = TestRng::from_seed(11);
+        let draws: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_some()));
+        assert!(draws.iter().any(|d| d.is_none()));
+    }
+}

@@ -1,0 +1,328 @@
+//! Regex-driven string strategies over the subset of regex syntax the
+//! workspace tests use: literals, escapes, `.`/`\PC` printable wildcards,
+//! character classes with ranges, groups, alternation, and the
+//! `?` `*` `+` `{n}` `{m,n}` quantifiers. Unbounded repeats cap at 8.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: u32 = 8;
+
+/// Non-ASCII additions to the printable palette, exercising multi-byte
+/// UTF-8 in generated text.
+const WIDE_PRINTABLE: &[char] = &['ä', 'ö', 'ü', 'ß', 'é', 'è', '€', '£', '¿', '中', '連', '…'];
+
+/// Error from [`string_regex`] on unsupported or malformed patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive char ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `.` or `\PC`: any printable, non-control character.
+    Printable,
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Strategy generating strings matching a regex pattern.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    root: Node,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.root, rng, &mut out);
+        out
+    }
+}
+
+/// Compile a regex pattern into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    let mut p = Parser { chars: pattern.chars().collect(), pos: 0 };
+    let root = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        return Err(Error(format!("unexpected `{}` at {}", p.chars[p.pos], p.pos)));
+    }
+    Ok(RegexStrategy { root })
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+            let mut pick = rng.below(total.max(1) as usize) as u32;
+            for (a, b) in ranges {
+                let width = *b as u32 - *a as u32 + 1;
+                if pick < width {
+                    // Skip the surrogate gap if a range ever straddles it.
+                    let cp = *a as u32 + pick;
+                    out.push(char::from_u32(cp).unwrap_or(*a));
+                    return;
+                }
+                pick -= width;
+            }
+        }
+        Node::Printable => {
+            if rng.chance(0.12) {
+                out.push(WIDE_PRINTABLE[rng.below(WIDE_PRINTABLE.len())]);
+            } else {
+                out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap());
+            }
+        }
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Alt(arms) => emit(&arms[rng.below(arms.len())], rng, out),
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below((*hi - *lo + 1) as usize) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, Error> {
+        let mut arms = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            arms.push(self.parse_seq()?);
+        }
+        Ok(if arms.len() == 1 { arms.pop().unwrap() } else { Node::Alt(arms) })
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, Error> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            items.push(self.parse_quantified(atom)?);
+        }
+        Ok(Node::Seq(items))
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, Error> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(Error("unclosed group".into()));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some('.') => Ok(Node::Printable),
+            Some(c @ ('*' | '+' | '?' | '{')) => Err(Error(format!("dangling quantifier `{c}`"))),
+            Some(c) => Ok(Node::Lit(c)),
+            None => Err(Error("unexpected end of pattern".into())),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Node, Error> {
+        match self.bump() {
+            Some('n') => Ok(Node::Lit('\n')),
+            Some('t') => Ok(Node::Lit('\t')),
+            Some('r') => Ok(Node::Lit('\r')),
+            Some('d') => Ok(Node::Class(vec![('0', '9')])),
+            Some('w') => Ok(Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])),
+            Some('s') => Ok(Node::Class(vec![(' ', ' '), ('\t', '\t')])),
+            Some('P') => {
+                // `\PC` = not-a-control-character: any printable char.
+                match self.bump() {
+                    Some('C') => Ok(Node::Printable),
+                    other => Err(Error(format!("unsupported \\P class: {other:?}"))),
+                }
+            }
+            Some(c) => Ok(Node::Lit(c)),
+            None => Err(Error("dangling backslash".into())),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, Error> {
+        if self.peek() == Some('^') {
+            return Err(Error("negated classes are not supported".into()));
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.bump() {
+                Some(']') if !ranges.is_empty() => break,
+                Some('\\') => match self.parse_escape()? {
+                    Node::Lit(c) => c,
+                    Node::Class(mut extra) => {
+                        ranges.append(&mut extra);
+                        continue;
+                    }
+                    _ => return Err(Error("unsupported escape in class".into())),
+                },
+                Some(c) => c,
+                None => return Err(Error("unclosed character class".into())),
+            };
+            // `a-z` is a range unless `-` is the last char before `]`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied() != Some(']') {
+                self.bump();
+                let hi = match self.bump() {
+                    Some('\\') => match self.parse_escape()? {
+                        Node::Lit(h) => h,
+                        _ => return Err(Error("bad range end".into())),
+                    },
+                    Some(h) => h,
+                    None => return Err(Error("unclosed character class".into())),
+                };
+                if hi < c {
+                    return Err(Error(format!("inverted range {c}-{hi}")));
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ok(Node::Class(ranges))
+    }
+
+    fn parse_quantified(&mut self, atom: Node) -> Result<Node, Error> {
+        let (lo, hi) = match self.peek() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_MAX),
+            Some('+') => (1, UNBOUNDED_MAX),
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number()?;
+                let hi = match self.bump() {
+                    Some('}') => return self.finish_repeat(atom, lo, lo),
+                    Some(',') => {
+                        let hi = self.parse_number()?;
+                        if self.bump() != Some('}') {
+                            return Err(Error("unclosed {m,n}".into()));
+                        }
+                        hi
+                    }
+                    _ => return Err(Error("malformed repetition".into())),
+                };
+                return self.finish_repeat(atom, lo, hi);
+            }
+            _ => return Ok(atom),
+        };
+        self.bump();
+        Ok(Node::Repeat(Box::new(atom), lo, hi))
+    }
+
+    fn finish_repeat(&mut self, atom: Node, lo: u32, hi: u32) -> Result<Node, Error> {
+        if hi < lo {
+            return Err(Error(format!("repetition {{{lo},{hi}}} is inverted")));
+        }
+        Ok(Node::Repeat(Box::new(atom), lo, hi))
+    }
+
+    fn parse_number(&mut self) -> Result<u32, Error> {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            match c.to_digit(10) {
+                Some(d) => {
+                    n = n.saturating_mul(10).saturating_add(d);
+                    any = true;
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+        if any {
+            Ok(n)
+        } else {
+            Err(Error("expected a number".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let s = string_regex(pattern).unwrap();
+        let mut rng = TestRng::from_seed(0xfeed);
+        (0..n).map(|_| s.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn literals_and_classes() {
+        for v in gen_many("ab[cd]", 50) {
+            assert!(v == "abc" || v == "abd", "{v}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_counts() {
+        for v in gen_many("[a-z0-9]{2,4}", 100) {
+            assert!((2..=4).contains(&v.chars().count()), "{v}");
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{v}");
+        }
+    }
+
+    #[test]
+    fn groups_alternation_optional() {
+        for v in gen_many("(foo|bar)(/[a-z]{1,3}){0,2}/?", 100) {
+            assert!(v.starts_with("foo") || v.starts_with("bar"), "{v}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let seen = gen_many("[a-c-]{8}", 100).join("");
+        assert!(seen.contains('-'));
+        assert!(seen.chars().all(|c| matches!(c, 'a'..='c' | '-')));
+    }
+
+    #[test]
+    fn printable_class_has_no_controls() {
+        for v in gen_many("\\PC{0,50}", 60) {
+            assert!(v.chars().all(|c| !c.is_control()), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_class_members() {
+        let joined = gen_many("[äö€]{4}", 200).join("");
+        assert!(joined.contains('ä') && joined.contains('€'));
+    }
+
+    #[test]
+    fn bad_patterns_error() {
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+        assert!(string_regex("(x").is_err());
+        assert!(string_regex("*a").is_err());
+    }
+}

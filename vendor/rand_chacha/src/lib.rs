@@ -1,0 +1,141 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha keystream
+//! generator (8-round variant) behind the vendored `rand` traits.
+//!
+//! The keystream is the real ChaCha block function (RFC 8439 quarter
+//! rounds, here with 8 rounds), so output quality matches the upstream
+//! crate; the exact stream differs from upstream `rand_chacha` (word
+//! consumption order is unspecified there anyway), which is fine — nothing
+//! in this repo ever ran against upstream streams, and determinism across
+//! runs and platforms is guaranteed by construction.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha generator with 8 rounds — the speed-oriented variant the
+/// synthetic-web generator uses for its keyed noise streams.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means exhausted.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    const ROUNDS: usize = 8;
+
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            0x61707865,
+            0x3320646e,
+            0x79622d32,
+            0x6b206574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..Self::ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buf[i] = state[i].wrapping_add(initial[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng { key, counter: 0, buf: [0; 16], idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::from_seed([8; 32]);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn keystream_is_well_distributed() {
+        let mut rng = ChaCha8Rng::from_seed([1; 32]);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let frac = ones as f64 / (1000.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.02, "bit balance {frac}");
+    }
+
+    #[test]
+    fn seed_from_u64_works() {
+        let mut a = ChaCha8Rng::seed_from_u64(1234);
+        let mut b = ChaCha8Rng::seed_from_u64(1234);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

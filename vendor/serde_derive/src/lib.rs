@@ -1,0 +1,205 @@
+//! Offline stand-in for `serde_derive`: a hand-rolled `#[derive(Serialize)]`
+//! for the shapes this workspace uses (named-field structs, unit enums),
+//! with `#[serde(skip)]` support — no `syn`/`quote` available offline, so
+//! the item token stream is walked directly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored trait) for a struct with named
+/// fields or an enum of unit variants.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("derive(Serialize) stub does not support generics on {name}"));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("expected braced body for {name}, got {other:?}")),
+    };
+
+    let code = match kind.as_str() {
+        "struct" => {
+            let fields = parse_named_fields(body)?;
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push(({:?}.to_string(), serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(fields)\n\
+                 }}\n}}"
+            )
+        }
+        "enum" => {
+            let variants = parse_unit_variants(body)?;
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+        other => return Err(format!("cannot derive Serialize for {other}")),
+    };
+    code.parse().map_err(|e| format!("generated code failed to parse: {e:?}"))
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// Walk `{ attrs vis name: Type, ... }`, honouring `#[serde(skip)]` and
+/// commas nested in generic argument lists.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if attr_is_serde_skip(g.stream()) {
+                    skip = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err(format!("expected field name, got {:?}", tokens.get(i)));
+        };
+        let name = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field {name}, got {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" =>
+        {
+            args.stream().into_iter().any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Walk `{ attrs Name, attrs Name, ... }` of a fieldless enum.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err(format!("expected variant name, got {:?}", tokens.get(i)));
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "Serialize stub supports only unit enum variants, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
