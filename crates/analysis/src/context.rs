@@ -1,8 +1,9 @@
 //! Study context: the generated world plus the measurement configuration —
 //! everything an experiment driver needs.
 
+use crate::crawl::RetryPolicy;
 use bannerclick::BannerClick;
-use httpsim::Network;
+use httpsim::{FaultConfig, FaultPlan, Network};
 use std::sync::Arc;
 use webgen::{Population, PopulationConfig};
 
@@ -20,14 +21,36 @@ pub struct Study {
     /// Share fetch/analysis work across vantage points that received
     /// byte-identical documents (see `analysis::crawl`).
     pub cache: bool,
+    /// Retry/backoff/breaker behaviour for crawls.
+    pub retry: RetryPolicy,
+    /// The fault plan wrapped around every site origin, when chaos is on.
+    /// `None` means the network is perfectly reliable (and the report
+    /// carries no failure section, keeping fault-free output byte-stable).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Study {
-    /// Build a study over a freshly generated population.
+    /// Build a study over a freshly generated population, on a reliable
+    /// network.
     pub fn new(config: PopulationConfig) -> Self {
+        Self::with_fault_config(config, None)
+    }
+
+    /// Build a study with an optional deterministic fault plan injected
+    /// between the crawler and the site origins. A `None` or no-op config
+    /// (both rates zero) is exactly [`Study::new`] — same servers, same
+    /// report bytes.
+    pub fn with_fault_config(config: PopulationConfig, fault: Option<FaultConfig>) -> Self {
+        let fault_plan = fault
+            .filter(|f| !f.is_noop())
+            .map(|f| Arc::new(FaultPlan::new(f)));
         let population = Arc::new(Population::generate(config));
         let net = Network::new();
-        webgen::server::install(Arc::clone(&population), &net);
+        webgen::server::install_with_faults(
+            Arc::clone(&population),
+            &net,
+            fault_plan.as_ref().map(Arc::clone),
+        );
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
@@ -37,12 +60,18 @@ impl Study {
             tool: BannerClick::new(),
             workers,
             cache: true,
+            retry: RetryPolicy::default(),
+            fault_plan,
         }
     }
 
     /// Scheduler options derived from this study's configuration.
     pub fn crawl_options(&self) -> crate::crawl::CrawlOptions {
-        crate::crawl::CrawlOptions { workers: self.workers, cache: self.cache }
+        crate::crawl::CrawlOptions {
+            workers: self.workers,
+            cache: self.cache,
+            retry: self.retry.clone(),
+        }
     }
 
     /// Full paper-scale study (45,222 targets, 280 walls).

@@ -32,11 +32,12 @@
 //! observations are never shared by construction.
 
 use bannerclick::{BannerClick, ObservedEmbedding};
-use browser::Browser;
+use browser::{Browser, FetchError};
 use crossbeam::thread;
 use httpsim::{content_hash, Network, Region};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -60,6 +61,297 @@ pub struct CrawlRecord {
     pub provider: Option<String>,
     /// Detected page language (ISO 639-1), from page + banner text.
     pub language: Option<&'static str>,
+    /// Navigation attempts spent on this record (1 = first try succeeded;
+    /// 0 = skipped by an open circuit breaker). Excluded from serialized
+    /// reports: under concurrency the breaker may or may not fire first,
+    /// so this is diagnostic, not part of the measurement.
+    #[serde(skip)]
+    pub attempts: u32,
+    /// Why the crawl gave up, when it did. Excluded from the serialized
+    /// record (the report-level [`FailureTaxonomy`] aggregates it) so the
+    /// per-record JSON stays identical to a fault-free crawl.
+    #[serde(skip)]
+    pub failure: Option<FailureKind>,
+}
+
+impl CrawlRecord {
+    /// Did the crawl abandon this target only after retrying (retries
+    /// exhausted, or a circuit breaker skipped it)? First-attempt verdicts
+    /// — clean success, 4xx, panic — are not "gave up".
+    pub fn gave_up(&self) -> bool {
+        self.failure.is_some() && self.attempts != 1
+    }
+
+    /// Did a retry rescue this record after at least one failed attempt?
+    pub fn retried_ok(&self) -> bool {
+        self.failure.is_none() && self.attempts > 1
+    }
+}
+
+/// The failure classes of the crawl taxonomy, derived from
+/// [`browser::FetchError`] plus the panic bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum FailureKind {
+    /// No server answered (dead origin) — or a circuit breaker, already
+    /// open for the host, skipped the attempt.
+    Unreachable,
+    /// Connection reset mid-handshake or mid-response.
+    ConnectionReset,
+    /// Virtual transfer time exceeded the browser's timeout budget.
+    Timeout,
+    /// The origin answered 5xx for the top document.
+    ServerError,
+    /// The origin answered 4xx for the top document (not retried).
+    ClientError,
+    /// The top document body stopped mid-transfer.
+    Truncated,
+    /// The analysis pipeline panicked; the worker survived and recorded
+    /// the casualty instead of tearing down the sweep.
+    Panic,
+}
+
+impl FailureKind {
+    fn from_error(err: &FetchError) -> Self {
+        match err {
+            FetchError::Unreachable(_) => FailureKind::Unreachable,
+            FetchError::ConnectionReset(_) => FailureKind::ConnectionReset,
+            FetchError::Timeout { .. } => FailureKind::Timeout,
+            FetchError::Truncated(_) => FailureKind::Truncated,
+            FetchError::HttpError(status) if *status >= 500 => FailureKind::ServerError,
+            FetchError::HttpError(_) => FailureKind::ClientError,
+        }
+    }
+
+    /// Stable lowercase label used in renders and JSON keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Unreachable => "unreachable",
+            FailureKind::ConnectionReset => "connection-reset",
+            FailureKind::Timeout => "timeout",
+            FailureKind::ServerError => "server-error",
+            FailureKind::ClientError => "client-error",
+            FailureKind::Truncated => "truncated",
+            FailureKind::Panic => "panic",
+        }
+    }
+}
+
+/// How the crawl reacts to transient failures: bounded retries with
+/// exponential backoff in *virtual* time (no thread ever sleeps — the
+/// simulated network has no real latency, so backoff is accounted, not
+/// waited out), plus a per-host circuit breaker for dead origins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 disables retries *and* the
+    /// circuit breaker — single-shot crawls match the pre-resilience
+    /// behaviour exactly).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_backoff_ms << (n-1)` virtual ms.
+    pub base_backoff_ms: u64,
+    /// Unresolved-host give-ups on one registrable domain before the
+    /// breaker opens and later attempts for that host are skipped.
+    pub breaker_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 250,
+            breaker_threshold: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Single-shot policy: no retries, no breaker.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Default policy with an explicit retry budget.
+    pub fn with_max_retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..Self::default()
+        }
+    }
+
+    /// Virtual backoff charged before retrying after `failures` failed
+    /// attempts (1-based), exponential with a cap against shift overflow.
+    pub fn backoff_ms(&self, failures: u32) -> u64 {
+        self.base_backoff_ms << failures.saturating_sub(1).min(10)
+    }
+}
+
+/// Per-host failure memory shared by all workers of a sweep.
+///
+/// The breaker only opens on *unresolved-host* exhaustion: name resolution
+/// in the simulated network is region-independent, so one region proving a
+/// host dead proves it dead for every region — skipping the remaining
+/// `(region, host)` cells cannot change any record, only save attempts.
+/// Injected faults (resets, 5xx, stalls) never open it; they are
+/// region-scoped and must stay retryable everywhere.
+struct CircuitBreaker {
+    /// Give-ups needed to open; 0 disables the breaker entirely.
+    threshold: u32,
+    giveups: parking_lot::Mutex<HashMap<String, u32>>,
+    opened: AtomicUsize,
+    skips: AtomicUsize,
+}
+
+impl CircuitBreaker {
+    fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold,
+            giveups: parking_lot::Mutex::new(HashMap::new()),
+            opened: AtomicUsize::new(0),
+            skips: AtomicUsize::new(0),
+        }
+    }
+
+    fn is_open(&self, host_key: &str) -> bool {
+        self.threshold > 0
+            && self.giveups.lock().get(host_key).copied().unwrap_or(0) >= self.threshold
+    }
+
+    fn record_unresolved_giveup(&self, host_key: &str) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut giveups = self.giveups.lock();
+        let count = giveups.entry(host_key.to_string()).or_insert(0);
+        *count += 1;
+        if *count == self.threshold {
+            self.opened.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Failure counts for one vantage point, by taxonomy class.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct RegionFailures {
+    /// Region label ([`Region::label`]).
+    pub region: String,
+    /// Dead origins (including breaker skips).
+    pub unreachable: usize,
+    /// Connection resets that survived every retry.
+    pub connection_reset: usize,
+    /// Navigations that stalled past the timeout budget on every attempt.
+    pub timeout: usize,
+    /// Persistent 5xx answers.
+    pub server_error: usize,
+    /// Definitive 4xx answers (never retried).
+    pub client_error: usize,
+    /// Truncated top-document transfers.
+    pub truncated: usize,
+    /// Analysis panics converted to failure records.
+    pub panic: usize,
+    /// Records abandoned only after retrying (subset of the above).
+    pub gave_up: usize,
+    /// Records rescued by a retry after ≥1 failed attempt.
+    pub retried_ok: usize,
+}
+
+impl RegionFailures {
+    /// Total failed records for this region.
+    pub fn total(&self) -> usize {
+        self.unreachable
+            + self.connection_reset
+            + self.timeout
+            + self.server_error
+            + self.client_error
+            + self.truncated
+            + self.panic
+    }
+}
+
+/// The §4-style failure taxonomy of a sweep: what the crawl could not
+/// measure, and why, per vantage point. Deterministic for a fixed
+/// population, fault seed, and retry budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct FailureTaxonomy {
+    /// Per-region counts, in [`Region::ALL`] order.
+    pub per_region: Vec<RegionFailures>,
+    /// Failed records across all regions.
+    pub total_failures: usize,
+    /// Records abandoned only after retrying, across all regions.
+    pub gave_up: usize,
+    /// Records rescued by retries, across all regions.
+    pub retried_ok: usize,
+}
+
+impl FailureTaxonomy {
+    /// Aggregate the taxonomy from finished vantage crawls.
+    pub fn from_crawls(crawls: &[VantageCrawl]) -> Self {
+        let mut per_region = Vec::with_capacity(crawls.len());
+        for crawl in crawls {
+            let mut rf = RegionFailures {
+                region: crawl.region.label().to_string(),
+                ..RegionFailures::default()
+            };
+            for record in &crawl.records {
+                match record.failure {
+                    Some(FailureKind::Unreachable) => rf.unreachable += 1,
+                    Some(FailureKind::ConnectionReset) => rf.connection_reset += 1,
+                    Some(FailureKind::Timeout) => rf.timeout += 1,
+                    Some(FailureKind::ServerError) => rf.server_error += 1,
+                    Some(FailureKind::ClientError) => rf.client_error += 1,
+                    Some(FailureKind::Truncated) => rf.truncated += 1,
+                    Some(FailureKind::Panic) => rf.panic += 1,
+                    None => {}
+                }
+                if record.gave_up() {
+                    rf.gave_up += 1;
+                }
+                if record.retried_ok() {
+                    rf.retried_ok += 1;
+                }
+            }
+            per_region.push(rf);
+        }
+        let total_failures = per_region.iter().map(RegionFailures::total).sum();
+        let gave_up = per_region.iter().map(|r| r.gave_up).sum();
+        let retried_ok = per_region.iter().map(|r| r.retried_ok).sum();
+        FailureTaxonomy {
+            per_region,
+            total_failures,
+            gave_up,
+            retried_ok,
+        }
+    }
+
+    /// True when nothing failed and no retry was ever needed.
+    pub fn is_clean(&self) -> bool {
+        self.total_failures == 0 && self.retried_ok == 0
+    }
+
+    /// Human-readable table, one region per line.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "failure taxonomy: {} failed records ({} gave up after retries), {} rescued by retries\n",
+            self.total_failures, self.gave_up, self.retried_ok
+        );
+        for r in &self.per_region {
+            out.push_str(&format!(
+                "  {:<13} {:>3} failed (unreachable {}, reset {}, timeout {}, 5xx {}, 4xx {}, truncated {}, panic {}), {} rescued\n",
+                r.region,
+                r.total(),
+                r.unreachable,
+                r.connection_reset,
+                r.timeout,
+                r.server_error,
+                r.client_error,
+                r.truncated,
+                r.panic,
+                r.retried_ok,
+            ));
+        }
+        out
+    }
 }
 
 /// Scheduler observations for one vantage point.
@@ -92,6 +384,21 @@ pub struct CrawlMetrics {
     pub busy_us: u64,
     /// Per-region observations, in [`Region::ALL`] order.
     pub per_region: Vec<(Region, RegionMetrics)>,
+    /// Navigation retries spent across the sweep.
+    pub retries: u64,
+    /// Exponential backoff charged across all retries, virtual ms.
+    pub backoff_virtual_ms: u64,
+    /// Worker panics converted to failure records.
+    pub panics: usize,
+    /// Hosts whose circuit breaker opened.
+    pub breaker_open_hosts: usize,
+    /// `(region, host)` attempts skipped by an open breaker.
+    pub breaker_skips: usize,
+    /// Requests that hit no registered host during the sweep
+    /// ([`httpsim::NetworkStats::unresolved`] delta).
+    pub unresolved_requests: u64,
+    /// Failure taxonomy aggregated over every vantage point.
+    pub failures: FailureTaxonomy,
 }
 
 impl CrawlMetrics {
@@ -140,6 +447,18 @@ impl CrawlMetrics {
                 m.wall_ms
             ));
         }
+        out.push_str(&format!(
+            "resilience: {} retries ({} virtual ms backoff), {} unresolved requests, {} panics, breaker opened for {} hosts ({} skips)\n",
+            self.retries,
+            self.backoff_virtual_ms,
+            self.unresolved_requests,
+            self.panics,
+            self.breaker_open_hosts,
+            self.breaker_skips,
+        ));
+        if !self.failures.is_clean() {
+            out.push_str(&self.failures.render());
+        }
         out
     }
 }
@@ -152,13 +471,18 @@ pub struct CrawlOptions {
     /// Share fetch/parse/analysis results across vantage points that
     /// received byte-identical documents.
     pub cache: bool,
+    /// Retry/backoff/circuit-breaker behaviour for failed navigations.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CrawlOptions {
     fn default() -> Self {
         CrawlOptions {
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             cache: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -166,7 +490,10 @@ impl Default for CrawlOptions {
 impl CrawlOptions {
     /// Default options with an explicit worker count.
     pub fn with_workers(workers: usize) -> Self {
-        CrawlOptions { workers, ..Self::default() }
+        CrawlOptions {
+            workers,
+            ..Self::default()
+        }
     }
 }
 
@@ -193,7 +520,94 @@ impl VantageCrawl {
     }
 }
 
-/// Crawl `targets` from `region` with `workers` parallel browser profiles.
+/// Sweep-wide resilience state: the policy, the shared breaker, and the
+/// counters every worker feeds.
+struct Resilience<'a> {
+    policy: &'a RetryPolicy,
+    breaker: CircuitBreaker,
+    retries: AtomicU64,
+    backoff_ms: AtomicU64,
+    panics: AtomicUsize,
+}
+
+impl<'a> Resilience<'a> {
+    fn new(policy: &'a RetryPolicy) -> Self {
+        // With retries off the breaker must stay off too: it exists to cap
+        // *retry* spend on dead hosts, and a single-shot crawl has none to
+        // cap — opening it would only make records order-dependent.
+        let threshold = if policy.max_retries == 0 {
+            0
+        } else {
+            policy.breaker_threshold
+        };
+        Resilience {
+            policy,
+            breaker: CircuitBreaker::new(threshold),
+            retries: AtomicU64::new(0),
+            backoff_ms: AtomicU64::new(0),
+            panics: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Crawl one `(region, domain)` cell to a record, applying the retry
+/// policy and converting panics into failure records.
+///
+/// `browser_slot` is the worker's reusable profile for this region; it is
+/// discarded after a panic (the pipeline may have left it in an arbitrary
+/// half-updated state) and lazily rebuilt on the next task.
+fn crawl_one(
+    res: &Resilience<'_>,
+    net: &Network,
+    tool: &BannerClick,
+    region: Region,
+    browser_slot: &mut Option<Browser>,
+    domain: &str,
+    cache: Option<&FetchCache>,
+) -> CrawlRecord {
+    let host_key = httpsim::registrable_domain(domain).unwrap_or(domain);
+    if res.breaker.is_open(host_key) {
+        res.breaker.skips.fetch_add(1, Ordering::Relaxed);
+        return failure_record(domain, FailureKind::Unreachable, 0);
+    }
+    let mut attempts: u32 = 0;
+    loop {
+        attempts += 1;
+        let browser = browser_slot.get_or_insert_with(|| Browser::new(net.clone(), region));
+        browser.clear_cookies();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match cache {
+            Some(cache) => try_analyze_domain_cached(tool, browser, domain, cache),
+            None => try_analyze_domain(tool, browser, domain),
+        }));
+        match outcome {
+            Err(_) => {
+                *browser_slot = None;
+                res.panics.fetch_add(1, Ordering::Relaxed);
+                return failure_record(domain, FailureKind::Panic, attempts);
+            }
+            Ok(Ok(mut record)) => {
+                record.attempts = attempts;
+                return record;
+            }
+            Ok(Err(err)) => {
+                if err.is_transient() && attempts <= res.policy.max_retries {
+                    res.retries.fetch_add(1, Ordering::Relaxed);
+                    res.backoff_ms
+                        .fetch_add(res.policy.backoff_ms(attempts), Ordering::Relaxed);
+                    continue;
+                }
+                let kind = FailureKind::from_error(&err);
+                if kind == FailureKind::Unreachable {
+                    res.breaker.record_unresolved_giveup(host_key);
+                }
+                return failure_record(domain, kind, attempts);
+            }
+        }
+    }
+}
+
+/// Crawl `targets` from `region` with `workers` parallel browser profiles
+/// and the default [`RetryPolicy`].
 ///
 /// Each domain is visited with a fresh cookie state (profiles are reused
 /// across domains but cleared, like the paper's stateless crawl).
@@ -204,33 +618,57 @@ pub fn crawl_region(
     tool: &BannerClick,
     workers: usize,
 ) -> VantageCrawl {
+    crawl_region_with(net, region, targets, tool, workers, &RetryPolicy::default())
+}
+
+/// [`crawl_region`] with an explicit retry policy.
+pub fn crawl_region_with(
+    net: &Network,
+    region: Region,
+    targets: &[String],
+    tool: &BannerClick,
+    workers: usize,
+    policy: &RetryPolicy,
+) -> VantageCrawl {
     let workers = workers.max(1);
     let start = Instant::now();
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<CrawlRecord>>> =
-        targets.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<parking_lot::Mutex<Option<CrawlRecord>>> = targets
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    let res = Resilience::new(policy);
 
-    thread::scope(|scope| {
+    // A worker can only die outside the per-task panic guard through a
+    // scheduler bug; its unclaimed slots are converted to panic records
+    // below, so the sweep degrades instead of unwinding.
+    let _ = thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
-                let mut browser = Browser::new(net.clone(), region);
+            let res = &res;
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move |_| {
+                let mut browser_slot: Option<Browser> = None;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= targets.len() {
                         break;
                     }
-                    browser.clear_cookies();
-                    let record = analyze_domain(tool, &mut browser, &targets[i]);
+                    let record =
+                        crawl_one(res, net, tool, region, &mut browser_slot, &targets[i], None);
                     *slots[i].lock() = Some(record);
                 }
             });
         }
-    })
-    .expect("crawl workers must not panic");
+    });
 
     let records = slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every target crawled"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|| failure_record(&targets[i], FailureKind::Panic, 1))
+        })
         .collect();
     VantageCrawl {
         region,
@@ -251,7 +689,12 @@ pub fn crawl_all_regions(
     tool: &BannerClick,
     workers: usize,
 ) -> Vec<VantageCrawl> {
-    crawl_all_regions_with(net, targets, tool, &CrawlOptions { workers, cache: true }).0
+    let opts = CrawlOptions {
+        workers,
+        cache: true,
+        ..CrawlOptions::default()
+    };
+    crawl_all_regions_with(net, targets, tool, &opts).0
 }
 
 /// The original region-after-region sweep, kept as the reference
@@ -290,16 +733,28 @@ pub fn crawl_all_regions_with(
 
     // Per-region claim cursors and completion tracking.
     let cursors: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(0)).collect();
-    let remaining: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(n_targets)).collect();
+    let remaining: Vec<AtomicUsize> = (0..n_regions)
+        .map(|_| AtomicUsize::new(n_targets))
+        .collect();
     let region_wall_ms: Vec<AtomicU64> = (0..n_regions).map(|_| AtomicU64::new(0)).collect();
     let stolen: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(0)).collect();
     let busy_us = AtomicU64::new(0);
     let slots: Vec<Vec<parking_lot::Mutex<Option<CrawlRecord>>>> = (0..n_regions)
-        .map(|_| targets.iter().map(|_| parking_lot::Mutex::new(None)).collect())
+        .map(|_| {
+            targets
+                .iter()
+                .map(|_| parking_lot::Mutex::new(None))
+                .collect()
+        })
         .collect();
     let cache = FetchCache::new(opts.cache);
+    let res = Resilience::new(&opts.retry);
+    let unresolved_before = net.stats().unresolved();
 
-    thread::scope(|scope| {
+    // Worker panics are caught per task inside `crawl_one`; a thread dying
+    // anyway (scheduler bug) leaves its claimed slot empty, which becomes
+    // a panic failure record below instead of aborting the sweep.
+    let _ = thread::scope(|scope| {
         for w in 0..workers {
             let cursors = &cursors;
             let remaining = &remaining;
@@ -308,9 +763,10 @@ pub fn crawl_all_regions_with(
             let busy_us = &busy_us;
             let slots = &slots;
             let cache = &cache;
+            let res = &res;
             scope.spawn(move |_| {
                 let home = w % n_regions;
-                let mut browsers: HashMap<Region, Browser> = HashMap::new();
+                let mut browsers: HashMap<Region, Option<Browser>> = HashMap::new();
                 loop {
                     // Claim: home region first, then steal round-robin.
                     let mut claimed = None;
@@ -325,15 +781,10 @@ pub fn crawl_all_regions_with(
                     let Some((r, i, stole)) = claimed else { break };
                     let region = Region::ALL[r];
                     let task_start = Instant::now();
-                    let browser = browsers
-                        .entry(region)
-                        .or_insert_with(|| Browser::new(net.clone(), region));
-                    browser.clear_cookies();
-                    let record = if cache.enabled {
-                        analyze_domain_cached(tool, browser, &targets[i], cache)
-                    } else {
-                        analyze_domain(tool, browser, &targets[i])
-                    };
+                    let browser_slot = browsers.entry(region).or_insert(None);
+                    let cache_ref = cache.enabled.then_some(cache);
+                    let record =
+                        crawl_one(res, net, tool, region, browser_slot, &targets[i], cache_ref);
                     *slots[r][i].lock() = Some(record);
                     busy_us.fetch_add(task_start.elapsed().as_micros() as u64, Ordering::Relaxed);
                     if stole {
@@ -346,15 +797,18 @@ pub fn crawl_all_regions_with(
                 }
             });
         }
-    })
-    .expect("crawl workers must not panic");
+    });
 
     let mut crawls = Vec::with_capacity(n_regions);
     let mut per_region = Vec::with_capacity(n_regions);
     for (r, region_slots) in slots.into_iter().enumerate() {
         let records: Vec<CrawlRecord> = region_slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every target crawled"))
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(|| failure_record(&targets[i], FailureKind::Panic, 1))
+            })
             .collect();
         let metrics = RegionMetrics {
             tasks: n_targets,
@@ -362,8 +816,13 @@ pub fn crawl_all_regions_with(
             wall_ms: region_wall_ms[r].load(Ordering::Relaxed),
         };
         per_region.push((Region::ALL[r], metrics.clone()));
-        crawls.push(VantageCrawl { region: Region::ALL[r], records, metrics });
+        crawls.push(VantageCrawl {
+            region: Region::ALL[r],
+            records,
+            metrics,
+        });
     }
+    let failures = FailureTaxonomy::from_crawls(&crawls);
     let metrics = CrawlMetrics {
         workers,
         cache_enabled: opts.cache,
@@ -373,6 +832,13 @@ pub fn crawl_all_regions_with(
         wall_ms: start.elapsed().as_millis() as u64,
         busy_us: busy_us.load(Ordering::Relaxed),
         per_region,
+        retries: res.retries.load(Ordering::Relaxed),
+        backoff_virtual_ms: res.backoff_ms.load(Ordering::Relaxed),
+        panics: res.panics.load(Ordering::Relaxed),
+        breaker_open_hosts: res.breaker.opened.load(Ordering::Relaxed),
+        breaker_skips: res.breaker.skips.load(Ordering::Relaxed),
+        unresolved_requests: net.stats().unresolved().saturating_sub(unresolved_before),
+        failures,
     };
     (crawls, metrics)
 }
@@ -396,41 +862,48 @@ impl FetchCache {
     }
 }
 
-/// Analyze a single domain into a crawl record.
+/// Analyze a single domain into a crawl record (single attempt, failures
+/// folded into the record — the retrying path is [`crawl_region_with`]).
 pub fn analyze_domain(tool: &BannerClick, browser: &mut Browser, domain: &str) -> CrawlRecord {
-    match browser.visit_domain(domain) {
-        Ok(mut page) => record_from_page(tool, domain, &mut page),
-        Err(_) => unreachable_record(domain),
+    match try_analyze_domain(tool, browser, domain) {
+        Ok(record) => record,
+        Err(err) => failure_record(domain, FailureKind::from_error(&err), 1),
     }
+}
+
+/// One navigation + analysis attempt, with the typed fetch failure
+/// surfaced so the retry loop can branch on transience.
+fn try_analyze_domain(
+    tool: &BannerClick,
+    browser: &mut Browser,
+    domain: &str,
+) -> Result<CrawlRecord, FetchError> {
+    let mut page = browser.visit_domain(domain)?;
+    Ok(record_from_page(tool, domain, &mut page))
 }
 
 /// Cached variant: fetch the main document (the origin always sees the
 /// navigation), then reuse a previous analysis of byte-identical content
 /// or complete the load and remember the result.
-fn analyze_domain_cached(
+fn try_analyze_domain_cached(
     tool: &BannerClick,
     browser: &mut Browser,
     domain: &str,
     cache: &FetchCache,
-) -> CrawlRecord {
-    let fetched = match browser.fetch_domain_document(domain) {
-        Ok(f) => f,
-        Err(_) => return unreachable_record(domain),
-    };
+) -> Result<CrawlRecord, FetchError> {
+    let fetched = browser.fetch_domain_document(domain)?;
     let key = (domain.to_string(), content_hash(fetched.body().as_bytes()));
     if let Some(record) = cache.map.lock().get(&key) {
         cache.hits.fetch_add(1, Ordering::Relaxed);
-        return record.clone();
+        return Ok(record.clone());
     }
     // Concurrent misses on the same key may both do the work; the results
     // are identical by construction, so the second insert is harmless.
     cache.misses.fetch_add(1, Ordering::Relaxed);
-    let record = match browser.load_fetched(&fetched) {
-        Ok(mut page) => record_from_page(tool, domain, &mut page),
-        Err(_) => unreachable_record(domain),
-    };
+    let mut page = browser.load_fetched(&fetched)?;
+    let record = record_from_page(tool, domain, &mut page);
     cache.map.lock().insert(key, record.clone());
-    record
+    Ok(record)
 }
 
 fn record_from_page(tool: &BannerClick, domain: &str, page: &mut browser::Page) -> CrawlRecord {
@@ -452,10 +925,12 @@ fn record_from_page(tool: &BannerClick, domain: &str, page: &mut browser::Page) 
         monthly_eur: analysis.price().map(|p| p.monthly_eur),
         provider: analysis.provider.clone(),
         language,
+        attempts: 1,
+        failure: None,
     }
 }
 
-fn unreachable_record(domain: &str) -> CrawlRecord {
+fn failure_record(domain: &str, kind: FailureKind, attempts: u32) -> CrawlRecord {
     CrawlRecord {
         domain: domain.to_string(),
         reachable: false,
@@ -465,6 +940,8 @@ fn unreachable_record(domain: &str) -> CrawlRecord {
         monthly_eur: None,
         provider: None,
         language: None,
+        attempts,
+        failure: Some(kind),
     }
 }
 
@@ -481,10 +958,29 @@ mod tests {
         (pop, net)
     }
 
-    /// Render a record including the serde-skipped embedding, so equality
-    /// checks really cover every observation.
+    /// Render a record including the serde-skipped embedding and failure
+    /// class, so equality checks really cover every observation — but not
+    /// `attempts`, which legitimately differs between a serial sweep
+    /// (retries exhausted per region) and the shared-breaker scheduler
+    /// (later regions skip a proven-dead host).
     fn fingerprint(records: &[CrawlRecord]) -> String {
-        records.iter().map(|r| format!("{r:?}\n")).collect()
+        records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} reachable={} banner={} wall={} embedding={:?} eur={:?} provider={:?} lang={:?} failure={:?}\n",
+                    r.domain,
+                    r.reachable,
+                    r.banner,
+                    r.cookiewall,
+                    r.embedding,
+                    r.monthly_eur,
+                    r.provider,
+                    r.language,
+                    r.failure,
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -509,7 +1005,11 @@ mod tests {
         let tool = BannerClick::new();
         let serial = crawl_all_regions_serial(&net, &targets, &tool, 1);
         for cache in [true, false] {
-            let opts = CrawlOptions { workers: 4, cache };
+            let opts = CrawlOptions {
+                workers: 4,
+                cache,
+                ..CrawlOptions::default()
+            };
             let (scheduled, metrics) = crawl_all_regions_with(&net, &targets, &tool, &opts);
             assert_eq!(scheduled.len(), Region::ALL.len());
             assert_eq!(metrics.tasks_completed, Region::ALL.len() * targets.len());
@@ -539,10 +1039,17 @@ mod tests {
         let (pop, net) = install_tiny();
         let targets: Vec<String> = pop.merged_targets().into_iter().take(40).collect();
         let tool = BannerClick::new();
-        let opts = CrawlOptions { workers: 3, cache: true };
+        let opts = CrawlOptions {
+            workers: 3,
+            cache: true,
+            ..CrawlOptions::default()
+        };
         let (crawls, metrics) = crawl_all_regions_with(&net, &targets, &tool, &opts);
         assert_eq!(metrics.workers, 3);
-        assert_eq!(metrics.cache_hits + metrics.cache_misses, metrics.tasks_completed);
+        assert_eq!(
+            metrics.cache_hits + metrics.cache_misses,
+            metrics.tasks_completed
+        );
         assert_eq!(metrics.per_region.len(), Region::ALL.len());
         for (crawl, (region, m)) in crawls.iter().zip(&metrics.per_region) {
             assert_eq!(crawl.region, *region);

@@ -36,28 +36,46 @@ pub struct Ablation {
 fn configs() -> Vec<(String, BannerClick)> {
     let full = DetectorOptions::default();
     vec![
-        ("full pipeline".into(), BannerClick { detector: full.clone(), corpus: CorpusMode::WordsAndPrices }),
+        (
+            "full pipeline".into(),
+            BannerClick {
+                detector: full.clone(),
+                corpus: CorpusMode::WordsAndPrices,
+            },
+        ),
         (
             "no shadow workaround".into(),
             BannerClick {
-                detector: DetectorOptions { pierce_shadow: false, ..full.clone() },
+                detector: DetectorOptions {
+                    pierce_shadow: false,
+                    ..full.clone()
+                },
                 corpus: CorpusMode::WordsAndPrices,
             },
         ),
         (
             "no iframe descent".into(),
             BannerClick {
-                detector: DetectorOptions { descend_iframes: false, ..full.clone() },
+                detector: DetectorOptions {
+                    descend_iframes: false,
+                    ..full.clone()
+                },
                 corpus: CorpusMode::WordsAndPrices,
             },
         ),
         (
             "words corpus only".into(),
-            BannerClick { detector: full.clone(), corpus: CorpusMode::WordsOnly },
+            BannerClick {
+                detector: full.clone(),
+                corpus: CorpusMode::WordsOnly,
+            },
         ),
         (
             "prices corpus only".into(),
-            BannerClick { detector: full, corpus: CorpusMode::PricesOnly },
+            BannerClick {
+                detector: full,
+                corpus: CorpusMode::PricesOnly,
+            },
         ),
     ]
 }
@@ -99,7 +117,12 @@ impl Ablation {
 
     /// Render the ablation table.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(["Configuration", "Walls found", "False positives", "Lost vs full"]);
+        let mut t = TextTable::new([
+            "Configuration",
+            "Walls found",
+            "False positives",
+            "Lost vs full",
+        ]);
         for r in &self.rows {
             t.row([
                 r.config.clone(),

@@ -39,10 +39,7 @@ pub fn compute(study: &Study, crawls: &[VantageCrawl]) -> Accuracy {
             detected.insert(r.domain.as_str());
         }
     }
-    let true_positives = detected
-        .iter()
-        .filter(|d| study.verify_wall(d))
-        .count();
+    let true_positives = detected.iter().filter(|d| study.verify_wall(d)).count();
     let false_positives = detected.len() - true_positives;
 
     // Ground truth reachable walls (everything on some toplist).

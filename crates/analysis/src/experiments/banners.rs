@@ -71,6 +71,9 @@ impl BannerPrevalence {
                 r.cookiewalls.to_string(),
             ]);
         }
-        format!("Banner prevalence per vantage point (§4.1 context)\n{}", t.render())
+        format!(
+            "Banner prevalence per vantage point (§4.1 context)\n{}",
+            t.render()
+        )
     }
 }

@@ -32,7 +32,13 @@ pub struct BotDetection {
 /// Crawl the target list from Germany with both user agents.
 pub fn compute(study: &Study) -> BotDetection {
     let targets = study.targets();
-    let stealth = crawl_region(&study.net, Region::Germany, &targets, &study.tool, study.workers);
+    let stealth = crawl_region(
+        &study.net,
+        Region::Germany,
+        &targets,
+        &study.tool,
+        study.workers,
+    );
 
     // A degraded crawl: identical pipeline, honest bot UA.
     let naive = crawl_with_ua(study, &targets, NAIVE_BOT_UA);
@@ -43,9 +49,8 @@ pub fn compute(study: &Study) -> BotDetection {
             .filter(|r| study.verify_wall(&r.domain))
             .count()
     };
-    let banners = |crawl: &crate::crawl::VantageCrawl| {
-        crawl.records.iter().filter(|r| r.banner).count()
-    };
+    let banners =
+        |crawl: &crate::crawl::VantageCrawl| crawl.records.iter().filter(|r| r.banner).count();
     let walls_stealth = verified(&stealth);
     let walls_naive = verified(&naive);
     BotDetection {
@@ -67,10 +72,15 @@ fn crawl_with_ua(
     // browser, so run a dedicated worker pool here.
     use crossbeam::thread;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    let tool = BannerClick { detector: study.tool.detector.clone(), corpus: study.tool.corpus };
+    let tool = BannerClick {
+        detector: study.tool.detector.clone(),
+        corpus: study.tool.corpus,
+    };
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<crate::crawl::CrawlRecord>>> =
-        targets.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<parking_lot::Mutex<Option<crate::crawl::CrawlRecord>>> = targets
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     thread::scope(|scope| {
         for _ in 0..study.workers.max(1) {
             scope.spawn(|_| {
@@ -93,8 +103,15 @@ fn crawl_with_ua(
         .into_iter()
         .map(|s| s.into_inner().expect("crawled"))
         .collect();
-    let metrics = crate::crawl::RegionMetrics { tasks: records.len(), ..Default::default() };
-    crate::crawl::VantageCrawl { region: Region::Germany, records, metrics }
+    let metrics = crate::crawl::RegionMetrics {
+        tasks: records.len(),
+        ..Default::default()
+    };
+    crate::crawl::VantageCrawl {
+        region: Region::Germany,
+        records,
+        metrics,
+    }
 }
 
 impl BotDetection {

@@ -58,8 +58,10 @@ pub fn compute(study: &Study, crawls: &[VantageCrawl]) -> Bypass {
     walls.sort();
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<BypassRecord>>> =
-        walls.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<parking_lot::Mutex<Option<BypassRecord>>> = walls
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     thread::scope(|scope| {
         for _ in 0..study.workers.max(1) {
             scope.spawn(|_| loop {
@@ -86,7 +88,11 @@ pub fn compute(study: &Study, crawls: &[VantageCrawl]) -> Bypass {
     Bypass {
         total,
         bypassed,
-        rate: if total == 0 { 0.0 } else { bypassed as f64 / total as f64 },
+        rate: if total == 0 {
+            0.0
+        } else {
+            bypassed as f64 / total as f64
+        },
         misbehaving,
         records,
     }

@@ -74,9 +74,13 @@ fn inspect_group(study: &Study, label: &str, domains: &[String]) -> ControlStats
     let mut browser = Browser::new(study.net.clone(), Region::Germany);
     for domain in domains {
         browser.clear_all_data();
-        let Ok(mut page) = browser.visit_domain(domain) else { continue };
+        let Ok(mut page) = browser.visit_domain(domain) else {
+            continue;
+        };
         let found = detect_banners(&mut page, &study.tool.detector);
-        let Some(banner) = found.first() else { continue };
+        let Some(banner) = found.first() else {
+            continue;
+        };
         stats.inspected += 1;
         let buttons = find_buttons(&page, banner);
         let has = |role: ButtonRole| buttons.iter().any(|b| b.role == role);
@@ -99,9 +103,7 @@ fn inspect_group(study: &Study, label: &str, domains: &[String]) -> ControlStats
 impl DarkPatterns {
     /// Render the comparison table.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new([
-            "Group", "n", "Accept", "Reject", "Settings", "Subscribe",
-        ]);
+        let mut t = TextTable::new(["Group", "n", "Accept", "Reject", "Settings", "Subscribe"]);
         for g in [&self.banners, &self.walls] {
             let pct = |x: usize| {
                 if g.inspected == 0 {

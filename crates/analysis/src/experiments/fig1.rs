@@ -53,7 +53,11 @@ pub fn compute(study: &Study, crawls: &[VantageCrawl]) -> Fig1 {
             .map(|(c, n)| CategoryShare {
                 category: c.label().to_string(),
                 count: n,
-                share: if total == 0 { 0.0 } else { n as f64 / total as f64 },
+                share: if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64
+                },
             })
             .collect(),
         total,
@@ -76,7 +80,12 @@ impl Fig1 {
             .shares
             .iter()
             .filter(|s| s.count > 0)
-            .map(|s| (format!("{} ({:.1}%)", s.category, s.share * 100.0), s.count as f64))
+            .map(|s| {
+                (
+                    format!("{} ({:.1}%)", s.category, s.share * 100.0),
+                    s.count as f64,
+                )
+            })
             .collect();
         format!(
             "Figure 1: Categories of websites showing cookiewalls (n={})\n{}",

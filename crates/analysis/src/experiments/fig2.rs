@@ -96,10 +96,7 @@ impl Fig2 {
                 }
             })
             .collect();
-        let cells: Vec<Vec<usize>> = row_labels
-            .iter()
-            .map(|t| self.heatmap[t].clone())
-            .collect();
+        let cells: Vec<Vec<usize>> = row_labels.iter().map(|t| self.heatmap[t].clone()).collect();
         format!(
             "Figure 2: Monthly subscription price distribution (n={})\n\
              ECDF (all TLDs):\n{}\n\

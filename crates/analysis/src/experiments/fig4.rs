@@ -123,7 +123,14 @@ impl Fig4 {
     /// Render the comparison table.
     pub fn render(&self) -> String {
         let mut t = TextTable::new([
-            "Group", "n", "FP med", "FP mean", "TP med", "TP mean", "Track med", "Track mean",
+            "Group",
+            "n",
+            "FP med",
+            "FP mean",
+            "TP med",
+            "TP mean",
+            "Track med",
+            "Track mean",
         ]);
         for g in [&self.banner, &self.wall] {
             t.row([

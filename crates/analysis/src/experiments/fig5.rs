@@ -26,10 +26,7 @@ pub struct Fig5 {
 /// Compute Figure 5 over every contentpass partner (in-list and off-list —
 /// the paper measures all 219).
 pub fn compute(study: &Study) -> Fig5 {
-    let partners: Vec<String> = study
-        .population
-        .smp_partners(Smp::Contentpass)
-        .to_vec();
+    let partners: Vec<String> = study.population.smp_partners(Smp::Contentpass).to_vec();
     let accept_ms = measure_sites(
         &study.net,
         Region::Germany,
@@ -60,9 +57,7 @@ pub fn compute(study: &Study) -> Fig5 {
 impl Fig5 {
     /// Render the accept-vs-subscribe comparison.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new([
-            "Mode", "n", "FP med", "TP med", "Track med", "Track max",
-        ]);
+        let mut t = TextTable::new(["Mode", "n", "FP med", "TP med", "Track med", "Track max"]);
         for g in [&self.accept, &self.subscribed] {
             t.row([
                 g.label.clone(),

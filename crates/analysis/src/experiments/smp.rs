@@ -102,10 +102,12 @@ pub struct EmbeddingSplit {
 /// wall).
 pub fn embedding_split(study: &Study, crawls: &[VantageCrawl]) -> EmbeddingSplit {
     use bannerclick::ObservedEmbedding;
-    let mut split = EmbeddingSplit { shadow: 0, iframe: 0, main_dom: 0 };
-    let de = crawls
-        .iter()
-        .find(|c| c.region == httpsim::Region::Germany);
+    let mut split = EmbeddingSplit {
+        shadow: 0,
+        iframe: 0,
+        main_dom: 0,
+    };
+    let de = crawls.iter().find(|c| c.region == httpsim::Region::Germany);
     let Some(de) = de else { return split };
     let _ = Country::De;
     for r in de.detected_walls() {

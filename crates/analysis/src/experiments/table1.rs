@@ -99,10 +99,7 @@ pub fn compute(study: &Study, crawls: &[VantageCrawl]) -> Table1 {
         .iter()
         .filter(|d| unique.contains(d.as_str()))
         .count();
-    let de_walls = de_list
-        .all()
-        .filter(|d| unique.contains(*d))
-        .count();
+    let de_walls = de_list.all().filter(|d| unique.contains(*d)).count();
 
     Table1 {
         unique_walls: unique.len(),

@@ -37,9 +37,10 @@ pub mod stats;
 pub use context::Study;
 pub use crawl::{
     analyze_domain, crawl_all_regions, crawl_all_regions_serial, crawl_all_regions_with,
-    crawl_region, CrawlMetrics, CrawlOptions, CrawlRecord, RegionMetrics, VantageCrawl,
+    crawl_region, crawl_region_with, CrawlMetrics, CrawlOptions, CrawlRecord, FailureKind,
+    FailureTaxonomy, RegionFailures, RegionMetrics, RetryPolicy, VantageCrawl,
 };
-pub use measure::{measure_site, measure_sites, InteractionMode, SiteCookieMeasurement, REPETITIONS};
-pub use runner::{
-    run_all, run_all_with_crawls, run_crawls, run_crawls_with_metrics, StudyReport,
+pub use measure::{
+    measure_site, measure_sites, InteractionMode, SiteCookieMeasurement, REPETITIONS,
 };
+pub use runner::{run_all, run_all_with_crawls, run_crawls, run_crawls_with_metrics, StudyReport};

@@ -14,6 +14,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// times per website and calculate the average number of cookies").
 pub const REPETITIONS: usize = 5;
 
+/// Visit attempts per repetition before the repetition is abandoned. A
+/// failed navigation never reaches the origin (dead hosts are unresolved;
+/// injected faults are synthesized in front of the server), so retrying a
+/// repetition to success leaves the measured site in exactly the state a
+/// fault-free run would produce — transient fault windows span at most two
+/// attempts, so four attempts always outlast them.
+const VISIT_ATTEMPTS: usize = 4;
+
 /// How the measurement interacts with the site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InteractionMode {
@@ -54,28 +62,10 @@ pub fn measure_site(
     let mut sums = CookieBreakdown::default();
     let mut ok = 0usize;
     for _rep in 0..REPETITIONS {
-        let mut browser = Browser::new(net.clone(), region);
-        let breakdown = match mode {
-            InteractionMode::Accept => {
-                let (analysis, after) = tool.analyze_and_accept(&mut browser, domain);
-                if !analysis.reachable {
-                    continue;
-                }
-                // Even without a banner the visit itself counts (the site
-                // may set cookies unconditionally).
-                let _ = after;
-                page_breakdown(&browser, domain, trackers)
-            }
-            InteractionMode::Subscribed { account_host } => {
-                if !browser.login_smp(account_host, "measurement", "secret") {
-                    continue;
-                }
-                if browser.visit_domain(domain).is_err() {
-                    continue;
-                }
-                page_breakdown(&browser, domain, trackers)
-            }
+        let Some(browser) = visit_with_retries(net, region, domain, mode, tool) else {
+            continue;
         };
+        let breakdown = page_breakdown(&browser, domain, trackers);
         sums.first_party += breakdown.first_party;
         sums.third_party += breakdown.third_party;
         sums.tracking += breakdown.tracking;
@@ -91,10 +81,48 @@ pub fn measure_site(
     }
 }
 
+/// One repetition's visit, retried with a fresh profile on outright
+/// navigation failure (connection faults, timeouts). Returns the browser
+/// that completed the interaction, or `None` when the site never answered
+/// within [`VISIT_ATTEMPTS`] — or, in subscriber mode, when the SMP login
+/// itself was refused (account hosts are infrastructure and never faulted,
+/// so a login failure is permanent and not worth retrying).
+fn visit_with_retries(
+    net: &Network,
+    region: Region,
+    domain: &str,
+    mode: InteractionMode,
+    tool: &BannerClick,
+) -> Option<Browser> {
+    for _attempt in 0..VISIT_ATTEMPTS {
+        let mut browser = Browser::new(net.clone(), region);
+        match mode {
+            InteractionMode::Accept => {
+                // Even without a banner the visit itself counts (the site
+                // may set cookies unconditionally), so only reachability
+                // decides success.
+                let (analysis, _after) = tool.analyze_and_accept(&mut browser, domain);
+                if analysis.reachable {
+                    return Some(browser);
+                }
+            }
+            InteractionMode::Subscribed { account_host } => {
+                if !browser.login_smp(account_host, "measurement", "secret") {
+                    return None;
+                }
+                if browser.visit_domain(domain).is_ok() {
+                    return Some(browser);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn page_breakdown(browser: &Browser, domain: &str, trackers: &TrackerDb) -> CookieBreakdown {
-    browser
-        .jar()
-        .breakdown(domain, |cookie_domain| trackers.is_tracking_domain(cookie_domain))
+    browser.jar().breakdown(domain, |cookie_domain| {
+        trackers.is_tracking_domain(cookie_domain)
+    })
 }
 
 /// Measure many sites in parallel.
@@ -109,8 +137,10 @@ pub fn measure_sites(
     let trackers = TrackerDb::justdomains();
     let workers = workers.max(1);
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<SiteCookieMeasurement>>> =
-        domains.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<parking_lot::Mutex<Option<SiteCookieMeasurement>>> = domains
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
@@ -151,8 +181,10 @@ mod tests {
         let wall = pop
             .ground_truth_walls()
             .into_iter()
-            .find(|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.smp.is_none()
-                && c.visibility != webgen::Visibility::DeOnly))
+            .find(|s| {
+                matches!(&s.banner, BannerKind::Cookiewall(c) if c.smp.is_none()
+                && c.visibility != webgen::Visibility::DeOnly)
+            })
             .expect("independent wall");
         let m = measure_site(
             &net,
@@ -214,7 +246,14 @@ mod tests {
             .take(8)
             .map(|s| s.domain.clone())
             .collect();
-        let results = measure_sites(&net, Region::Germany, &domains, InteractionMode::Accept, &tool, 4);
+        let results = measure_sites(
+            &net,
+            Region::Germany,
+            &domains,
+            InteractionMode::Accept,
+            &tool,
+            4,
+        );
         assert_eq!(results.len(), domains.len());
         for r in &results {
             assert!(r.successful_reps > 0, "{}", r.domain);

@@ -115,9 +115,8 @@ pub fn render_heatmap(
     col_labels: &[String],
     cells: &[Vec<usize>],
 ) -> String {
-    let mut table = TextTable::new(
-        std::iter::once("".to_string()).chain(col_labels.iter().cloned()),
-    );
+    let mut table =
+        TextTable::new(std::iter::once("".to_string()).chain(col_labels.iter().cloned()));
     for (label, row) in row_labels.iter().zip(cells) {
         let cells: Vec<String> = std::iter::once(label.clone())
             .chain(row.iter().map(|c| {
@@ -163,10 +162,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let s = render_bars(
-            &[("news".into(), 74.0), ("it".into(), 20.0)],
-            20,
-        );
+        let s = render_bars(&[("news".into(), 74.0), ("it".into(), 20.0)], 20);
         let news_line = s.lines().next().unwrap();
         let it_line = s.lines().nth(1).unwrap();
         assert!(news_line.matches('#').count() > it_line.matches('#').count());

@@ -2,7 +2,7 @@
 //! expensive crawls.
 
 use crate::context::Study;
-use crate::crawl::{crawl_all_regions_with, CrawlMetrics, VantageCrawl};
+use crate::crawl::{crawl_all_regions_with, CrawlMetrics, FailureTaxonomy, VantageCrawl};
 use crate::experiments::{
     ablation, accuracy, banners, botdetect, bypass, darkpatterns, fig1, fig2, fig3, fig4, fig5,
     fig6, smp, table1,
@@ -42,6 +42,12 @@ pub struct StudyReport {
     pub darkpatterns: darkpatterns::DarkPatterns,
     /// Bot-detection impact (§3 limitation).
     pub botdetect: botdetect::BotDetection,
+    /// Crawl failure taxonomy, present only when the study ran with fault
+    /// injection enabled. Absent (not `null`) otherwise, so a fault-free
+    /// report stays byte-identical to one produced before the fault layer
+    /// existed.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub failures: Option<FailureTaxonomy>,
     /// Scheduler/cache observations for the crawl phase. Machine- and
     /// configuration-dependent, so excluded from the serialized report
     /// (the golden-snapshot tests compare JSON across cache modes).
@@ -102,6 +108,10 @@ pub fn run_all_with_crawls(study: &Study, crawls: &[VantageCrawl]) -> StudyRepor
         ablation,
         darkpatterns,
         botdetect,
+        failures: study
+            .fault_plan
+            .is_some()
+            .then(|| FailureTaxonomy::from_crawls(crawls)),
         crawl_metrics: CrawlMetrics::default(),
     }
 }
@@ -127,6 +137,10 @@ impl StudyReport {
             self.botdetect.render(),
         ]
         .join("\n")
+            + &match &self.failures {
+                Some(taxonomy) => format!("\n{}", taxonomy.render()),
+                None => String::new(),
+            }
     }
 
     /// Machine-readable JSON of every experiment result.

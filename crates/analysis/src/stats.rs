@@ -124,7 +124,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// Average ranks (ties share the mean rank), 1-based.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -65,8 +65,16 @@ fn fig1_shares_partition_the_walls() {
 fn fig2_heatmap_partitions_prices() {
     let (study, crawls) = world();
     let f = fig2::compute(study, crawls);
-    let heat_total: usize = f.heatmap.values().map(|row| row.iter().sum::<usize>()).sum();
-    assert_eq!(heat_total, f.prices.len(), "heatmap cells partition the sites");
+    let heat_total: usize = f
+        .heatmap
+        .values()
+        .map(|row| row.iter().sum::<usize>())
+        .sum();
+    assert_eq!(
+        heat_total,
+        f.prices.len(),
+        "heatmap cells partition the sites"
+    );
     // ECDF sanity.
     assert!(f.at_most_3 <= f.at_most_4);
     assert!(f.at_least_9 <= 1.0 - f.at_most_4 + 1e-9);
@@ -95,10 +103,17 @@ fn fig4_measurements_align_with_detections() {
     let (study, crawls) = world();
     let f4 = fig4::compute(study, crawls);
     assert_eq!(f4.wall.sites, f4.wall_measurements.len());
-    assert_eq!(f4.banner.sites, f4.wall.sites, "equal-size comparison groups");
+    assert_eq!(
+        f4.banner.sites, f4.wall.sites,
+        "equal-size comparison groups"
+    );
     for m in &f4.wall_measurements {
         assert!(m.successful_reps > 0, "{}", m.domain);
-        assert!(m.third_party >= m.tracking, "{}: tracking ⊆ third-party", m.domain);
+        assert!(
+            m.third_party >= m.tracking,
+            "{}: tracking ⊆ third-party",
+            m.domain
+        );
     }
 }
 
@@ -111,7 +126,10 @@ fn fig5_and_fig6_join_correctly() {
     let f6 = fig6::compute(&f2, &f4);
     assert_eq!(
         f5.partners,
-        study.population.smp_partners(webgen::Smp::Contentpass).len()
+        study
+            .population
+            .smp_partners(webgen::Smp::Contentpass)
+            .len()
     );
     // Figure 6 joins on domains present in both inputs.
     assert!(f6.points.len() <= f2.prices.len());
@@ -131,7 +149,9 @@ fn bypass_records_match_totals() {
     // First-party walls are never bypassed; SMP/CMP walls are.
     for r in &b.records {
         let site = study.population.site(&r.domain).unwrap();
-        let webgen::BannerKind::Cookiewall(cw) = &site.banner else { panic!() };
+        let webgen::BannerKind::Cookiewall(cw) = &site.banner else {
+            panic!()
+        };
         assert_eq!(
             r.bypassed,
             cw.serving != webgen::Serving::FirstParty,
@@ -197,7 +217,10 @@ fn crawl_handles_dead_domains() {
         .filter(|d| study.population.is_dead(d))
         .count();
     let unreachable = crawls[0].records.iter().filter(|r| !r.reachable).count();
-    assert_eq!(unreachable, dead_in_targets, "every dead target is recorded");
+    assert_eq!(
+        unreachable, dead_in_targets,
+        "every dead target is recorded"
+    );
     // Experiments degrade gracefully.
     let t = table1::compute(&study, &crawls);
     assert!(t.unique_walls > 0);

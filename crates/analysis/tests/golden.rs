@@ -8,7 +8,11 @@
 //! change that must be reviewed (and the fixture regenerated with
 //! `UPDATE_GOLDEN=1 cargo test -p analysis --test golden`).
 
-use analysis::Study;
+use analysis::{RetryPolicy, Study};
+use bannerclick::BannerClick;
+use httpsim::{FaultConfig, FaultPlan, Network};
+use std::sync::Arc;
+use webgen::{Population, PopulationConfig};
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -21,6 +25,13 @@ fn report_json(cache: bool) -> String {
     analysis::run_all(&study).to_json()
 }
 
+fn fixture() -> String {
+    std::fs::read_to_string(FIXTURE).expect(
+        "golden fixture missing — regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p analysis --test golden",
+    )
+}
+
 #[test]
 fn small_study_matches_golden_snapshot() {
     let json = report_json(true);
@@ -29,12 +40,9 @@ fn small_study_matches_golden_snapshot() {
         eprintln!("fixture regenerated: {FIXTURE}");
         return;
     }
-    let golden = std::fs::read_to_string(FIXTURE).expect(
-        "golden fixture missing — regenerate with \
-         UPDATE_GOLDEN=1 cargo test -p analysis --test golden",
-    );
     assert_eq!(
-        golden, json,
+        fixture(),
+        json,
         "StudyReport JSON drifted from the golden fixture; if the change \
          is intended, regenerate with UPDATE_GOLDEN=1"
     );
@@ -45,4 +53,41 @@ fn golden_snapshot_is_cache_mode_independent() {
     // The shared-fetch cache must be a pure optimization: disabling it may
     // not change a single byte of the report.
     assert_eq!(report_json(true), report_json(false));
+}
+
+#[test]
+fn disabled_fault_layer_matches_golden_snapshot() {
+    // A zero-rate fault config is recognized as a no-op and installs no
+    // fault plan at all, so the report (including the absence of the
+    // `failures` section) is byte-identical to the fixture.
+    let study = Study::with_fault_config(PopulationConfig::small(), Some(FaultConfig::new(7)));
+    assert!(
+        study.fault_plan.is_none(),
+        "zero-rate fault config must be a no-op"
+    );
+    assert_eq!(fixture(), analysis::run_all(&study).to_json());
+}
+
+#[test]
+fn zero_rate_faulty_server_is_byte_transparent() {
+    // Stronger than the no-op filter: with the FaultyServer wrapper
+    // actually interposed in front of every origin at rate zero, it must
+    // inject nothing and forward every byte unchanged.
+    let population = Arc::new(Population::generate(PopulationConfig::small()));
+    let net = Network::new();
+    let plan = Arc::new(FaultPlan::new(FaultConfig::new(7)));
+    webgen::server::install_with_faults(Arc::clone(&population), &net, Some(Arc::clone(&plan)));
+    let study = Study {
+        population,
+        net,
+        tool: BannerClick::new(),
+        workers: 4,
+        cache: true,
+        retry: RetryPolicy::default(),
+        // No plan on the study: the report must omit the failure section,
+        // exactly like a fault-free run.
+        fault_plan: None,
+    };
+    assert_eq!(fixture(), analysis::run_all(&study).to_json());
+    assert_eq!(plan.injected().total(), 0, "zero rates may never fire");
 }

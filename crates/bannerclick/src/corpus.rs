@@ -15,39 +15,100 @@
 /// candidate is any element whose text contains at least one of these.
 pub const CONSENT_WORDS: &[&str] = &[
     // English.
-    "cookie", "consent", "privacy", "tracking", "personalised", "personalized", "ad-free",
+    "cookie",
+    "consent",
+    "privacy",
+    "tracking",
+    "personalised",
+    "personalized",
+    "ad-free",
     "advertising",
     // German.
-    "zustimm", "einwillig", "datenschutz", "werbung", "werbefrei", "personalisier",
+    "zustimm",
+    "einwillig",
+    "datenschutz",
+    "werbung",
+    "werbefrei",
+    "personalisier",
     // Italian.
-    "pubblicità", "tracciamento", "consenso", "privacy",
+    "pubblicità",
+    "tracciamento",
+    "consenso",
+    "privacy",
     // Swedish.
-    "kakor", "samtycke", "spårning", "reklamfri", "annonser",
+    "kakor",
+    "samtycke",
+    "spårning",
+    "reklamfri",
+    "annonser",
     // French.
-    "publicité", "suivi", "consentement",
+    "publicité",
+    "suivi",
+    "consentement",
     // Portuguese.
-    "publicidade", "rastreamento", "consentimento", "anúncios",
+    "publicidade",
+    "rastreamento",
+    "consentimento",
+    "anúncios",
     // Spanish.
-    "publicidad", "seguimiento", "consentimiento", "anuncios",
+    "publicidad",
+    "seguimiento",
+    "consentimiento",
+    "anuncios",
     // Dutch.
-    "toestemming", "advertenties", "reclamevrij", "privacyverklaring",
+    "toestemming",
+    "advertenties",
+    "reclamevrij",
+    "privacyverklaring",
 ];
 
 /// Subscription vocabulary — the cookiewall-specific word list.
 pub const SUBSCRIPTION_WORDS: &[&str] = &[
     // The paper's corpus, verbatim.
-    "abo", "abonnent", "abbonamento", "abonne", "abonné", "ad-free", "subscribe",
+    "abo",
+    "abonnent",
+    "abbonamento",
+    "abonne",
+    "abonné",
+    "ad-free",
+    "subscribe",
     // Equivalents for the remaining crawl languages.
-    "abonnement", "abonnemang", "prenumeration", "assinatura", "subscrever", "suscripción",
-    "suscribirse", "abonnieren", "abonneren", "pur-abo", "purabo", "sottoscrivi",
-    "subscription", "werbefrei", "reklamfri", "reclamevrij",
+    "abonnement",
+    "abonnemang",
+    "prenumeration",
+    "assinatura",
+    "subscrever",
+    "suscripción",
+    "suscribirse",
+    "abonnieren",
+    "abonneren",
+    "pur-abo",
+    "purabo",
+    "sottoscrivi",
+    "subscription",
+    "werbefrei",
+    "reklamfri",
+    "reclamevrij",
 ];
 
 /// Words that label an accept action on a button.
 pub const ACCEPT_WORDS: &[&str] = &[
-    "accept", "akzeptieren", "zustimmen", "einverstanden", "agree", "accetta", "acconsento",
-    "godkänn", "accepter", "aceitar", "aceptar", "accepteren", "alle akzeptieren", "allow",
-    "erlauben", "verstanden",
+    "accept",
+    "akzeptieren",
+    "zustimmen",
+    "einverstanden",
+    "agree",
+    "accetta",
+    "acconsento",
+    "godkänn",
+    "accepter",
+    "aceitar",
+    "aceptar",
+    "accepteren",
+    "alle akzeptieren",
+    "allow",
+    "erlauben",
+    "verstanden",
 ];
 
 /// Labels that are an accept action only when they are the *whole* label
@@ -56,22 +117,61 @@ pub const ACCEPT_EXACT_LABELS: &[&str] = &["ok", "ok!", "okay", "got it", "alles
 
 /// Words that label a reject action on a button.
 pub const REJECT_WORDS: &[&str] = &[
-    "reject", "ablehnen", "decline", "rifiuta", "neka", "refuser", "rejeitar", "rechazar",
-    "weigeren", "deny", "verweigern", "nur notwendige", "only necessary",
+    "reject",
+    "ablehnen",
+    "decline",
+    "rifiuta",
+    "neka",
+    "refuser",
+    "rejeitar",
+    "rechazar",
+    "weigeren",
+    "deny",
+    "verweigern",
+    "nur notwendige",
+    "only necessary",
 ];
 
 /// Words that label a subscribe action (link to the pay option).
 pub const SUBSCRIBE_ACTION_WORDS: &[&str] = &[
-    "subscribe", "abonnieren", "abo abschließen", "abschließen", "sottoscrivi", "teckna",
-    "s'abonner", "subscrever", "suscribirse", "abonneren", "jetzt abo",
+    "subscribe",
+    "abonnieren",
+    "abo abschließen",
+    "abschließen",
+    "sottoscrivi",
+    "teckna",
+    "s'abonner",
+    "subscrever",
+    "suscribirse",
+    "abonneren",
+    "jetzt abo",
 ];
 
 /// Words that label a settings/preferences control.
 pub const SETTINGS_WORDS: &[&str] = &[
-    "settings", "einstellungen", "manage", "verwalten", "preferences", "präferenzen",
-    "gestisci", "preferenze", "hantera", "inställningar", "gérer", "préférences", "gerir",
-    "preferências", "gestionar", "preferencias", "beheren", "voorkeuren", "options",
-    "optionen", "anpassen", "customise", "customize",
+    "settings",
+    "einstellungen",
+    "manage",
+    "verwalten",
+    "preferences",
+    "präferenzen",
+    "gestisci",
+    "preferenze",
+    "hantera",
+    "inställningar",
+    "gérer",
+    "préférences",
+    "gerir",
+    "preferências",
+    "gestionar",
+    "preferencias",
+    "beheren",
+    "voorkeuren",
+    "options",
+    "optionen",
+    "anpassen",
+    "customise",
+    "customize",
 ];
 
 /// Currency tokens: `(token, iso_code, is_symbol)`. Symbols may touch the
@@ -118,12 +218,31 @@ pub fn eur_rate(iso: &str) -> Option<f64> {
 /// Month-period phrases (any language); year phrases. Used to normalize a
 /// quoted price to per-month.
 pub const MONTH_WORDS: &[&str] = &[
-    "monat", "month", "mese", "månad", "mois", "mês", "mes", "maand", "monthly", "monatlich",
+    "monat",
+    "month",
+    "mese",
+    "månad",
+    "mois",
+    "mês",
+    "mes",
+    "maand",
+    "monthly",
+    "monatlich",
 ];
 
 /// Year-period phrases.
 pub const YEAR_WORDS: &[&str] = &[
-    "jahr", "year", "anno", "år", "an ", "ano", "año", "jaar", "yearly", "jährlich", "annuale",
+    "jahr",
+    "year",
+    "anno",
+    "år",
+    "an ",
+    "ano",
+    "año",
+    "jaar",
+    "yearly",
+    "jährlich",
+    "annuale",
     "all'anno",
 ];
 
@@ -150,7 +269,11 @@ mod tests {
     #[test]
     fn subscription_words_cover_wall_texts() {
         use webgen::{Currency, Period, PriceSpec};
-        let price = PriceSpec { amount_cents: 299, currency: Currency::Eur, period: Period::Month };
+        let price = PriceSpec {
+            amount_cents: 299,
+            currency: Currency::Eur,
+            period: Period::Month,
+        };
         for lang in langid::Language::ALL {
             let wall = webgen::wall_text(lang, "example.de", &price, None).to_lowercase();
             assert!(
@@ -177,9 +300,15 @@ mod tests {
     fn button_labels_match_action_words() {
         for lang in langid::Language::ALL {
             let accept = webgen::accept_label(lang).to_lowercase();
-            assert!(contains_any(&accept, ACCEPT_WORDS), "{lang:?} accept: {accept}");
+            assert!(
+                contains_any(&accept, ACCEPT_WORDS),
+                "{lang:?} accept: {accept}"
+            );
             let reject = webgen::reject_label(lang).to_lowercase();
-            assert!(contains_any(&reject, REJECT_WORDS), "{lang:?} reject: {reject}");
+            assert!(
+                contains_any(&reject, REJECT_WORDS),
+                "{lang:?} reject: {reject}"
+            );
             let sub = webgen::subscribe_label(lang).to_lowercase();
             assert!(
                 contains_any(&sub, SUBSCRIPTION_WORDS)

@@ -94,7 +94,10 @@ pub fn detect_banners(page: &mut Page, options: &DetectorOptions) -> Vec<BannerF
         let doc = &page.frames[frame_idx].doc;
         if let Some(root) = find_banner_root(doc, doc.root(), options, in_iframe) {
             findings.push(BannerFinding {
-                root: ElementRef { frame: frame_idx, node: root },
+                root: ElementRef {
+                    frame: frame_idx,
+                    node: root,
+                },
                 embedding: if in_iframe {
                     ObservedEmbedding::Iframe
                 } else {
@@ -110,7 +113,10 @@ pub fn detect_banners(page: &mut Page, options: &DetectorOptions) -> Vec<BannerF
             let doc = &mut page.frames[frame_idx].doc;
             if let Some((root, text)) = pierce_shadow_roots(doc, options) {
                 findings.push(BannerFinding {
-                    root: ElementRef { frame: frame_idx, node: root },
+                    root: ElementRef {
+                        frame: frame_idx,
+                        node: root,
+                    },
                     embedding: ObservedEmbedding::ShadowDom,
                     text,
                 });
@@ -199,17 +205,16 @@ fn ascend_to_overlay(doc: &Document, node: NodeId) -> Option<NodeId> {
 /// back to the original shadow element. The clone is detached afterwards.
 ///
 /// Returns the banner root *in the original shadow tree* plus its text.
-fn pierce_shadow_roots(
-    doc: &mut Document,
-    options: &DetectorOptions,
-) -> Option<(NodeId, String)> {
+fn pierce_shadow_roots(doc: &mut Document, options: &DetectorOptions) -> Option<(NodeId, String)> {
     let hosts = doc.shadow_hosts();
     if hosts.is_empty() {
         return None;
     }
     let body = doc.body()?;
     for host in hosts {
-        let Some(sref) = doc.shadow_root(host) else { continue };
+        let Some(sref) = doc.shadow_root(host) else {
+            continue;
+        };
         let shadow_children: Vec<NodeId> = doc.children(sref.root).collect();
         for child in shadow_children {
             // Clone this shadow child into the body (the paper's "clone and
@@ -246,7 +251,11 @@ mod tests {
             url: url.clone(),
             final_url: url.clone(),
             status: 200,
-            frames: vec![browser::Frame { doc, url, parent: None }],
+            frames: vec![browser::Frame {
+                doc,
+                url,
+                parent: None,
+            }],
             blocked: vec![],
             requests: vec![],
             scroll_locked: false,
@@ -287,7 +296,10 @@ mod tests {
                <footer><a href="/privacy">Privacy policy</a></footer>"#,
         );
         let found = detect_banners(&mut page, &DetectorOptions::default());
-        assert!(found.is_empty(), "footer link must not be detected: {found:?}");
+        assert!(
+            found.is_empty(),
+            "footer link must not be detected: {found:?}"
+        );
     }
 
     #[test]
@@ -321,11 +333,17 @@ mod tests {
             doc.node(root).parent.map(|p| &doc.node(p).kind),
             Some(webdom::NodeKind::ShadowRoot(_))
         );
-        assert!(in_shadow || is_shadow_child, "hit maps back into the shadow tree");
+        assert!(
+            in_shadow || is_shadow_child,
+            "hit maps back into the shadow tree"
+        );
 
         // Workaround off: invisible (the ablation's point).
         let mut page = fake_page(html);
-        let opts = DetectorOptions { pierce_shadow: false, ..Default::default() };
+        let opts = DetectorOptions {
+            pierce_shadow: false,
+            ..Default::default()
+        };
         assert!(detect_banners(&mut page, &opts).is_empty());
     }
 
@@ -335,9 +353,15 @@ mod tests {
             <div class="consent-wall"><p>cookies und Abo 1,99 €</p></div>
             </template></div><p>light content</p>"#;
         let mut page = fake_page(html);
-        let before = page.frames[0].doc.body().map(|b| page.frames[0].doc.children(b).count());
+        let before = page.frames[0]
+            .doc
+            .body()
+            .map(|b| page.frames[0].doc.children(b).count());
         let _ = detect_banners(&mut page, &DetectorOptions::default());
-        let after = page.frames[0].doc.body().map(|b| page.frames[0].doc.children(b).count());
+        let after = page.frames[0]
+            .doc
+            .body()
+            .map(|b| page.frames[0].doc.children(b).count());
         assert_eq!(before, after, "clones must be detached again");
     }
 
@@ -346,15 +370,17 @@ mod tests {
         let url = httpsim::Url::parse("https://test.de/").unwrap();
         let main = parse(r#"<p>article</p><iframe src="https://cmp.example/banner"></iframe>"#);
         let iframe_el = main.select(main.root(), "iframe").unwrap()[0];
-        let frame_doc = parse(
-            r#"<div><p>We use cookies.</p><button>Accept all</button></div>"#,
-        );
+        let frame_doc = parse(r#"<div><p>We use cookies.</p><button>Accept all</button></div>"#);
         let mut page = Page {
             url: url.clone(),
             final_url: url.clone(),
             status: 200,
             frames: vec![
-                browser::Frame { doc: main, url: url.clone(), parent: None },
+                browser::Frame {
+                    doc: main,
+                    url: url.clone(),
+                    parent: None,
+                },
                 browser::Frame {
                     doc: frame_doc,
                     url: httpsim::Url::parse("https://cmp.example/banner").unwrap(),
@@ -371,7 +397,10 @@ mod tests {
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].embedding, ObservedEmbedding::Iframe);
 
-        let opts = DetectorOptions { descend_iframes: false, ..Default::default() };
+        let opts = DetectorOptions {
+            descend_iframes: false,
+            ..Default::default()
+        };
         assert!(detect_banners(&mut page, &opts).is_empty());
     }
 }

@@ -7,7 +7,10 @@
 //! §3 workaround ("run the interaction function on the corresponding
 //! element in the shadow DOM").
 
-use crate::corpus::{contains_any, ACCEPT_EXACT_LABELS, ACCEPT_WORDS, REJECT_WORDS, SETTINGS_WORDS, SUBSCRIBE_ACTION_WORDS};
+use crate::corpus::{
+    contains_any, ACCEPT_EXACT_LABELS, ACCEPT_WORDS, REJECT_WORDS, SETTINGS_WORDS,
+    SUBSCRIBE_ACTION_WORDS,
+};
 use crate::detect::BannerFinding;
 use browser::{Browser, ClickOutcome, ElementRef, Page, VisitError};
 use webdom::{Document, NodeId};
@@ -50,7 +53,10 @@ pub fn find_buttons(page: &Page, banner: &BannerFinding) -> Vec<ButtonFinding> {
         let role = classify_label(&lower);
         if let Some(role) = role {
             out.push(ButtonFinding {
-                element: ElementRef { frame: banner.root.frame, node },
+                element: ElementRef {
+                    frame: banner.root.frame,
+                    node,
+                },
                 role,
                 label,
             });
@@ -108,7 +114,9 @@ pub fn click_reject(
 fn clickable_descendants(doc: &Document, root: NodeId) -> Vec<NodeId> {
     doc.descendant_elements(root)
         .filter(|&n| {
-            let Some(el) = doc.element(n) else { return false };
+            let Some(el) = doc.element(n) else {
+                return false;
+            };
             matches!(el.tag.as_str(), "button" | "a" | "input")
                 || el.attr("role") == Some("button")
                 || el.attr("data-cw-action").is_some()
@@ -129,7 +137,11 @@ mod tests {
             url: url.clone(),
             final_url: url.clone(),
             status: 200,
-            frames: vec![browser::Frame { doc, url, parent: None }],
+            frames: vec![browser::Frame {
+                doc,
+                url,
+                parent: None,
+            }],
             blocked: vec![],
             requests: vec![],
             scroll_locked: false,
@@ -202,7 +214,10 @@ mod tests {
         assert!(buttons.iter().any(|b| b.role == ButtonRole::Settings));
         // "Manage my cookies" must NOT be an accept button despite the
         // "ok" substring inside "cookies".
-        let settings = buttons.iter().find(|b| b.role == ButtonRole::Settings).unwrap();
+        let settings = buttons
+            .iter()
+            .find(|b| b.role == ButtonRole::Settings)
+            .unwrap();
         assert!(settings.label.contains("Manage"));
     }
 
@@ -242,7 +257,13 @@ mod tests {
 pub fn find_buttons_xpath(page: &Page, banner: &BannerFinding) -> Vec<ButtonFinding> {
     let doc = &page.frames[banner.root.frame].doc;
     let mut nodes: Vec<NodeId> = Vec::new();
-    for expr in ["//button", "//a", "//input", "//*[@role='button']", "//*[@data-cw-action]"] {
+    for expr in [
+        "//button",
+        "//a",
+        "//input",
+        "//*[@role='button']",
+        "//*[@data-cw-action]",
+    ] {
         if let Ok(xp) = webdom::XPath::parse(expr) {
             nodes.extend(xp.select(doc, banner.root.node));
         }
@@ -259,7 +280,10 @@ pub fn find_buttons_xpath(page: &Page, banner: &BannerFinding) -> Vec<ButtonFind
         let role = classify_label(&lower);
         if let Some(role) = role {
             out.push(ButtonFinding {
-                element: ElementRef { frame: banner.root.frame, node },
+                element: ElementRef {
+                    frame: banner.root.frame,
+                    node,
+                },
                 role,
                 label,
             });
@@ -303,7 +327,11 @@ mod xpath_tests {
             url: url.clone(),
             final_url: url.clone(),
             status: 200,
-            frames: vec![browser::Frame { doc, url, parent: None }],
+            frames: vec![browser::Frame {
+                doc,
+                url,
+                parent: None,
+            }],
             blocked: vec![],
             requests: vec![],
             scroll_locked: false,

@@ -52,8 +52,9 @@ mod pricing;
 pub use analyzer::{observed_provider, BannerClick, PageFlags, SiteAnalysis};
 pub use classify::{classify_wall, CorpusMode, WallClassification};
 pub use corpus::{
-    contains_any, eur_rate, ACCEPT_EXACT_LABELS, ACCEPT_WORDS, CONSENT_WORDS, CURRENCY_TOKENS, MONTH_WORDS,
-    REJECT_WORDS, SETTINGS_WORDS, SUBSCRIBE_ACTION_WORDS, SUBSCRIPTION_WORDS, YEAR_WORDS,
+    contains_any, eur_rate, ACCEPT_EXACT_LABELS, ACCEPT_WORDS, CONSENT_WORDS, CURRENCY_TOKENS,
+    MONTH_WORDS, REJECT_WORDS, SETTINGS_WORDS, SUBSCRIBE_ACTION_WORDS, SUBSCRIPTION_WORDS,
+    YEAR_WORDS,
 };
 pub use detect::{detect_banners, BannerFinding, DetectorOptions, ObservedEmbedding};
 pub use interact::{

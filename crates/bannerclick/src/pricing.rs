@@ -84,9 +84,7 @@ fn read_amount(chars: &[char], start: usize) -> (f64, usize) {
         i += 1;
     }
     // Decimal part: separator followed by 1–2 digits.
-    if i + 1 < chars.len()
-        && (chars[i] == '.' || chars[i] == ',')
-        && chars[i + 1].is_ascii_digit()
+    if i + 1 < chars.len() && (chars[i] == '.' || chars[i] == ',') && chars[i + 1].is_ascii_digit()
     {
         let sep = i;
         let mut frac = 0u64;
@@ -166,14 +164,8 @@ fn period_is_yearly(chars: &[char], from: usize) -> bool {
     // Trailing pad so boundary-sensitive words ("an ") match at end of text.
     let mut window: String = chars[from..chars.len().min(from + 40)].iter().collect();
     window.push(' ');
-    let month_pos = MONTH_WORDS
-        .iter()
-        .filter_map(|w| window.find(w))
-        .min();
-    let year_pos = YEAR_WORDS
-        .iter()
-        .filter_map(|w| window.find(w))
-        .min();
+    let month_pos = MONTH_WORDS.iter().filter_map(|w| window.find(w)).min();
+    let year_pos = YEAR_WORDS.iter().filter_map(|w| window.find(w)).min();
     match (month_pos, year_pos) {
         (Some(m), Some(y)) => y < m,
         (None, Some(_)) => true,
@@ -257,13 +249,41 @@ mod tests {
         // exact monthly-EUR value the ground truth defines.
         use webgen::{format_price, period_phrase, Currency, Period, PriceSpec};
         let cases = [
-            PriceSpec { amount_cents: 299, currency: Currency::Eur, period: Period::Month },
-            PriceSpec { amount_cents: 149, currency: Currency::Eur, period: Period::Month },
-            PriceSpec { amount_cents: 3588, currency: Currency::Eur, period: Period::Year },
-            PriceSpec { amount_cents: 349, currency: Currency::Usd, period: Period::Month },
-            PriceSpec { amount_cents: 250, currency: Currency::Chf, period: Period::Month },
-            PriceSpec { amount_cents: 499, currency: Currency::Aud, period: Period::Month },
-            PriceSpec { amount_cents: 299, currency: Currency::Gbp, period: Period::Month },
+            PriceSpec {
+                amount_cents: 299,
+                currency: Currency::Eur,
+                period: Period::Month,
+            },
+            PriceSpec {
+                amount_cents: 149,
+                currency: Currency::Eur,
+                period: Period::Month,
+            },
+            PriceSpec {
+                amount_cents: 3588,
+                currency: Currency::Eur,
+                period: Period::Year,
+            },
+            PriceSpec {
+                amount_cents: 349,
+                currency: Currency::Usd,
+                period: Period::Month,
+            },
+            PriceSpec {
+                amount_cents: 250,
+                currency: Currency::Chf,
+                period: Period::Month,
+            },
+            PriceSpec {
+                amount_cents: 499,
+                currency: Currency::Aud,
+                period: Period::Month,
+            },
+            PriceSpec {
+                amount_cents: 299,
+                currency: Currency::Gbp,
+                period: Period::Month,
+            },
         ];
         for lang in langid::Language::ALL {
             for spec in &cases {

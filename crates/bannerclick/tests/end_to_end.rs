@@ -28,7 +28,9 @@ fn detects_every_wall_class_from_germany() {
             missed.push((site.domain.clone(), site.banner.clone()));
         } else {
             // Embedding attribution matches ground truth.
-            let BannerKind::Cookiewall(cw) = &site.banner else { unreachable!() };
+            let BannerKind::Cookiewall(cw) = &site.banner else {
+                unreachable!()
+            };
             let expected = match cw.embedding {
                 Embedding::MainDom => ObservedEmbedding::MainDom,
                 Embedding::Iframe => ObservedEmbedding::Iframe,
@@ -100,7 +102,9 @@ fn eu_only_walls_invisible_from_india() {
     let tool = BannerClick::new();
     let mut browser = Browser::new(net, Region::India);
     for site in pop.ground_truth_walls() {
-        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        let BannerKind::Cookiewall(cw) = &site.banner else {
+            continue;
+        };
         if cw.visibility == Visibility::Global {
             continue;
         }
@@ -126,7 +130,9 @@ fn shadow_ablation_loses_shadow_walls_only() {
     };
     let mut browser = Browser::new(net, Region::Germany);
     for site in pop.ground_truth_walls() {
-        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        let BannerKind::Cookiewall(cw) = &site.banner else {
+            continue;
+        };
         browser.clear_cookies();
         let analysis = no_shadow.analyze(&mut browser, &site.domain);
         if cw.embedding.is_shadow() {
@@ -157,7 +163,9 @@ fn iframe_ablation_loses_iframe_walls_only() {
     };
     let mut browser = Browser::new(net, Region::Germany);
     for site in pop.ground_truth_walls() {
-        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        let BannerKind::Cookiewall(cw) = &site.banner else {
+            continue;
+        };
         browser.clear_cookies();
         let analysis = no_iframes.analyze(&mut browser, &site.domain);
         assert_eq!(
@@ -177,7 +185,9 @@ fn accept_interaction_works_on_all_embeddings() {
     let mut browser = Browser::new(net, Region::Germany);
     let mut by_embedding = std::collections::HashMap::new();
     for site in pop.ground_truth_walls() {
-        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        let BannerKind::Cookiewall(cw) = &site.banner else {
+            continue;
+        };
         if by_embedding.contains_key(&cw.embedding) {
             continue;
         }
@@ -188,10 +198,17 @@ fn accept_interaction_works_on_all_embeddings() {
         // Post-consent page shows no wall.
         let mut after = after;
         let re = tool.analyze_page(&site.domain, &mut after);
-        assert!(!re.banner_detected(), "wall gone after accept on {}", site.domain);
+        assert!(
+            !re.banner_detected(),
+            "wall gone after accept on {}",
+            site.domain
+        );
         by_embedding.insert(cw.embedding, true);
     }
-    assert!(by_embedding.len() >= 3, "covered embeddings: {by_embedding:?}");
+    assert!(
+        by_embedding.len() >= 3,
+        "covered embeddings: {by_embedding:?}"
+    );
 }
 
 #[test]
@@ -201,7 +218,9 @@ fn smp_provider_observed_for_iframe_walls() {
     let mut browser = Browser::new(net, Region::Germany);
     let mut observed = 0;
     for site in pop.ground_truth_walls() {
-        let BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        let BannerKind::Cookiewall(cw) = &site.banner else {
+            continue;
+        };
         if cw.smp.is_none() {
             continue;
         }
@@ -216,5 +235,8 @@ fn smp_provider_observed_for_iframe_walls() {
             observed += 1;
         }
     }
-    assert!(observed >= 1, "at least one SMP wall attributes its provider");
+    assert!(
+        observed >= 1,
+        "at least one SMP wall attributes its provider"
+    );
 }

@@ -17,9 +17,11 @@ fn bench_blocker_overhead(c: &mut Criterion) {
         .population
         .ground_truth_walls()
         .into_iter()
-        .find(|s| matches!(&s.banner, BannerKind::Cookiewall(cw)
+        .find(|s| {
+            matches!(&s.banner, BannerKind::Cookiewall(cw)
             if cw.serving == webgen::Serving::SmpCdn
-                && cw.visibility != webgen::Visibility::DeOnly))
+                && cw.visibility != webgen::Visibility::DeOnly)
+        })
         .expect("an SMP wall")
         .domain
         .clone();
@@ -29,7 +31,10 @@ fn bench_blocker_overhead(c: &mut Criterion) {
     let configs: [(&str, Option<FilterEngine>); 3] = [
         ("no_blocker", None),
         ("ublock_default", Some(FilterEngine::ublock_default())),
-        ("ublock_annoyances", Some(FilterEngine::ublock_with_annoyances())),
+        (
+            "ublock_annoyances",
+            Some(FilterEngine::ublock_with_annoyances()),
+        ),
     ];
     for (label, engine) in configs {
         g.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, engine| {

@@ -62,15 +62,24 @@ fn bench_mechanism_ablations(c: &mut Criterion) {
         ("full", DetectorOptions::default()),
         (
             "no_shadow_workaround",
-            DetectorOptions { pierce_shadow: false, ..Default::default() },
+            DetectorOptions {
+                pierce_shadow: false,
+                ..Default::default()
+            },
         ),
         (
             "no_iframe_descent",
-            DetectorOptions { descend_iframes: false, ..Default::default() },
+            DetectorOptions {
+                descend_iframes: false,
+                ..Default::default()
+            },
         ),
         (
             "no_overlay_heuristics",
-            DetectorOptions { overlay_heuristics: false, ..Default::default() },
+            DetectorOptions {
+                overlay_heuristics: false,
+                ..Default::default()
+            },
         ),
     ];
     let mut g = c.benchmark_group("detection/mechanism_ablation");

@@ -85,5 +85,9 @@ fn bench_measurement_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_crawl_derived_figures, bench_measurement_figures);
+criterion_group!(
+    benches,
+    bench_crawl_derived_figures,
+    bench_measurement_figures
+);
 criterion_main!(benches);

@@ -14,8 +14,10 @@ fn sample_page() -> String {
         .population
         .ground_truth_walls()
         .into_iter()
-        .find(|s| matches!(&s.banner, webgen::BannerKind::Cookiewall(c)
-            if c.embedding.is_shadow() && c.serving == webgen::Serving::FirstParty))
+        .find(|s| {
+            matches!(&s.banner, webgen::BannerKind::Cookiewall(c)
+            if c.embedding.is_shadow() && c.serving == webgen::Serving::FirstParty)
+        })
         .or_else(|| study.population.ground_truth_walls().into_iter().next())
         .unwrap()
         .domain
@@ -34,7 +36,13 @@ fn bench_webdom(c: &mut Criterion) {
     });
     let doc = parse(&html);
     c.bench_function("micro/webdom_select", |b| {
-        b.iter(|| black_box(doc.select(doc.root(), "div.consent-wall button, a[href]").unwrap().len()))
+        b.iter(|| {
+            black_box(
+                doc.select(doc.root(), "div.consent-wall button, a[href]")
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
     c.bench_function("micro/webdom_visible_text", |b| {
         b.iter(|| black_box(doc.visible_text(doc.root()).len()))
@@ -61,7 +69,12 @@ fn bench_webdom(c: &mut Criterion) {
 
 fn bench_httpsim(c: &mut Criterion) {
     c.bench_function("micro/url_parse", |b| {
-        b.iter(|| black_box(httpsim::Url::parse("https://www.beispiel-zeitung.de/politik/artikel?id=42").unwrap()))
+        b.iter(|| {
+            black_box(
+                httpsim::Url::parse("https://www.beispiel-zeitung.de/politik/artikel?id=42")
+                    .unwrap(),
+            )
+        })
     });
     c.bench_function("micro/registrable_domain", |b| {
         b.iter(|| black_box(httpsim::registrable_domain("ads.tracker.example.co.uk")))
@@ -105,7 +118,9 @@ fn bench_classifiers(c: &mut Criterion) {
         b.iter(|| black_box(langid::detect(&prose)))
     });
     c.bench_function("micro/classify_wall", |b| {
-        b.iter(|| black_box(bannerclick::classify_wall(&wall_text, Default::default()).is_cookiewall))
+        b.iter(|| {
+            black_box(bannerclick::classify_wall(&wall_text, Default::default()).is_cookiewall)
+        })
     });
 }
 
@@ -116,7 +131,13 @@ fn bench_generation(c: &mut Criterion) {
         b.iter(|| black_box(Population::generate(PopulationConfig::tiny()).sites().len()))
     });
     g.bench_function("population_small", |b| {
-        b.iter(|| black_box(Population::generate(PopulationConfig::small()).sites().len()))
+        b.iter(|| {
+            black_box(
+                Population::generate(PopulationConfig::small())
+                    .sites()
+                    .len(),
+            )
+        })
     });
     g.bench_function("roster_paper", |b| {
         b.iter(|| black_box(webgen::paper_roster().0.len()))

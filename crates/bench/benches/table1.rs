@@ -55,14 +55,30 @@ fn bench_crawl(c: &mut Criterion) {
     });
     g.bench_function("scheduler_no_cache", |b| {
         b.iter(|| {
-            let opts = CrawlOptions { workers, cache: false };
-            black_box(crawl_all_regions_with(&tiny.net, &targets, &tool, &opts).0.len())
+            let opts = CrawlOptions {
+                workers,
+                cache: false,
+                ..CrawlOptions::default()
+            };
+            black_box(
+                crawl_all_regions_with(&tiny.net, &targets, &tool, &opts)
+                    .0
+                    .len(),
+            )
         })
     });
     g.bench_function("scheduler_cached", |b| {
         b.iter(|| {
-            let opts = CrawlOptions { workers, cache: true };
-            black_box(crawl_all_regions_with(&tiny.net, &targets, &tool, &opts).0.len())
+            let opts = CrawlOptions {
+                workers,
+                cache: true,
+                ..CrawlOptions::default()
+            };
+            black_box(
+                crawl_all_regions_with(&tiny.net, &targets, &tool, &opts)
+                    .0
+                    .len(),
+            )
         })
     });
     g.finish();

@@ -187,12 +187,18 @@ mod tests {
     #[test]
     fn host_constants_live_under_listed_domains() {
         // The CDN hosts must be covered by the Annoyances rules.
-        for host in [hosts::CONTENTPASS_CDN, hosts::FREECHOICE_CDN, hosts::OPENCMP_CDN] {
-            let covered = ANNOYANCES_LIST.lines().any(|l| l.contains(host) || {
-                matches!(parse_line(l), FilterLine::Network(f)
+        for host in [
+            hosts::CONTENTPASS_CDN,
+            hosts::FREECHOICE_CDN,
+            hosts::OPENCMP_CDN,
+        ] {
+            let covered = ANNOYANCES_LIST.lines().any(|l| {
+                l.contains(host) || {
+                    matches!(parse_line(l), FilterLine::Network(f)
                     if !f.exception && f.matches(
                         &httpsim::Url::parse(&format!("https://{host}/x.js")).unwrap(),
                         Some("somepage.de")))
+                }
             });
             assert!(covered, "{host} not covered by Annoyances");
         }

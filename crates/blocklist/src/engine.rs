@@ -147,8 +147,7 @@ impl TrackerDb {
         if self.domains.contains(host.as_str()) {
             return true;
         }
-        httpsim::registrable_domain(&host)
-            .is_some_and(|rd| self.domains.contains(rd))
+        httpsim::registrable_domain(&host).is_some_and(|rd| self.domains.contains(rd))
     }
 }
 
@@ -186,7 +185,11 @@ mod tests {
     #[test]
     fn annoyances_blocks_smp_cdns() {
         let e = FilterEngine::ublock_with_annoyances();
-        for host in [hosts::CONTENTPASS_CDN, hosts::FREECHOICE_CDN, hosts::OPENCMP_CDN] {
+        for host in [
+            hosts::CONTENTPASS_CDN,
+            hosts::FREECHOICE_CDN,
+            hosts::OPENCMP_CDN,
+        ] {
             let d = e.decide(&u(&format!("https://{host}/wall.js")), Some("zeitung.de"));
             assert!(d.is_blocked(), "{host} should be blocked");
         }
@@ -198,7 +201,10 @@ mod tests {
         // Top-level visit to the SMP account host must not be blocked even
         // though ||contentpass.net^ would otherwise cover it.
         assert_eq!(
-            e.decide(&u(&format!("https://{}/login", hosts::CONTENTPASS_ACCOUNT)), None),
+            e.decide(
+                &u(&format!("https://{}/login", hosts::CONTENTPASS_ACCOUNT)),
+                None
+            ),
             BlockDecision::Allowed
         );
         assert_eq!(
@@ -215,7 +221,10 @@ mod tests {
         let e = FilterEngine::ublock_default();
         // $third-party rules let a tracker load resources from itself.
         assert_eq!(
-            e.decide(&u("https://doubleclick.net/self.js"), Some("ads.doubleclick.net")),
+            e.decide(
+                &u("https://doubleclick.net/self.js"),
+                Some("ads.doubleclick.net")
+            ),
             BlockDecision::Allowed
         );
     }
@@ -224,7 +233,10 @@ mod tests {
     fn pattern_rules_fire() {
         let e = FilterEngine::ublock_default();
         assert!(e
-            .decide(&u("https://cdn.random.de/ad-delivery/slot1.js"), Some("x.de"))
+            .decide(
+                &u("https://cdn.random.de/ad-delivery/slot1.js"),
+                Some("x.de")
+            )
             .is_blocked());
         assert!(e
             .decide(&u("https://img.random.de/pixel.gif?uid=1"), Some("x.de"))
@@ -247,7 +259,10 @@ mod tests {
         assert!(db.is_tracking_domain("stats.g.doubleclick.net"));
         assert!(!db.is_tracking_domain("doubleclick.net.example.org"));
         assert!(!db.is_tracking_domain("www.spiegel.de"));
-        assert!(!db.is_tracking_domain("cdn.contentpass.net"), "SMP is not a listed tracker");
+        assert!(
+            !db.is_tracking_domain("cdn.contentpass.net"),
+            "SMP is not a listed tracker"
+        );
     }
 
     #[test]

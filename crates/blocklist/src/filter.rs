@@ -95,9 +95,10 @@ pub fn parse_line(line: &str) -> FilterLine {
         // Careful: '$' may legitimately appear in a URL fragment; only treat
         // it as an options separator if what follows looks like options.
         Some((b, opts))
-            if opts
-                .split(',')
-                .all(|o| o.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '=' || c == '~')) && !opts.is_empty() =>
+            if opts.split(',').all(|o| {
+                o.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '=' || c == '~')
+            }) && !opts.is_empty() =>
         {
             (b, Some(opts))
         }
@@ -179,11 +180,7 @@ impl NetworkFilter {
 impl CosmeticFilter {
     /// Does this rule apply on a page hosted at `host`?
     pub fn applies_to(&self, host: &str) -> bool {
-        self.domains.is_empty()
-            || self
-                .domains
-                .iter()
-                .any(|d| httpsim::domain_match(host, d))
+        self.domains.is_empty() || self.domains.iter().any(|d| httpsim::domain_match(host, d))
     }
 }
 
@@ -236,7 +233,10 @@ mod tests {
     fn left_anchor() {
         let f = net("|https://exact.example/path");
         assert!(f.matches(&url("https://exact.example/path/deep"), None));
-        assert!(!f.matches(&url("https://other.example/https://exact.example/path"), None));
+        assert!(!f.matches(
+            &url("https://other.example/https://exact.example/path"),
+            None
+        ));
     }
 
     #[test]
@@ -253,7 +253,10 @@ mod tests {
         // Cross-site: match.
         assert!(f.matches(&url("https://widgets.example/w.js"), Some("news.de")));
         // Same-site: no match.
-        assert!(!f.matches(&url("https://widgets.example/w.js"), Some("cdn.widgets.example")));
+        assert!(!f.matches(
+            &url("https://widgets.example/w.js"),
+            Some("cdn.widgets.example")
+        ));
         // Top-level navigation: no match.
         assert!(!f.matches(&url("https://widgets.example/"), None));
     }

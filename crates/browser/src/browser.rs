@@ -26,7 +26,7 @@
 use crate::page::{BlockedRequest, ElementRef, Frame, Page};
 use crate::storage::LocalStorage;
 use blocklist::{BlockDecision, FilterEngine};
-use httpsim::{CookieJar, Method, Network, Region, Request, Response, Url};
+use httpsim::{CookieJar, Method, Network, Region, Request, Response, TransportFault, Url};
 use webdom::{parse, parse_fragment_into, NodeId};
 
 /// Maximum iframe nesting depth processed.
@@ -34,25 +34,64 @@ const MAX_FRAME_DEPTH: usize = 3;
 /// Maximum script-injection rounds per frame (injection can add scripts).
 const MAX_INJECT_ROUNDS: usize = 3;
 
-/// Navigation failure.
+/// Virtual-time budget a navigation may spend before the browser gives up
+/// and reports a timeout — the OpenWPM page-load timeout stand-in.
+pub const DEFAULT_TIMEOUT_BUDGET_MS: u64 = 30_000;
+
+/// Typed navigation failure: what exactly went wrong fetching the top
+/// document. The crawl's retry policy branches on
+/// [`FetchError::is_transient`], and the failure taxonomy in the study
+/// report is derived from these variants.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum VisitError {
-    /// No server answered for the host (connection failure).
+pub enum FetchError {
+    /// No server answered for the host (dead origin / lapsed domain).
     Unreachable(String),
+    /// The connection was reset before a response arrived.
+    ConnectionReset(String),
+    /// The transfer stalled past the browser's virtual-time budget.
+    Timeout {
+        /// Host the navigation targeted.
+        host: String,
+        /// The budget that was exceeded, in virtual milliseconds.
+        budget_ms: u64,
+    },
+    /// The response body stopped mid-transfer.
+    Truncated(String),
     /// The server answered with a non-success status for the top document.
     HttpError(u16),
 }
 
-impl std::fmt::Display for VisitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+/// Pre-fault-layer name of [`FetchError`], kept for existing callers.
+pub type VisitError = FetchError;
+
+impl FetchError {
+    /// Is retrying plausibly useful? Connection-level failures, timeouts,
+    /// truncation, and 5xx answers are worth another attempt (the crawler
+    /// cannot distinguish a dead origin from a transient outage up front);
+    /// a definitive 4xx is not.
+    pub fn is_transient(&self) -> bool {
         match self {
-            VisitError::Unreachable(host) => write!(f, "host unreachable: {host}"),
-            VisitError::HttpError(status) => write!(f, "HTTP error {status}"),
+            FetchError::HttpError(status) => *status >= 500,
+            _ => true,
         }
     }
 }
 
-impl std::error::Error for VisitError {}
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Unreachable(host) => write!(f, "host unreachable: {host}"),
+            FetchError::ConnectionReset(host) => write!(f, "connection reset: {host}"),
+            FetchError::Timeout { host, budget_ms } => {
+                write!(f, "timeout after {budget_ms} ms (virtual): {host}")
+            }
+            FetchError::Truncated(host) => write!(f, "response truncated: {host}"),
+            FetchError::HttpError(status) => write!(f, "HTTP error {status}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
 
 /// A fetched top-level document: the result of phase one of a visit,
 /// before any subresource loading, script execution, or parsing happened.
@@ -114,6 +153,8 @@ pub struct Browser {
     storage: LocalStorage,
     blocker: Option<FilterEngine>,
     user_agent: String,
+    /// Virtual-time budget per navigation before reporting a timeout.
+    timeout_budget_ms: u64,
     /// Per-load request log, moved into the [`Page`] when the load ends.
     request_log: Vec<crate::page::LoggedRequest>,
 }
@@ -128,6 +169,7 @@ impl Browser {
             storage: LocalStorage::new(),
             blocker: None,
             user_agent: httpsim::DEFAULT_USER_AGENT.to_string(),
+            timeout_budget_ms: DEFAULT_TIMEOUT_BUDGET_MS,
             request_log: Vec::new(),
         }
     }
@@ -142,6 +184,17 @@ impl Browser {
     pub fn with_user_agent(mut self, ua: impl Into<String>) -> Self {
         self.user_agent = ua.into();
         self
+    }
+
+    /// Override the navigation timeout budget (virtual milliseconds).
+    pub fn with_timeout_budget(mut self, budget_ms: u64) -> Self {
+        self.timeout_budget_ms = budget_ms;
+        self
+    }
+
+    /// The navigation timeout budget, in virtual milliseconds.
+    pub fn timeout_budget_ms(&self) -> u64 {
+        self.timeout_budget_ms
     }
 
     /// The vantage-point region this profile browses from.
@@ -232,12 +285,26 @@ impl Browser {
     pub fn fetch_document(&mut self, url: &Url) -> Result<FetchedDocument, VisitError> {
         self.restore_consent_from_storage(url);
         self.request_log.clear();
-        let (resp, final_url) = self.fetch_following(url, None);
+        let (resp, final_url, latency_ms) = self.fetch_following(url, None);
+        let host = url.host().to_string();
+        match resp.transport {
+            Some(TransportFault::ConnectionReset) => {
+                return Err(FetchError::ConnectionReset(host));
+            }
+            Some(TransportFault::TruncatedBody) => return Err(FetchError::Truncated(host)),
+            None => {}
+        }
+        if latency_ms > self.timeout_budget_ms {
+            return Err(FetchError::Timeout {
+                host,
+                budget_ms: self.timeout_budget_ms,
+            });
+        }
         if resp.status == 0 {
-            return Err(VisitError::Unreachable(url.host().to_string()));
+            return Err(FetchError::Unreachable(host));
         }
         if resp.status >= 400 {
-            return Err(VisitError::HttpError(resp.status));
+            return Err(FetchError::HttpError(resp.status));
         }
         Ok(FetchedDocument {
             url: url.clone(),
@@ -261,7 +328,11 @@ impl Browser {
         self.load_fetched_inner(fetched, true)
     }
 
-    fn visit_inner(&mut self, url: &Url, allow_entitlement_reload: bool) -> Result<Page, VisitError> {
+    fn visit_inner(
+        &mut self,
+        url: &Url,
+        allow_entitlement_reload: bool,
+    ) -> Result<Page, VisitError> {
         let fetched = self.fetch_document(url)?;
         self.load_fetched_inner(&fetched, allow_entitlement_reload)
     }
@@ -278,7 +349,11 @@ impl Browser {
             url: url.clone(),
             final_url: final_url.clone(),
             status: fetched.status,
-            frames: vec![Frame { doc, url: final_url, parent: None }],
+            frames: vec![Frame {
+                doc,
+                url: final_url,
+                parent: None,
+            }],
             blocked: Vec::new(),
             requests: Vec::new(),
             scroll_locked: false,
@@ -309,11 +384,15 @@ impl Browser {
     }
 
     /// Fetch with manual redirect following so every hop's cookies land in
-    /// the jar (Network::dispatch_following would drop them).
-    fn fetch_following(&mut self, url: &Url, initiator: Option<&str>) -> (Response, Url) {
+    /// the jar (Network::dispatch_following would drop them). The third
+    /// return value is virtual transfer time accumulated across all hops,
+    /// checked against the timeout budget by navigation callers.
+    fn fetch_following(&mut self, url: &Url, initiator: Option<&str>) -> (Response, Url, u64) {
         let mut current = url.clone();
+        let mut elapsed_ms: u64 = 0;
         for _ in 0..httpsim::MAX_REDIRECTS {
             let resp = self.fetch_once(&current, initiator);
+            elapsed_ms = elapsed_ms.saturating_add(resp.latency_ms);
             self.jar
                 .store_response_cookies(resp.set_cookies.iter().map(String::as_str), &current);
             self.request_log.push(crate::page::LoggedRequest {
@@ -323,15 +402,15 @@ impl Browser {
                 cookies_set: resp.set_cookies.len(),
             });
             if !resp.is_redirect() {
-                return (resp, current);
+                return (resp, current, elapsed_ms);
             }
             let loc = resp.location.clone().unwrap_or_else(|| "/".to_string());
             match current.join(&loc) {
                 Ok(next) => current = next,
-                Err(_) => return (resp, current),
+                Err(_) => return (resp, current, elapsed_ms),
             }
         }
-        (Response::not_found(), current)
+        (Response::not_found(), current, elapsed_ms)
     }
 
     fn fetch_once(&self, url: &Url, initiator: Option<&str>) -> Response {
@@ -345,12 +424,7 @@ impl Browser {
     }
 
     /// Consult the blocker for a subresource; record and skip if blocked.
-    fn blocked_by_extension(
-        &self,
-        page: &mut Page,
-        url: &Url,
-        initiator: &str,
-    ) -> bool {
+    fn blocked_by_extension(&self, page: &mut Page, url: &Url, initiator: &str) -> bool {
         if let Some(blocker) = &self.blocker {
             if let BlockDecision::Blocked(rule) = blocker.decide(url, Some(initiator)) {
                 page.blocked.push(BlockedRequest {
@@ -396,30 +470,39 @@ impl Browser {
             let frame_url = page.frames[frame_idx].url.clone();
             let doc = &page.frames[frame_idx].doc;
             let src = doc.attr(node, "src").or_else(|| doc.attr(node, "href"));
-            let Some(src) = src.map(str::to_string) else { continue };
-            let Ok(url) = frame_url.join(&src) else { continue };
+            let Some(src) = src.map(str::to_string) else {
+                continue;
+            };
+            let Ok(url) = frame_url.join(&src) else {
+                continue;
+            };
             if url == frame_url {
                 continue;
             }
             if self.blocked_by_extension(page, &url, &top_host) {
                 continue;
             }
-            let (_, _) = self.fetch_following(&url, Some(&top_host));
+            let (_, _, _) = self.fetch_following(&url, Some(&top_host));
         }
 
         // Iframes.
         if depth < MAX_FRAME_DEPTH {
             for node in collect_with_shadow(&page.frames[frame_idx].doc, "iframe[src]") {
                 let frame_url = page.frames[frame_idx].url.clone();
-                let Some(src) = page.frames[frame_idx].doc.attr(node, "src").map(str::to_string)
+                let Some(src) = page.frames[frame_idx]
+                    .doc
+                    .attr(node, "src")
+                    .map(str::to_string)
                 else {
                     continue;
                 };
-                let Ok(url) = frame_url.join(&src) else { continue };
+                let Ok(url) = frame_url.join(&src) else {
+                    continue;
+                };
                 if self.blocked_by_extension(page, &url, &top_host) {
                     continue;
                 }
-                let (resp, final_url) = self.fetch_following(&url, Some(&top_host));
+                let (resp, final_url, _) = self.fetch_following(&url, Some(&top_host));
                 if resp.status != 200 {
                     continue;
                 }
@@ -452,11 +535,13 @@ impl Browser {
         let smp_check = doc.attr(node, "data-smp-check").is_some();
         let smp_set = doc.attr(node, "data-smp-set").map(str::to_string);
 
-        let Ok(url) = frame_url.join(&src) else { return };
+        let Ok(url) = frame_url.join(&src) else {
+            return;
+        };
         if self.blocked_by_extension(page, &url, top_host) {
             return;
         }
-        let (resp, _) = self.fetch_following(&url, Some(top_host));
+        let (resp, _, _) = self.fetch_following(&url, Some(top_host));
         if resp.status != 200 {
             return;
         }
@@ -543,7 +628,11 @@ impl Browser {
             "accept" | "reject" => {
                 let default = format!(
                     "cw_consent={}",
-                    if action == "accept" { "accepted" } else { "rejected" }
+                    if action == "accept" {
+                        "accepted"
+                    } else {
+                        "rejected"
+                    }
                 );
                 let cookie_spec = doc
                     .attr(action_node, "data-cw-cookie")
@@ -590,11 +679,7 @@ impl Browser {
             let mut v = Vec::new();
             for key in ["cw_consent", "cw_sub"] {
                 if let Some(value) = self.storage.get(&site, key) {
-                    let missing = !self
-                        .jar
-                        .cookies_for(url)
-                        .iter()
-                        .any(|c| c.name == key);
+                    let missing = !self.jar.cookies_for(url).iter().any(|c| c.name == key);
                     if missing {
                         v.push((key.to_string(), value.to_string()));
                     }

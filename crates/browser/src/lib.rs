@@ -37,6 +37,8 @@ mod browser;
 mod page;
 mod storage;
 
-pub use crate::browser::{Browser, ClickOutcome, VisitError};
+pub use crate::browser::{
+    Browser, ClickOutcome, FetchError, FetchedDocument, VisitError, DEFAULT_TIMEOUT_BUDGET_MS,
+};
 pub use page::{BlockedRequest, ElementRef, Frame, LoggedRequest, Page};
 pub use storage::LocalStorage;

@@ -15,10 +15,7 @@ fn world() -> (Arc<Population>, Network) {
     (pop, net)
 }
 
-fn wall_with(
-    pop: &Population,
-    pred: impl Fn(&webgen::CookiewallSpec) -> bool,
-) -> Option<String> {
+fn wall_with(pop: &Population, pred: impl Fn(&webgen::CookiewallSpec) -> bool) -> Option<String> {
     pop.ground_truth_walls()
         .into_iter()
         .find(|s| matches!(&s.banner, BannerKind::Cookiewall(c) if pred(c)))
@@ -65,7 +62,10 @@ fn accept_click_on_main_dom_wall_loads_trackers() {
                 .iter()
                 .any(|c| c.name == CONSENT_COOKIE && c.value == "accepted"));
             assert!(reloaded.select_all_frames("#cw-wall").is_empty());
-            assert!(count_tracking(&b) > before_tracking, "tracking cookies appeared");
+            assert!(
+                count_tracking(&b) > before_tracking,
+                "tracking cookies appeared"
+            );
         }
         other => panic!("expected Accepted, got {other:?}"),
     }
@@ -150,7 +150,10 @@ fn blocker_suppresses_smp_wall() {
         .with_blocker(blocklist::FilterEngine::ublock_with_annoyances());
     let page = b.visit(&Url::parse(&domain).unwrap()).unwrap();
     assert!(page.anything_blocked(), "wall asset request blocked");
-    assert!(page.select_all_frames("#cw-wall").is_empty(), "no wall rendered");
+    assert!(
+        page.select_all_frames("#cw-wall").is_empty(),
+        "no wall rendered"
+    );
     assert!(!page.scroll_locked, "page usable");
     assert!(!page.adblock_interstitial);
 }
@@ -193,11 +196,14 @@ fn subscriber_flow_hides_wall_and_tracking() {
     assert!(b.login_smp(Smp::Contentpass.account_host(), "alice", "pw"));
     let sub = b.visit(&Url::parse(&partner).unwrap()).unwrap();
     assert!(sub.reloaded_for_subscription, "entitlement reload happened");
-    assert!(sub.select_all_frames("#cw-wall").is_empty(), "no wall for subscriber");
-    assert!(b
-        .jar()
-        .iter()
-        .any(|c| c.name == SUBSCRIPTION_COOKIE), "subscription cookie set");
+    assert!(
+        sub.select_all_frames("#cw-wall").is_empty(),
+        "no wall for subscriber"
+    );
+    assert!(
+        b.jar().iter().any(|c| c.name == SUBSCRIPTION_COOKIE),
+        "subscription cookie set"
+    );
     assert_eq!(count_tracking(&b), 0, "no tracking cookies for subscribers");
 }
 
@@ -281,10 +287,10 @@ fn consent_survives_browser_restart() {
     // Restart: the session id is gone, the year-long consent cookie stays.
     b.restart();
     assert!(b.jar().len() < cookies_before, "session cookies dropped");
-    assert!(b
-        .jar()
-        .iter()
-        .any(|c| c.name == CONSENT_COOKIE), "consent persists");
+    assert!(
+        b.jar().iter().any(|c| c.name == CONSENT_COOKIE),
+        "consent persists"
+    );
     let after = b.visit(&url).unwrap();
     assert!(
         after.select_all_frames("#cw-wall").is_empty(),
@@ -310,13 +316,119 @@ fn request_log_records_third_parties() {
     };
     // The post-consent load hits trackers: the request log shows them.
     assert!(!after.requests.is_empty());
-    assert_eq!(after.requests[0].initiator, None, "first entry is the navigation");
+    assert_eq!(
+        after.requests[0].initiator, None,
+        "first entry is the navigation"
+    );
     let third_party = after.third_party_requests().count();
     assert!(third_party > 5, "trackers were fetched: {third_party}");
-    let with_cookies = after
-        .requests
-        .iter()
-        .filter(|r| r.cookies_set > 0)
-        .count();
+    let with_cookies = after.requests.iter().filter(|r| r.cookies_set > 0).count();
     assert!(with_cookies > 3, "responses set cookies: {with_cookies}");
+}
+
+#[test]
+fn fetch_errors_are_typed() {
+    use browser::FetchError;
+    use httpsim::{Response, TransportFault};
+
+    let net = Network::new();
+    net.register_fn("reset.example", |_| {
+        let mut r = Response::connection_error();
+        r.transport = Some(TransportFault::ConnectionReset);
+        r
+    });
+    net.register_fn("truncated.example", |_| {
+        let mut r = Response::html("<html>half of the docum");
+        r.transport = Some(TransportFault::TruncatedBody);
+        r
+    });
+    net.register_fn("slow.example", |_| {
+        let mut r = Response::html("<html>eventually</html>");
+        r.latency_ms = 45_000;
+        r
+    });
+    net.register_fn("flaky.example", |_| {
+        let mut r = Response::html("");
+        r.status = 503;
+        r
+    });
+    net.register_fn("gone.example", |_| {
+        let mut r = Response::html("");
+        r.status = 410;
+        r
+    });
+
+    let mut b = Browser::new(net, Region::Germany);
+    let fetch = |b: &mut Browser, host: &str| b.fetch_domain_document(host).unwrap_err();
+
+    let err = fetch(&mut b, "reset.example");
+    assert_eq!(
+        err,
+        FetchError::ConnectionReset("reset.example".to_string())
+    );
+    assert!(err.is_transient());
+
+    let err = fetch(&mut b, "truncated.example");
+    assert_eq!(err, FetchError::Truncated("truncated.example".to_string()));
+    assert!(err.is_transient());
+
+    let err = fetch(&mut b, "slow.example");
+    assert_eq!(
+        err,
+        FetchError::Timeout {
+            host: "slow.example".to_string(),
+            budget_ms: 30_000
+        }
+    );
+    assert!(err.is_transient());
+
+    let err = fetch(&mut b, "unregistered.example");
+    assert_eq!(
+        err,
+        FetchError::Unreachable("unregistered.example".to_string())
+    );
+    assert!(err.is_transient());
+
+    assert!(
+        fetch(&mut b, "flaky.example").is_transient(),
+        "5xx is transient"
+    );
+    assert!(
+        !fetch(&mut b, "gone.example").is_transient(),
+        "4xx is permanent"
+    );
+}
+
+#[test]
+fn timeout_budget_is_configurable_and_spans_redirect_hops() {
+    use browser::FetchError;
+    use httpsim::Response;
+
+    let net = Network::new();
+    // Two hops of 300 virtual ms each: fine under the default budget,
+    // fatal once the budget is tightened below their sum.
+    net.register_fn("hop.example", |r| {
+        let mut resp = if r.url.path() == "/" {
+            Response::redirect("https://hop.example/land")
+        } else {
+            Response::html("<html>landed</html>")
+        };
+        resp.latency_ms = 300;
+        resp
+    });
+
+    let mut b = Browser::new(net.clone(), Region::Germany);
+    assert!(b.fetch_domain_document("hop.example").is_ok());
+
+    let mut b = Browser::new(net, Region::Germany).with_timeout_budget(500);
+    assert_eq!(b.timeout_budget_ms(), 500);
+    let err = b.fetch_domain_document("hop.example").unwrap_err();
+    assert_eq!(
+        err,
+        FetchError::Timeout {
+            host: "hop.example".to_string(),
+            budget_ms: 500
+        },
+        "latency accumulates across redirect hops"
+    );
 }

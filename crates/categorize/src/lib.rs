@@ -98,13 +98,37 @@ impl Category {
     fn keywords(self) -> &'static [&'static str] {
         match self {
             Category::NewsAndMedia => &[
-                "news", "zeitung", "nachrichten", "tagblatt", "tagesblatt", "kurier", "anzeiger",
-                "post", "journal", "presse", "bote", "blatt", "giornale", "nyheter", "tidning",
-                "herald", "gazette", "times", "echo",
+                "news",
+                "zeitung",
+                "nachrichten",
+                "tagblatt",
+                "tagesblatt",
+                "kurier",
+                "anzeiger",
+                "post",
+                "journal",
+                "presse",
+                "bote",
+                "blatt",
+                "giornale",
+                "nyheter",
+                "tidning",
+                "herald",
+                "gazette",
+                "times",
+                "echo",
             ],
             Category::Business => &[
-                "business", "consulting", "agentur", "firma", "gmbh", "handel", "industrie",
-                "wirtschaft", "corp", "company",
+                "business",
+                "consulting",
+                "agentur",
+                "firma",
+                "gmbh",
+                "handel",
+                "industrie",
+                "wirtschaft",
+                "corp",
+                "company",
             ],
             Category::InformationTechnology => &[
                 "tech", "software", "computer", "digital", "cloud", "hosting", "code", "dev",
@@ -112,14 +136,34 @@ impl Category {
             ],
             Category::Shopping => &["shop", "store", "kaufen", "deals", "shopping", "market"],
             Category::Entertainment => &[
-                "kino", "film", "musik", "stars", "promi", "tv", "streaming", "celeb",
+                "kino",
+                "film",
+                "musik",
+                "stars",
+                "promi",
+                "tv",
+                "streaming",
+                "celeb",
             ],
             Category::Sports => &["sport", "fussball", "football", "bundesliga", "fitness"],
             Category::Travel => &["reise", "travel", "urlaub", "hotel", "flug", "tour"],
             Category::Education => &["schule", "uni", "lernen", "education", "akademie", "kurs"],
-            Category::Health => &["gesundheit", "health", "apotheke", "arzt", "medizin", "klinik"],
+            Category::Health => &[
+                "gesundheit",
+                "health",
+                "apotheke",
+                "arzt",
+                "medizin",
+                "klinik",
+            ],
             Category::Finance => &[
-                "bank", "finanz", "versicherung", "boerse", "geld", "finance", "kredit",
+                "bank",
+                "finanz",
+                "versicherung",
+                "boerse",
+                "geld",
+                "finance",
+                "kredit",
             ],
             Category::Games => &["spiele", "games", "gaming", "zocken"],
             Category::GeneralInterest => &[],
@@ -147,8 +191,7 @@ impl CategoryDb {
 
     /// Register `domain` (registrable domain, lowercased) as `category`.
     pub fn register(&mut self, domain: &str, category: Category) {
-        self.by_domain
-            .insert(domain.to_ascii_lowercase(), category);
+        self.by_domain.insert(domain.to_ascii_lowercase(), category);
     }
 
     /// Number of registered domains.
@@ -191,7 +234,9 @@ impl CategoryDb {
 /// taxonomy order and returns the first hit.
 pub fn classify_by_keywords(host: &str) -> Option<Category> {
     let host = host.to_ascii_lowercase();
-    Category::ALL.into_iter().find(|&cat| cat.keywords().iter().any(|k| host.contains(k)))
+    Category::ALL
+        .into_iter()
+        .find(|&cat| cat.keywords().iter().any(|k| host.contains(k)))
 }
 
 #[cfg(test)]
@@ -227,12 +272,18 @@ mod tests {
     #[test]
     fn keyword_fallback() {
         let db = CategoryDb::new();
-        assert_eq!(db.lookup("abendnachrichten24.de"), Some(Category::NewsAndMedia));
+        assert_eq!(
+            db.lookup("abendnachrichten24.de"),
+            Some(Category::NewsAndMedia)
+        );
         assert_eq!(db.lookup("meine-reisewelt.de"), Some(Category::Travel));
         assert_eq!(db.lookup("fussball-heute.de"), Some(Category::Sports));
         // Taxonomy order resolves multi-keyword names: "echo" (news) wins
         // over "sport" because NewsAndMedia is checked first.
-        assert_eq!(db.lookup("sportecho-online.de"), Some(Category::NewsAndMedia));
+        assert_eq!(
+            db.lookup("sportecho-online.de"),
+            Some(Category::NewsAndMedia)
+        );
         assert_eq!(db.lookup("qqqqq.de"), None);
         assert_eq!(db.lookup_or_default("qqqqq.de"), Category::GeneralInterest);
     }

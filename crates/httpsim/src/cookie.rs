@@ -105,10 +105,9 @@ impl Cookie {
                     cookie.domain = d;
                     cookie.host_only = false;
                 }
-                "path"
-                    if v.starts_with('/') => {
-                        cookie.path = v.to_string();
-                    }
+                "path" if v.starts_with('/') => {
+                    cookie.path = v.to_string();
+                }
                 "max-age" => {
                     if let Ok(secs) = v.parse::<i64>() {
                         cookie.max_age = Some(secs);
@@ -310,6 +309,9 @@ mod tests {
         let o = origin("https://cdn.tracker.com/pixel");
         let c = Cookie::parse_set_cookie("uid=7; Domain=tracker.com", &o).unwrap();
         assert_eq!(classify_party(&c, "www.zeit.de"), CookieParty::ThirdParty);
-        assert_eq!(classify_party(&c, "api.tracker.com"), CookieParty::FirstParty);
+        assert_eq!(
+            classify_party(&c, "api.tracker.com"),
+            CookieParty::FirstParty
+        );
     }
 }

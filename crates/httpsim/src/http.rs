@@ -79,6 +79,17 @@ impl Request {
 pub const DEFAULT_USER_AGENT: &str =
     "Mozilla/5.0 (X11; Linux x86_64; rv:102.0) Gecko/20100101 Firefox/102.0";
 
+/// A transport-level failure observed while receiving a response — the
+/// kind of breakage a status code cannot express. Injected by the fault
+/// layer ([`crate::FaultPlan`]); a reliable network never sets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// The connection was reset before a response arrived.
+    ConnectionReset,
+    /// The body stopped mid-transfer (content-length mismatch).
+    TruncatedBody,
+}
+
 /// An inbound HTTP response.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -92,62 +103,62 @@ pub struct Response {
     pub content_type: String,
     /// Response body.
     pub body: Bytes,
+    /// Simulated transfer time in *virtual* milliseconds. Ordinary servers
+    /// answer instantaneously (0); the fault layer uses large values to
+    /// model stalled responses against a caller's timeout budget.
+    pub latency_ms: u64,
+    /// Transport-level failure, if the transfer broke below HTTP.
+    pub transport: Option<TransportFault>,
 }
 
 impl Response {
-    /// A 200 HTML page.
-    pub fn html(body: impl Into<Bytes>) -> Self {
+    fn base(status: u16, content_type: &str, body: Bytes) -> Self {
         Response {
-            status: 200,
+            status,
             set_cookies: Vec::new(),
             location: None,
-            content_type: "text/html; charset=utf-8".to_string(),
-            body: body.into(),
+            content_type: content_type.to_string(),
+            body,
+            latency_ms: 0,
+            transport: None,
         }
+    }
+
+    /// A 200 HTML page.
+    pub fn html(body: impl Into<Bytes>) -> Self {
+        Self::base(200, "text/html; charset=utf-8", body.into())
     }
 
     /// A 200 JavaScript resource.
     pub fn script(body: impl Into<Bytes>) -> Self {
-        Response {
-            status: 200,
-            set_cookies: Vec::new(),
-            location: None,
-            content_type: "application/javascript".to_string(),
-            body: body.into(),
-        }
+        Self::base(200, "application/javascript", body.into())
     }
 
     /// An empty 204 (tracking pixels, beacons).
     pub fn no_content() -> Self {
-        Response {
-            status: 204,
-            set_cookies: Vec::new(),
-            location: None,
-            content_type: "text/plain".to_string(),
-            body: Bytes::new(),
-        }
+        Self::base(204, "text/plain", Bytes::new())
     }
 
     /// A 404.
     pub fn not_found() -> Self {
-        Response {
-            status: 404,
-            set_cookies: Vec::new(),
-            location: None,
-            content_type: "text/html".to_string(),
-            body: Bytes::from_static(b"<html><body><h1>404</h1></body></html>"),
-        }
+        Self::base(
+            404,
+            "text/html",
+            Bytes::from_static(b"<html><body><h1>404</h1></body></html>"),
+        )
+    }
+
+    /// The status-0 pseudo-response for a connection-level failure (no
+    /// server reachable, or the fault layer reset the connection).
+    pub fn connection_error() -> Self {
+        Self::base(0, "", Bytes::new())
     }
 
     /// A 302 redirect to `location`.
     pub fn redirect(location: impl Into<String>) -> Self {
-        Response {
-            status: 302,
-            set_cookies: Vec::new(),
-            location: Some(location.into()),
-            content_type: "text/html".to_string(),
-            body: Bytes::new(),
-        }
+        let mut resp = Self::base(302, "text/html", Bytes::new());
+        resp.location = Some(location.into());
+        resp
     }
 
     /// Builder-style: add a `Set-Cookie` header.
@@ -194,7 +205,9 @@ mod tests {
 
     #[test]
     fn response_builders() {
-        let r = Response::html("<p>x</p>").with_cookie("sid=1").with_cookie("t=2");
+        let r = Response::html("<p>x</p>")
+            .with_cookie("sid=1")
+            .with_cookie("t=2");
         assert_eq!(r.status, 200);
         assert_eq!(r.set_cookies.len(), 2);
         assert_eq!(r.body_text(), "<p>x</p>");

@@ -12,7 +12,10 @@
 //!   [`CookieBreakdown`] reported in Figures 4 and 5,
 //! * the eight vantage-point [`Region`]s and their privacy regimes,
 //! * a [`Network`] of [`Server`] trait objects with redirect following —
-//!   the slot where `webgen` plugs in the synthetic web population.
+//!   the slot where `webgen` plugs in the synthetic web population,
+//! * a deterministic fault-injection layer ([`FaultPlan`],
+//!   [`FaultyServer`]) modelling the hostile real Web: connection resets,
+//!   transient 5xx, stalled and truncated transfers, dead origins.
 //!
 //! ## Example
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod cookie;
+mod fault;
 mod geo;
 mod http;
 mod jar;
@@ -49,8 +53,9 @@ mod psl;
 mod url;
 
 pub use cookie::{classify_party, Cookie, CookieParty, SameSite};
+pub use fault::{FaultConfig, FaultCounts, FaultKind, FaultPlan, FaultyServer};
 pub use geo::{PrivacyRegime, Region};
-pub use http::{Method, Request, Response, DEFAULT_USER_AGENT};
+pub use http::{Method, Request, Response, TransportFault, DEFAULT_USER_AGENT};
 pub use jar::{CookieBreakdown, CookieJar};
 pub use net::{content_hash, Network, NetworkStats, Server, MAX_REDIRECTS};
 pub use psl::{domain_match, is_public_suffix, public_suffix, registrable_domain, same_site};

@@ -137,13 +137,7 @@ impl Network {
             Some(server) => server.handle(req),
             None => {
                 self.inner.stats.unresolved.fetch_add(1, Ordering::Relaxed);
-                Response {
-                    status: 0,
-                    set_cookies: Vec::new(),
-                    location: None,
-                    content_type: String::new(),
-                    body: bytes::Bytes::new(),
-                }
+                Response::connection_error()
             }
         }
     }

@@ -12,20 +12,13 @@
 const SUFFIXES: &[&str] = &[
     // Generic TLDs.
     "com", "net", "org", "info", "biz", "io", "dev", "app", "club", "online", "site", "shop",
-    "news", "blog", "cloud", "xyz", "eu",
-    // Vantage-point and neighbouring ccTLDs.
-    "de", "at", "ch", "se", "fr", "it", "nl", "es", "pt", "be", "dk", "fi", "no", "pl", "uk",
-    "us", "br", "za", "in", "au", "nz", "ca", "mx", "jp", "cn",
-    // Second-level registries.
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk",
-    "com.au", "net.au", "org.au", "edu.au", "gov.au",
-    "com.br", "net.br", "org.br", "gov.br",
-    "co.za", "org.za", "web.za", "net.za",
-    "co.in", "net.in", "org.in", "gen.in", "firm.in",
-    "co.nz", "net.nz", "org.nz",
-    "com.mx", "org.mx",
-    "co.jp", "ne.jp", "or.jp",
-    "com.cn", "net.cn", "org.cn",
+    "news", "blog", "cloud", "xyz", "eu", // Vantage-point and neighbouring ccTLDs.
+    "de", "at", "ch", "se", "fr", "it", "nl", "es", "pt", "be", "dk", "fi", "no", "pl", "uk", "us",
+    "br", "za", "in", "au", "nz", "ca", "mx", "jp", "cn", // Second-level registries.
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "com.au", "net.au", "org.au", "edu.au",
+    "gov.au", "com.br", "net.br", "org.br", "gov.br", "co.za", "org.za", "web.za", "net.za",
+    "co.in", "net.in", "org.in", "gen.in", "firm.in", "co.nz", "net.nz", "org.nz", "com.mx",
+    "org.mx", "co.jp", "ne.jp", "or.jp", "com.cn", "net.cn", "org.cn",
 ];
 
 /// Is `candidate` (lowercased, no trailing dot) exactly a public suffix?
@@ -94,8 +87,7 @@ pub fn domain_match(host: &str, domain: &str) -> bool {
     if host == domain {
         return true;
     }
-    host.ends_with(&domain)
-        && host.as_bytes()[host.len() - domain.len() - 1] == b'.'
+    host.ends_with(&domain) && host.as_bytes()[host.len() - domain.len() - 1] == b'.'
 }
 
 #[cfg(test)]
@@ -115,10 +107,7 @@ mod tests {
     fn registrable() {
         assert_eq!(registrable_domain("www.spiegel.de"), Some("spiegel.de"));
         assert_eq!(registrable_domain("spiegel.de"), Some("spiegel.de"));
-        assert_eq!(
-            registrable_domain("news.bbc.co.uk"),
-            Some("bbc.co.uk")
-        );
+        assert_eq!(registrable_domain("news.bbc.co.uk"), Some("bbc.co.uk"));
         assert_eq!(registrable_domain("a.b.c.example.com"), Some("example.com"));
         assert_eq!(registrable_domain("de"), None);
         assert_eq!(registrable_domain("co.uk"), None);
@@ -143,7 +132,10 @@ mod tests {
         assert!(domain_match("a.b.example.de", ".example.de"));
         assert!(!domain_match("badexample.de", "example.de"));
         assert!(!domain_match("example.de", "www.example.de"));
-        assert!(domain_match("X.EXAMPLE.DE", "example.de"), "case-insensitive");
+        assert!(
+            domain_match("X.EXAMPLE.DE", "example.de"),
+            "case-insensitive"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for httpsim invariants.
 
+use httpsim::{domain_match, registrable_domain, same_site, Cookie, CookieJar, Region, Url};
 use proptest::prelude::*;
-use httpsim::{
-    domain_match, registrable_domain, same_site, Cookie, CookieJar, Region, Url,
-};
 
 fn hostname() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[a-z][a-z0-9]{0,8}(\\.[a-z][a-z0-9]{0,8}){1,3}").unwrap()

@@ -245,8 +245,27 @@ impl<'a> TreeBuilder<'a> {
     /// Pop elements that the incoming start tag implicitly closes.
     fn apply_auto_close(&mut self, incoming: &str) {
         const BLOCKS_CLOSING_P: &[&str] = &[
-            "p", "div", "section", "article", "aside", "ul", "ol", "table", "header", "footer",
-            "main", "nav", "h1", "h2", "h3", "h4", "h5", "h6", "blockquote", "pre", "form",
+            "p",
+            "div",
+            "section",
+            "article",
+            "aside",
+            "ul",
+            "ol",
+            "table",
+            "header",
+            "footer",
+            "main",
+            "nav",
+            "h1",
+            "h2",
+            "h3",
+            "h4",
+            "h5",
+            "h6",
+            "blockquote",
+            "pre",
+            "form",
         ];
         let closes_top = |top_tag: &str| -> bool {
             match top_tag {

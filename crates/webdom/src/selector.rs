@@ -30,7 +30,11 @@ pub struct SelectorParseError {
 
 impl fmt::Display for SelectorParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "selector parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "selector parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -192,11 +196,7 @@ impl Document {
     ///
     /// # Errors
     /// Returns [`SelectorParseError`] if the selector is malformed.
-    pub fn select(
-        &self,
-        scope: NodeId,
-        selector: &str,
-    ) -> Result<Vec<NodeId>, SelectorParseError> {
+    pub fn select(&self, scope: NodeId, selector: &str) -> Result<Vec<NodeId>, SelectorParseError> {
         let list = SelectorList::parse(selector)?;
         Ok(self
             .descendant_elements(scope)

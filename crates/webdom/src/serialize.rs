@@ -131,7 +131,9 @@ mod tests {
         d.append_child(btn, t);
 
         let out = d.to_html();
-        assert!(out.contains(r#"<template shadowrootmode="closed"><button>Jetzt abonnieren</button></template>"#));
+        assert!(out.contains(
+            r#"<template shadowrootmode="closed"><button>Jetzt abonnieren</button></template>"#
+        ));
 
         // Round-trip: re-parse and find the shadow button again.
         let d2 = parse(&out);

@@ -101,10 +101,7 @@ mod tests {
     fn extracts_and_normalizes() {
         let d = parse("<div> Wir nutzen \n\n Cookies. <p>Mit <b>PUR</b> lesen.</p></div>");
         let body = d.body().unwrap();
-        assert_eq!(
-            d.visible_text(body),
-            "Wir nutzen Cookies. Mit PUR lesen."
-        );
+        assert_eq!(d.visible_text(body), "Wir nutzen Cookies. Mit PUR lesen.");
     }
 
     #[test]

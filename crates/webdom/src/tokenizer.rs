@@ -277,8 +277,7 @@ impl<'a> Tokenizer<'a> {
         let lower = rest.to_ascii_lowercase();
         let end_rel = lower.find(&close).unwrap_or(rest.len());
         if end_rel > 0 {
-            self.tokens
-                .push(Token::Text(rest[..end_rel].to_string()));
+            self.tokens.push(Token::Text(rest[..end_rel].to_string()));
         }
         self.pos += end_rel;
         if self.pos < self.bytes.len() {
@@ -383,10 +382,7 @@ mod tests {
     fn script_raw_text_not_tokenized() {
         let toks = tokenize("<script>if (a < b) { x = \"<div>\"; }</script><p>after</p>");
         assert_eq!(toks[0], start("script", &[]));
-        assert_eq!(
-            toks[1],
-            Token::Text("if (a < b) { x = \"<div>\"; }".into())
-        );
+        assert_eq!(toks[1], Token::Text("if (a < b) { x = \"<div>\"; }".into()));
         assert_eq!(
             toks[2],
             Token::EndTag {

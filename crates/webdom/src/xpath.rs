@@ -39,7 +39,9 @@ impl fmt::Display for XPathError {
 impl std::error::Error for XPathError {}
 
 fn err(message: impl Into<String>) -> XPathError {
-    XPathError { message: message.into() }
+    XPathError {
+        message: message.into(),
+    }
 }
 
 /// Relationship of a step to the previous context.
@@ -90,7 +92,9 @@ impl XPath {
             return Err(err("empty expression"));
         }
         if !input.starts_with('/') {
-            return Err(err("only absolute paths (starting with / or //) are supported"));
+            return Err(err(
+                "only absolute paths (starting with / or //) are supported",
+            ));
         }
         let mut steps = Vec::new();
         let bytes = input.as_bytes();
@@ -215,7 +219,14 @@ fn parse_step(input: &str, mut pos: usize, axis: Axis) -> Result<(Step, usize), 
         predicates.push(parse_predicate(body)?);
         pos = close + 1;
     }
-    Ok((Step { axis, test, predicates }, pos))
+    Ok((
+        Step {
+            axis,
+            test,
+            predicates,
+        },
+        pos,
+    ))
 }
 
 fn parse_predicate(body: &str) -> Result<Predicate, XPathError> {
@@ -313,7 +324,10 @@ mod tests {
         assert_eq!(d.xpath("/html/body/div").unwrap().len(), 1);
         assert_eq!(d.xpath("/html/div").unwrap().len(), 0, "child axis strict");
         assert_eq!(d.xpath("//main//p").unwrap().len(), 2);
-        assert_eq!(d.xpath("//*").unwrap().len(), d.descendant_elements(d.root()).count());
+        assert_eq!(
+            d.xpath("//*").unwrap().len(),
+            d.descendant_elements(d.root()).count()
+        );
     }
 
     #[test]
@@ -322,7 +336,10 @@ mod tests {
         assert_eq!(d.xpath("//div[@id='cmp']").unwrap().len(), 1);
         assert_eq!(d.xpath("//button[@data-role]").unwrap().len(), 2);
         assert_eq!(d.xpath("//button[@data-role='accept']").unwrap().len(), 1);
-        assert_eq!(d.xpath("//div[contains(@class,'consent')]").unwrap().len(), 1);
+        assert_eq!(
+            d.xpath("//div[contains(@class,'consent')]").unwrap().len(),
+            1
+        );
         assert_eq!(d.xpath("//div[contains(@class,'nope')]").unwrap().len(), 0);
     }
 
@@ -332,7 +349,10 @@ mod tests {
         let accept = d.xpath("//button[text()='Accept all']").unwrap();
         assert_eq!(accept.len(), 1);
         assert_eq!(d.attr(accept[0], "data-role"), Some("accept"));
-        assert_eq!(d.xpath("//button[contains(text(),'eject')]").unwrap().len(), 1);
+        assert_eq!(
+            d.xpath("//button[contains(text(),'eject')]").unwrap().len(),
+            1
+        );
         assert_eq!(d.xpath("//p[contains(text(),'cookies')]").unwrap().len(), 1);
     }
 
@@ -369,7 +389,10 @@ mod tests {
     #[test]
     fn parse_errors() {
         assert!(XPath::parse("").is_err());
-        assert!(XPath::parse("button").is_err(), "relative paths unsupported");
+        assert!(
+            XPath::parse("button").is_err(),
+            "relative paths unsupported"
+        );
         assert!(XPath::parse("//").is_err());
         assert!(XPath::parse("//div[").is_err());
         assert!(XPath::parse("//div[0]").is_err(), "1-based positions");

@@ -54,13 +54,15 @@ fn gen_node() -> impl Strategy<Value = GenNode> {
             proptest::option::of((any::<bool>(), prop::collection::vec(inner.clone(), 0..3))),
             prop::collection::vec(inner, 0..4),
         )
-            .prop_map(|(tag, id_attr, classes, shadow, children)| GenNode::Element {
-                tag,
-                id_attr,
-                classes,
-                shadow,
-                children,
-            })
+            .prop_map(
+                |(tag, id_attr, classes, shadow, children)| GenNode::Element {
+                    tag,
+                    id_attr,
+                    classes,
+                    shadow,
+                    children,
+                },
+            )
     })
 }
 

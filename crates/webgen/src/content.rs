@@ -203,7 +203,12 @@ pub fn period_phrase(lang: Language, period: Period) -> &'static str {
 /// Copy for a cookiewall: the accept-or-pay pitch, including the price.
 /// Contains both halves of the §3 detection corpus — subscription words and
 /// a currency/price combination.
-pub fn wall_text(lang: Language, site_name: &str, price: &PriceSpec, smp_name: Option<&str>) -> String {
+pub fn wall_text(
+    lang: Language,
+    site_name: &str,
+    price: &PriceSpec,
+    smp_name: Option<&str>,
+) -> String {
     let price_str = format_price(lang, price);
     let period = period_phrase(lang, price.period);
     let via = smp_name.map(|n| (n, true));
@@ -291,7 +296,11 @@ mod tests {
     use crate::spec::{Currency, Period, PriceSpec};
 
     fn eur(cents: u32, period: Period) -> PriceSpec {
-        PriceSpec { amount_cents: cents, currency: Currency::Eur, period }
+        PriceSpec {
+            amount_cents: cents,
+            currency: Currency::Eur,
+            period,
+        }
     }
 
     #[test]
@@ -326,11 +335,23 @@ mod tests {
             format_price(Language::English, &eur(299, Period::Month)),
             "€2.99"
         );
-        let usd = PriceSpec { amount_cents: 349, currency: Currency::Usd, period: Period::Month };
+        let usd = PriceSpec {
+            amount_cents: 349,
+            currency: Currency::Usd,
+            period: Period::Month,
+        };
         assert_eq!(format_price(Language::English, &usd), "$3.49");
-        let chf = PriceSpec { amount_cents: 250, currency: Currency::Chf, period: Period::Month };
+        let chf = PriceSpec {
+            amount_cents: 250,
+            currency: Currency::Chf,
+            period: Period::Month,
+        };
         assert_eq!(format_price(Language::German, &chf), "CHF 2,50");
-        let aud = PriceSpec { amount_cents: 499, currency: Currency::Aud, period: Period::Month };
+        let aud = PriceSpec {
+            amount_cents: 499,
+            currency: Currency::Aud,
+            period: Period::Month,
+        };
         assert_eq!(format_price(Language::English, &aud), "A$4.99");
     }
 

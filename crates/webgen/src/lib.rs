@@ -40,7 +40,9 @@ pub use content::{
 };
 pub use names::{domain_name, rng_for, stable_hash, stable_shuffle};
 pub use population::{Population, PopulationConfig, Toplist};
-pub use roster::{paper_roster, scaled_roster, DecoyAssignment, WallAssignment, WallClass, WallGroup};
+pub use roster::{
+    paper_roster, scaled_roster, DecoyAssignment, WallAssignment, WallClass, WallGroup,
+};
 pub use spec::{
     BannerKind, BannerSpec, Cmp, CookieCounts, CookieProfile, CookiewallSpec, Country, Currency,
     Embedding, Period, PriceSpec, RankBucket, Serving, SiteSpec, Smp, ToplistEntry, Visibility,

@@ -41,38 +41,121 @@ const DE_FIRST: &[&str] = &[
     "gruen", "rot", "gold", "silber", "stern", "sonnen", "mond", "wetter", "tages", "wochen",
 ];
 const DE_SECOND: &[&str] = &[
-    "kurier", "anzeiger", "bote", "blatt", "post", "rundschau", "welt", "zeit", "spiegel",
-    "magazin", "portal", "forum", "treff", "haus", "laden", "werk", "hof", "feld", "quelle",
-    "wissen", "technik", "sport", "reise", "garten", "kueche", "gesund", "geld", "boerse",
-    "spiele", "kino", "musik", "netz",
+    "kurier",
+    "anzeiger",
+    "bote",
+    "blatt",
+    "post",
+    "rundschau",
+    "welt",
+    "zeit",
+    "spiegel",
+    "magazin",
+    "portal",
+    "forum",
+    "treff",
+    "haus",
+    "laden",
+    "werk",
+    "hof",
+    "feld",
+    "quelle",
+    "wissen",
+    "technik",
+    "sport",
+    "reise",
+    "garten",
+    "kueche",
+    "gesund",
+    "geld",
+    "boerse",
+    "spiele",
+    "kino",
+    "musik",
+    "netz",
 ];
 const EN_FIRST: &[&str] = &[
-    "daily", "evening", "morning", "city", "metro", "north", "south", "west", "east", "new",
-    "old", "grand", "first", "prime", "true", "fresh", "blue", "green", "red", "gold", "silver",
-    "star", "sun", "moon", "global", "local", "urban", "rural", "open", "clear", "bright",
-    "swift",
+    "daily", "evening", "morning", "city", "metro", "north", "south", "west", "east", "new", "old",
+    "grand", "first", "prime", "true", "fresh", "blue", "green", "red", "gold", "silver", "star",
+    "sun", "moon", "global", "local", "urban", "rural", "open", "clear", "bright", "swift",
 ];
 const EN_SECOND: &[&str] = &[
-    "herald", "tribune", "courier", "gazette", "journal", "times", "post", "review", "digest",
-    "monitor", "observer", "portal", "hub", "forum", "wire", "report", "insider", "weekly",
-    "outlook", "beacon", "ledger", "chronicle", "dispatch", "bulletin", "record", "express",
-    "standard", "sentinel", "register", "examiner", "inquirer", "planet",
+    "herald",
+    "tribune",
+    "courier",
+    "gazette",
+    "journal",
+    "times",
+    "post",
+    "review",
+    "digest",
+    "monitor",
+    "observer",
+    "portal",
+    "hub",
+    "forum",
+    "wire",
+    "report",
+    "insider",
+    "weekly",
+    "outlook",
+    "beacon",
+    "ledger",
+    "chronicle",
+    "dispatch",
+    "bulletin",
+    "record",
+    "express",
+    "standard",
+    "sentinel",
+    "register",
+    "examiner",
+    "inquirer",
+    "planet",
 ];
 const IT_FIRST: &[&str] = &[
     "nuovo", "vecchio", "grande", "piccolo", "alto", "basso", "nord", "sud", "vero", "primo",
     "bel", "buon", "mio", "gran", "mezzo", "doppio",
 ];
 const IT_SECOND: &[&str] = &[
-    "giornale", "corriere", "gazzetta", "messaggero", "notizie", "portale", "mercato",
-    "tempo", "mondo", "paese", "sole", "stella", "faro", "ponte", "piazza", "voce",
+    "giornale",
+    "corriere",
+    "gazzetta",
+    "messaggero",
+    "notizie",
+    "portale",
+    "mercato",
+    "tempo",
+    "mondo",
+    "paese",
+    "sole",
+    "stella",
+    "faro",
+    "ponte",
+    "piazza",
+    "voce",
 ];
 const SV_FIRST: &[&str] = &[
-    "dagens", "nya", "gamla", "stora", "norra", "soedra", "vaestra", "oestra", "fria",
-    "svenska", "lokala", "baesta", "snabba", "klara", "ljusa", "moerka",
+    "dagens", "nya", "gamla", "stora", "norra", "soedra", "vaestra", "oestra", "fria", "svenska",
+    "lokala", "baesta", "snabba", "klara", "ljusa", "moerka",
 ];
 const SV_SECOND: &[&str] = &[
-    "nyheter", "posten", "bladet", "kuriren", "tidningen", "portalen", "torget", "kaellan",
-    "vaerlden", "tiden", "handeln", "marknaden", "sporten", "resan", "huset", "skogen",
+    "nyheter",
+    "posten",
+    "bladet",
+    "kuriren",
+    "tidningen",
+    "portalen",
+    "torget",
+    "kaellan",
+    "vaerlden",
+    "tiden",
+    "handeln",
+    "marknaden",
+    "sporten",
+    "resan",
+    "huset",
+    "skogen",
 ];
 
 fn pools(lang: Language) -> (&'static [&'static str], &'static [&'static str]) {

@@ -102,7 +102,10 @@ pub struct Toplist {
 impl Toplist {
     /// All domains on this list.
     pub fn all(&self) -> impl Iterator<Item = &str> {
-        self.top1k.iter().chain(self.rest.iter()).map(|s| s.as_str())
+        self.top1k
+            .iter()
+            .chain(self.rest.iter())
+            .map(|s| s.as_str())
     }
 
     /// Number of entries.
@@ -256,9 +259,12 @@ impl Builder {
                 .map(|&c| (c, Toplist::default()))
                 .collect(),
             category_db: CategoryDb::new(),
-            smp_partners: [(Smp::Contentpass, Vec::new()), (Smp::Freechoice, Vec::new())]
-                .into_iter()
-                .collect(),
+            smp_partners: [
+                (Smp::Contentpass, Vec::new()),
+                (Smp::Freechoice, Vec::new()),
+            ]
+            .into_iter()
+            .collect(),
             name_counters: HashMap::new(),
         }
     }
@@ -331,7 +337,10 @@ impl Builder {
                 domain: domain.clone(),
                 language: w.language,
                 category: w.category,
-                toplists: vec![ToplistEntry { country, bucket: w.bucket }],
+                toplists: vec![ToplistEntry {
+                    country,
+                    bucket: w.bucket,
+                }],
                 banner: BannerKind::Cookiewall(CookiewallSpec {
                     embedding: w.class.embedding,
                     serving: w.class.serving,
@@ -360,7 +369,10 @@ impl Builder {
                 domain: domain.clone(),
                 language: d.language,
                 category: Category::NewsAndMedia,
-                toplists: vec![ToplistEntry { country: d.country, bucket: RankBucket::Top10k }],
+                toplists: vec![ToplistEntry {
+                    country: d.country,
+                    bucket: RankBucket::Top10k,
+                }],
                 banner: BannerKind::DecoyPaywall,
                 cookies: decoy_profile(&mut rng),
                 bot_sensitive: false,
@@ -379,7 +391,11 @@ impl Builder {
                 let domain = self.fresh_domain(Language::German, "de");
                 let mut rng = rng_for(&domain, 7);
                 let profile = wall_profile(&mut rng, Some(smp));
-                let embedding = if i % 8 == 0 { Embedding::ShadowOpen } else { Embedding::Iframe };
+                let embedding = if i % 8 == 0 {
+                    Embedding::ShadowOpen
+                } else {
+                    Embedding::Iframe
+                };
                 let spec = SiteSpec {
                     domain: domain.clone(),
                     language: Language::German,
@@ -413,12 +429,19 @@ impl Builder {
         let dual = self.config.dual_sites;
         // Globals: on every list; international sites, mostly English.
         for i in 0..global {
-            let lang = if i % 9 == 0 { Language::German } else { Language::English };
+            let lang = if i % 9 == 0 {
+                Language::German
+            } else {
+                Language::English
+            };
             let tld = ["com", "net", "org", "io"][i % 4];
             let domain = self.fresh_domain(lang, tld);
             let mut toplists = Vec::with_capacity(Country::ALL.len());
             for c in Country::ALL {
-                toplists.push(ToplistEntry { country: c, bucket: self.resident_bucket(&domain, c) });
+                toplists.push(ToplistEntry {
+                    country: c,
+                    bucket: self.resident_bucket(&domain, c),
+                });
             }
             let spec = self.filler_spec(domain.clone(), lang, toplists);
             for t in spec.toplists.clone() {
@@ -443,8 +466,14 @@ impl Builder {
             let tld = country_tld(a, i);
             let domain = self.fresh_domain(lang, tld);
             let toplists = vec![
-                ToplistEntry { country: a, bucket: self.resident_bucket(&domain, a) },
-                ToplistEntry { country: b, bucket: self.resident_bucket(&domain, b) },
+                ToplistEntry {
+                    country: a,
+                    bucket: self.resident_bucket(&domain, a),
+                },
+                ToplistEntry {
+                    country: b,
+                    bucket: self.resident_bucket(&domain, b),
+                },
             ];
             let spec = self.filler_spec(domain.clone(), lang, toplists);
             for t in spec.toplists.clone() {
@@ -487,15 +516,16 @@ impl Builder {
                 if need_top == 0 && need_rest == 0 {
                     break;
                 }
-                let bucket = if need_top > 0 { RankBucket::Top1k } else { RankBucket::Top10k };
+                let bucket = if need_top > 0 {
+                    RankBucket::Top1k
+                } else {
+                    RankBucket::Top10k
+                };
                 let lang = country_language(country);
                 let tld = country_tld(country, list.len());
                 let domain = self.fresh_domain(lang, tld);
-                let spec = self.filler_spec(
-                    domain.clone(),
-                    lang,
-                    vec![ToplistEntry { country, bucket }],
-                );
+                let spec =
+                    self.filler_spec(domain.clone(), lang, vec![ToplistEntry { country, bucket }]);
                 self.push_to_list(country, bucket, &domain);
                 self.add_site(spec);
             }
@@ -529,7 +559,11 @@ impl Builder {
             };
             BannerKind::Banner(BannerSpec {
                 embedding,
-                serving: if rng.random_bool(0.5) { Serving::CmpScript } else { Serving::FirstParty },
+                serving: if rng.random_bool(0.5) {
+                    Serving::CmpScript
+                } else {
+                    Serving::FirstParty
+                },
                 has_reject: rng.random_bool(0.9),
                 has_settings: rng.random_bool(0.4),
                 eu_only: rng.random_bool(0.3),
@@ -566,13 +600,27 @@ fn country_language(c: Country) -> Language {
 /// TLD distribution of a country's local sites (index-cycled).
 fn country_tld(c: Country, i: usize) -> &'static str {
     let wheel: &[&'static str] = match c {
-        Country::De => &["de", "de", "de", "de", "de", "de", "de", "com", "net", "org"],
-        Country::Se => &["se", "se", "se", "se", "se", "se", "com", "net", "nu", "org"],
-        Country::Us => &["com", "com", "com", "com", "com", "net", "org", "io", "us", "info"],
-        Country::Br => &["com.br", "com.br", "com.br", "br", "br", "com", "org.br", "net", "org", "com"],
-        Country::Za => &["co.za", "co.za", "co.za", "za", "com", "org.za", "net", "com", "org", "co.za"],
-        Country::In => &["in", "in", "co.in", "co.in", "com", "com", "org", "net", "in", "com"],
-        Country::Au => &["com.au", "com.au", "com.au", "com.au", "au", "com", "net.au", "org.au", "com", "net"],
+        Country::De => &[
+            "de", "de", "de", "de", "de", "de", "de", "com", "net", "org",
+        ],
+        Country::Se => &[
+            "se", "se", "se", "se", "se", "se", "com", "net", "nu", "org",
+        ],
+        Country::Us => &[
+            "com", "com", "com", "com", "com", "net", "org", "io", "us", "info",
+        ],
+        Country::Br => &[
+            "com.br", "com.br", "com.br", "br", "br", "com", "org.br", "net", "org", "com",
+        ],
+        Country::Za => &[
+            "co.za", "co.za", "co.za", "za", "com", "org.za", "net", "com", "org", "co.za",
+        ],
+        Country::In => &[
+            "in", "in", "co.in", "co.in", "com", "com", "org", "net", "in", "com",
+        ],
+        Country::Au => &[
+            "com.au", "com.au", "com.au", "com.au", "au", "com", "net.au", "org.au", "com", "net",
+        ],
     };
     wheel[i % wheel.len()]
 }
@@ -668,10 +716,18 @@ fn wall_profile(rng: &mut ChaCha8Rng, smp: Option<Smp>) -> CookieProfile {
             tracking: 0,
         }
     } else {
-        CookieCounts { first_party: 3, benign_third_party: 0, tracking: 0 }
+        CookieCounts {
+            first_party: 3,
+            benign_third_party: 0,
+            tracking: 0,
+        }
     };
     CookieProfile {
-        pre_consent: CookieCounts { first_party: 3, benign_third_party: 0, tracking: 0 },
+        pre_consent: CookieCounts {
+            first_party: 3,
+            benign_third_party: 0,
+            tracking: 0,
+        },
         accepted,
         subscribed,
     }
@@ -688,9 +744,17 @@ fn banner_profile(rng: &mut ChaCha8Rng) -> CookieProfile {
         tracking: count(lognorm(rng, 0.9, 0.8), 0, 30),
     };
     CookieProfile {
-        pre_consent: CookieCounts { first_party: 2, benign_third_party: 0, tracking: 0 },
+        pre_consent: CookieCounts {
+            first_party: 2,
+            benign_third_party: 0,
+            tracking: 0,
+        },
         accepted,
-        subscribed: CookieCounts { first_party: 2, benign_third_party: 0, tracking: 0 },
+        subscribed: CookieCounts {
+            first_party: 2,
+            benign_third_party: 0,
+            tracking: 0,
+        },
     }
 }
 
@@ -701,7 +765,11 @@ fn plain_profile(rng: &mut ChaCha8Rng) -> CookieProfile {
         benign_third_party: count(lognorm(rng, 2.0, 0.6), 0, 15),
         tracking: count(lognorm(rng, 0.5, 0.7), 0, 10),
     };
-    CookieProfile { pre_consent: steady, accepted: steady, subscribed: steady }
+    CookieProfile {
+        pre_consent: steady,
+        accepted: steady,
+        subscribed: steady,
+    }
 }
 
 /// Decoy paywall sites: ordinary cookie behaviour, no consent gate.
@@ -749,7 +817,10 @@ mod tests {
         assert_eq!(walls.len(), 30, "scaled roster size");
         // SMP partner lists include off-list extras.
         let cp = p.smp_partners(Smp::Contentpass);
-        let in_list = cp.iter().filter(|d| p.site(d).unwrap().on_toplist(Country::De)).count();
+        let in_list = cp
+            .iter()
+            .filter(|d| p.site(d).unwrap().on_toplist(Country::De))
+            .count();
         assert!(cp.len() > in_list, "off-list partners exist");
         // Category DB knows every site.
         for s in p.sites() {
@@ -768,7 +839,10 @@ mod tests {
         assert!(special.banner.is_cookiewall());
         // Lookup via a deeper subdomain works.
         let via_sub = p.site(&format!("www.{}", special.domain));
-        assert_eq!(via_sub.map(|s| s.domain.as_str()), Some(special.domain.as_str()));
+        assert_eq!(
+            via_sub.map(|s| s.domain.as_str()),
+            Some(special.domain.as_str())
+        );
     }
 
     #[test]
@@ -780,7 +854,11 @@ mod tests {
         for i in 0..4000 {
             let mut rng = rng_for(&format!("profiletest{i}"), 0);
             wall_tracking.push(wall_profile(&mut rng, None).accepted.tracking as f64);
-            cp_tracking.push(wall_profile(&mut rng, Some(Smp::Contentpass)).accepted.tracking as f64);
+            cp_tracking.push(
+                wall_profile(&mut rng, Some(Smp::Contentpass))
+                    .accepted
+                    .tracking as f64,
+            );
             banner_tracking.push(banner_profile(&mut rng).accepted.tracking as f64);
         }
         let med = |v: &mut Vec<f64>| {
@@ -788,15 +866,27 @@ mod tests {
             v[v.len() / 2]
         };
         let wall_med = med(&mut wall_tracking);
-        assert!((55.0..=85.0).contains(&wall_med), "independent wall median {wall_med}");
+        assert!(
+            (55.0..=85.0).contains(&wall_med),
+            "independent wall median {wall_med}"
+        );
         let cp_med = med(&mut cp_tracking);
-        assert!((13.0..=19.0).contains(&cp_med), "contentpass median {cp_med}");
+        assert!(
+            (13.0..=19.0).contains(&cp_med),
+            "contentpass median {cp_med}"
+        );
         let banner_med = med(&mut banner_tracking);
-        assert!((0.0..=2.0).contains(&banner_med), "banner median {banner_med}");
+        assert!(
+            (0.0..=2.0).contains(&banner_med),
+            "banner median {banner_med}"
+        );
         // Mean ratio in the ~42× ballpark.
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let ratio = mean(&wall_tracking) / mean(&banner_tracking).max(0.01);
-        assert!((25.0..=90.0).contains(&ratio), "wall/banner tracking mean ratio {ratio}");
+        assert!(
+            (25.0..=90.0).contains(&ratio),
+            "wall/banner tracking mean ratio {ratio}"
+        );
         // Heavy tail: some contentpass outliers above 100.
         assert!(cp_tracking.iter().any(|&t| t > 100.0), "no >100 outliers");
     }

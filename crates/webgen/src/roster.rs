@@ -108,11 +108,19 @@ pub struct DecoyAssignment {
 }
 
 fn eur(cents: u32) -> PriceSpec {
-    PriceSpec { amount_cents: cents, currency: Currency::Eur, period: Period::Month }
+    PriceSpec {
+        amount_cents: cents,
+        currency: Currency::Eur,
+        period: Period::Month,
+    }
 }
 
 fn eur_year(cents: u32) -> PriceSpec {
-    PriceSpec { amount_cents: cents, currency: Currency::Eur, period: Period::Year }
+    PriceSpec {
+        amount_cents: cents,
+        currency: Currency::Eur,
+        period: Period::Year,
+    }
 }
 
 /// Expand `(count, value)` runs into a flat vector.
@@ -209,22 +217,113 @@ fn build_de_group() -> Vec<WallAssignment> {
     let mut classes = Vec::with_capacity(n);
     classes.extend(expand(&[
         // contentpass: 70 iframe + 6 shadow (script-injected into shadow).
-        (70, WallClass { serving: Serving::SmpCdn, embedding: Embedding::Iframe, smp: Some(Smp::Contentpass) }),
-        (3, WallClass { serving: Serving::SmpCdn, embedding: Embedding::ShadowOpen, smp: Some(Smp::Contentpass) }),
-        (3, WallClass { serving: Serving::SmpCdn, embedding: Embedding::ShadowClosed, smp: Some(Smp::Contentpass) }),
+        (
+            70,
+            WallClass {
+                serving: Serving::SmpCdn,
+                embedding: Embedding::Iframe,
+                smp: Some(Smp::Contentpass),
+            },
+        ),
+        (
+            3,
+            WallClass {
+                serving: Serving::SmpCdn,
+                embedding: Embedding::ShadowOpen,
+                smp: Some(Smp::Contentpass),
+            },
+        ),
+        (
+            3,
+            WallClass {
+                serving: Serving::SmpCdn,
+                embedding: Embedding::ShadowClosed,
+                smp: Some(Smp::Contentpass),
+            },
+        ),
         // freechoice: 55 iframe + 7 shadow.
-        (55, WallClass { serving: Serving::SmpCdn, embedding: Embedding::Iframe, smp: Some(Smp::Freechoice) }),
-        (4, WallClass { serving: Serving::SmpCdn, embedding: Embedding::ShadowOpen, smp: Some(Smp::Freechoice) }),
-        (3, WallClass { serving: Serving::SmpCdn, embedding: Embedding::ShadowClosed, smp: Some(Smp::Freechoice) }),
+        (
+            55,
+            WallClass {
+                serving: Serving::SmpCdn,
+                embedding: Embedding::Iframe,
+                smp: Some(Smp::Freechoice),
+            },
+        ),
+        (
+            4,
+            WallClass {
+                serving: Serving::SmpCdn,
+                embedding: Embedding::ShadowOpen,
+                smp: Some(Smp::Freechoice),
+            },
+        ),
+        (
+            3,
+            WallClass {
+                serving: Serving::SmpCdn,
+                embedding: Embedding::ShadowClosed,
+                smp: Some(Smp::Freechoice),
+            },
+        ),
         // CMP-script walls in the DE group: 41 of the global 58.
-        (2, WallClass { serving: Serving::CmpScript, embedding: Embedding::Iframe, smp: None }),
-        (13, WallClass { serving: Serving::CmpScript, embedding: Embedding::ShadowOpen, smp: None }),
-        (9, WallClass { serving: Serving::CmpScript, embedding: Embedding::ShadowClosed, smp: None }),
-        (19, WallClass { serving: Serving::CmpScript, embedding: Embedding::MainDom, smp: None }),
+        (
+            2,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::Iframe,
+                smp: None,
+            },
+        ),
+        (
+            13,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::ShadowOpen,
+                smp: None,
+            },
+        ),
+        (
+            9,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::ShadowClosed,
+                smp: None,
+            },
+        ),
+        (
+            19,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::MainDom,
+                smp: None,
+            },
+        ),
         // First-party walls in the DE group: 80 of the global 84.
-        (17, WallClass { serving: Serving::FirstParty, embedding: Embedding::ShadowOpen, smp: None }),
-        (16, WallClass { serving: Serving::FirstParty, embedding: Embedding::ShadowClosed, smp: None }),
-        (45, WallClass { serving: Serving::FirstParty, embedding: Embedding::MainDom, smp: None }),
+        (
+            17,
+            WallClass {
+                serving: Serving::FirstParty,
+                embedding: Embedding::ShadowOpen,
+                smp: None,
+            },
+        ),
+        (
+            16,
+            WallClass {
+                serving: Serving::FirstParty,
+                embedding: Embedding::ShadowClosed,
+                smp: None,
+            },
+        ),
+        (
+            45,
+            WallClass {
+                serving: Serving::FirstParty,
+                embedding: Embedding::MainDom,
+                smp: None,
+            },
+        ),
     ]));
     assert_eq!(classes.len(), n);
 
@@ -248,7 +347,14 @@ fn build_de_group() -> Vec<WallAssignment> {
         (3, eur(699)),
         (4, eur_year(3588)), // 35.88 €/year = 2.99/month
         (2, eur_year(4788)), // 47.88 €/year = 3.99/month
-        (1, PriceSpec { amount_cents: 250, currency: Currency::Chf, period: Period::Month }),
+        (
+            1,
+            PriceSpec {
+                amount_cents: 250,
+                currency: Currency::Chf,
+                period: Period::Month,
+            },
+        ),
         (5, eur(999)),
         (2, eur(1299)),
         (1, eur(1499)),
@@ -263,7 +369,9 @@ fn build_de_group() -> Vec<WallAssignment> {
         let price = if class.smp.is_some() {
             eur(299)
         } else {
-            price_iter.next().expect("price column sized for non-SMP count")
+            price_iter
+                .next()
+                .expect("price column sized for non-SMP count")
         };
         // Italian TLD sites are cheaper on average (Figure 2 heatmap).
         let price = if tlds[i] == "it" && class.smp.is_none() {
@@ -300,11 +408,46 @@ fn build_se_group() -> Vec<WallAssignment> {
     let mut vis = expand(&[(10, Visibility::Global), (5, Visibility::EuOnly)]);
     let mut buckets = expand(&[(3, RankBucket::Top1k), (12, RankBucket::Top10k)]);
     let mut classes = expand(&[
-        (3, WallClass { serving: Serving::CmpScript, embedding: Embedding::Iframe, smp: None }),
-        (4, WallClass { serving: Serving::CmpScript, embedding: Embedding::ShadowOpen, smp: None }),
-        (5, WallClass { serving: Serving::CmpScript, embedding: Embedding::MainDom, smp: None }),
-        (2, WallClass { serving: Serving::FirstParty, embedding: Embedding::ShadowClosed, smp: None }),
-        (1, WallClass { serving: Serving::FirstParty, embedding: Embedding::MainDom, smp: None }),
+        (
+            3,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::Iframe,
+                smp: None,
+            },
+        ),
+        (
+            4,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::ShadowOpen,
+                smp: None,
+            },
+        ),
+        (
+            5,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::MainDom,
+                smp: None,
+            },
+        ),
+        (
+            2,
+            WallClass {
+                serving: Serving::FirstParty,
+                embedding: Embedding::ShadowClosed,
+                smp: None,
+            },
+        ),
+        (
+            1,
+            WallClass {
+                serving: Serving::FirstParty,
+                embedding: Embedding::MainDom,
+                smp: None,
+            },
+        ),
     ]);
     let mut prices = expand(&[
         (4, eur(199)),
@@ -312,7 +455,14 @@ fn build_se_group() -> Vec<WallAssignment> {
         (3, eur(399)),
         (2, eur(499)),
         (1, eur(999)),
-        (1, PriceSpec { amount_cents: 399, currency: Currency::Gbp, period: Period::Month }),
+        (
+            1,
+            PriceSpec {
+                amount_cents: 399,
+                currency: Currency::Gbp,
+                period: Period::Month,
+            },
+        ),
     ]);
     stable_shuffle(&mut tlds, "roster/se/tld");
     stable_shuffle(&mut langs, "roster/se/lang");
@@ -341,22 +491,66 @@ fn build_se_group() -> Vec<WallAssignment> {
 /// (they must be detectable from the Australian vantage point).
 fn build_au_group() -> Vec<WallAssignment> {
     let classes = expand(&[
-        (2, WallClass { serving: Serving::CmpScript, embedding: Embedding::Iframe, smp: None }),
-        (1, WallClass { serving: Serving::CmpScript, embedding: Embedding::ShadowOpen, smp: None }),
-        (1, WallClass { serving: Serving::FirstParty, embedding: Embedding::ShadowOpen, smp: None }),
-        (1, WallClass { serving: Serving::FirstParty, embedding: Embedding::MainDom, smp: None }),
+        (
+            2,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::Iframe,
+                smp: None,
+            },
+        ),
+        (
+            1,
+            WallClass {
+                serving: Serving::CmpScript,
+                embedding: Embedding::ShadowOpen,
+                smp: None,
+            },
+        ),
+        (
+            1,
+            WallClass {
+                serving: Serving::FirstParty,
+                embedding: Embedding::ShadowOpen,
+                smp: None,
+            },
+        ),
+        (
+            1,
+            WallClass {
+                serving: Serving::FirstParty,
+                embedding: Embedding::MainDom,
+                smp: None,
+            },
+        ),
     ]);
     let prices = [
-        PriceSpec { amount_cents: 499, currency: Currency::Aud, period: Period::Month },
-        PriceSpec { amount_cents: 349, currency: Currency::Usd, period: Period::Month },
+        PriceSpec {
+            amount_cents: 499,
+            currency: Currency::Aud,
+            period: Period::Month,
+        },
+        PriceSpec {
+            amount_cents: 349,
+            currency: Currency::Usd,
+            period: Period::Month,
+        },
         eur(299),
-        PriceSpec { amount_cents: 299, currency: Currency::Gbp, period: Period::Month },
+        PriceSpec {
+            amount_cents: 299,
+            currency: Currency::Gbp,
+            period: Period::Month,
+        },
         eur(399),
     ];
     (0..5)
         .map(|i| WallAssignment {
             group: WallGroup::Au,
-            bucket: if i == 0 { RankBucket::Top1k } else { RankBucket::Top10k },
+            bucket: if i == 0 {
+                RankBucket::Top1k
+            } else {
+                RankBucket::Top10k
+            },
             tld: "com",
             language: Language::English,
             visibility: Visibility::Global,
@@ -393,11 +587,40 @@ fn build_br_special() -> WallAssignment {
 /// The five decoy paywalls behind the 98.2% precision figure.
 fn decoys() -> Vec<DecoyAssignment> {
     vec![
-        DecoyAssignment { country: Country::De, language: Language::German, tld: "de", price: eur(499) },
-        DecoyAssignment { country: Country::De, language: Language::German, tld: "de", price: eur(799) },
-        DecoyAssignment { country: Country::De, language: Language::German, tld: "com", price: eur(699) },
-        DecoyAssignment { country: Country::Us, language: Language::English, tld: "com", price: PriceSpec { amount_cents: 999, currency: Currency::Usd, period: Period::Month } },
-        DecoyAssignment { country: Country::Br, language: Language::Portuguese, tld: "com", price: eur(399) },
+        DecoyAssignment {
+            country: Country::De,
+            language: Language::German,
+            tld: "de",
+            price: eur(499),
+        },
+        DecoyAssignment {
+            country: Country::De,
+            language: Language::German,
+            tld: "de",
+            price: eur(799),
+        },
+        DecoyAssignment {
+            country: Country::De,
+            language: Language::German,
+            tld: "com",
+            price: eur(699),
+        },
+        DecoyAssignment {
+            country: Country::Us,
+            language: Language::English,
+            tld: "com",
+            price: PriceSpec {
+                amount_cents: 999,
+                currency: Currency::Usd,
+                period: Period::Month,
+            },
+        },
+        DecoyAssignment {
+            country: Country::Br,
+            language: Language::Portuguese,
+            tld: "com",
+            price: eur(399),
+        },
     ]
 }
 
@@ -413,11 +636,22 @@ pub fn scaled_roster(divisor: usize) -> (Vec<WallAssignment>, Vec<DecoyAssignmen
     // minority groups (Sweden, Australia, the Brazilian special case) keep
     // at least one representative.
     let mut out = Vec::new();
-    for group in [WallGroup::De, WallGroup::Se, WallGroup::Au, WallGroup::BrSpecial] {
+    for group in [
+        WallGroup::De,
+        WallGroup::Se,
+        WallGroup::Au,
+        WallGroup::BrSpecial,
+    ] {
         let members: Vec<&WallAssignment> = walls.iter().filter(|w| w.group == group).collect();
         let keep = members.len().div_ceil(divisor).max(1);
         let stride = members.len().div_ceil(keep);
-        out.extend(members.iter().step_by(stride).take(keep).map(|w| (*w).clone()));
+        out.extend(
+            members
+                .iter()
+                .step_by(stride)
+                .take(keep)
+                .map(|w| (*w).clone()),
+        );
     }
     let decoys = vec![decoys[0].clone()];
     (out, decoys)
@@ -456,29 +690,57 @@ mod tests {
         assert_eq!(lang(Language::German), 252);
         assert_eq!(lang(Language::English), 12);
         assert_eq!(lang(Language::Italian), 6);
-        assert_eq!(lang(Language::Swedish), 0, "Language column for Sweden is 0");
+        assert_eq!(
+            lang(Language::Swedish),
+            0,
+            "Language column for Sweden is 0"
+        );
 
         // Embedding split (§3): 76 shadow / 132 iframe / 72 main.
-        let emb_shadow = walls.iter().filter(|w| w.class.embedding.is_shadow()).count();
-        let emb_iframe = walls.iter().filter(|w| w.class.embedding == Embedding::Iframe).count();
-        let emb_main = walls.iter().filter(|w| w.class.embedding == Embedding::MainDom).count();
+        let emb_shadow = walls
+            .iter()
+            .filter(|w| w.class.embedding.is_shadow())
+            .count();
+        let emb_iframe = walls
+            .iter()
+            .filter(|w| w.class.embedding == Embedding::Iframe)
+            .count();
+        let emb_main = walls
+            .iter()
+            .filter(|w| w.class.embedding == Embedding::MainDom)
+            .count();
         assert_eq!(emb_shadow, 76);
         assert_eq!(emb_iframe, 132);
         assert_eq!(emb_main, 72);
 
         // Blockability (§4.5): 196 of 280 = 70%.
-        let blockable = walls.iter().filter(|w| w.class.serving != Serving::FirstParty).count();
+        let blockable = walls
+            .iter()
+            .filter(|w| w.class.serving != Serving::FirstParty)
+            .count();
         assert_eq!(blockable, 196);
 
         // SMP membership (§4.4): 76 contentpass + 62 freechoice in-list.
-        let cp = walls.iter().filter(|w| w.class.smp == Some(Smp::Contentpass)).count();
-        let fc = walls.iter().filter(|w| w.class.smp == Some(Smp::Freechoice)).count();
+        let cp = walls
+            .iter()
+            .filter(|w| w.class.smp == Some(Smp::Contentpass))
+            .count();
+        let fc = walls
+            .iter()
+            .filter(|w| w.class.smp == Some(Smp::Freechoice))
+            .count();
         assert_eq!(cp, 76);
         assert_eq!(fc, 62);
 
         // Visibility: EU sees 280, Sweden misses the 4 DeOnly sites.
-        let de_only = walls.iter().filter(|w| w.visibility == Visibility::DeOnly).count();
-        let global = walls.iter().filter(|w| w.visibility == Visibility::Global).count();
+        let de_only = walls
+            .iter()
+            .filter(|w| w.visibility == Visibility::DeOnly)
+            .count();
+        let global = walls
+            .iter()
+            .filter(|w| w.visibility == Visibility::Global)
+            .count();
         assert_eq!(de_only, 4);
         assert_eq!(global, 200);
 
@@ -502,10 +764,19 @@ mod tests {
     fn price_marginals() {
         let (walls, _) = paper_roster();
         let prices: Vec<f64> = walls.iter().map(|w| w.price.monthly_eur()).collect();
-        let at_most = |x: f64| prices.iter().filter(|&&p| p <= x).count() as f64 / prices.len() as f64;
+        let at_most =
+            |x: f64| prices.iter().filter(|&&p| p <= x).count() as f64 / prices.len() as f64;
         // ~80% ≤ €3, ~90% ≤ €4 (§4.2).
-        assert!(at_most(3.05) > 0.72 && at_most(3.05) < 0.88, "p≤3: {}", at_most(3.05));
-        assert!(at_most(4.05) > 0.85 && at_most(4.05) < 0.96, "p≤4: {}", at_most(4.05));
+        assert!(
+            at_most(3.05) > 0.72 && at_most(3.05) < 0.88,
+            "p≤3: {}",
+            at_most(3.05)
+        );
+        assert!(
+            at_most(4.05) > 0.85 && at_most(4.05) < 0.96,
+            "p≤4: {}",
+            at_most(4.05)
+        );
         // A tail of sites at €9 or more.
         let expensive = prices.iter().filter(|&&p| p >= 9.0).count();
         assert!((5..=15).contains(&expensive), "expensive tail: {expensive}");
@@ -515,10 +786,19 @@ mod tests {
         }
         // Italian TLD is cheaper on average than German.
         let avg = |tld: &str| {
-            let v: Vec<f64> = walls.iter().filter(|w| w.tld == tld).map(|w| w.price.monthly_eur()).collect();
+            let v: Vec<f64> = walls
+                .iter()
+                .filter(|w| w.tld == tld)
+                .map(|w| w.price.monthly_eur())
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
-        assert!(avg("it") < avg("de"), "it {} vs de {}", avg("it"), avg("de"));
+        assert!(
+            avg("it") < avg("de"),
+            "it {} vs de {}",
+            avg("it"),
+            avg("de")
+        );
         // Yearly-quoted offers exist (normalization must be exercised).
         assert!(walls.iter().any(|w| w.price.period == Period::Year));
     }
@@ -526,11 +806,20 @@ mod tests {
     #[test]
     fn category_marginals() {
         let (walls, _) = paper_roster();
-        let news = walls.iter().filter(|w| w.category == Category::NewsAndMedia).count();
+        let news = walls
+            .iter()
+            .filter(|w| w.category == Category::NewsAndMedia)
+            .count();
         assert!(news as f64 / 280.0 > 0.25, "news > one fourth: {news}");
-        let business = walls.iter().filter(|w| w.category == Category::Business).count();
+        let business = walls
+            .iter()
+            .filter(|w| w.category == Category::Business)
+            .count();
         assert_eq!(business, 25);
-        let it = walls.iter().filter(|w| w.category == Category::InformationTechnology).count();
+        let it = walls
+            .iter()
+            .filter(|w| w.category == Category::InformationTechnology)
+            .count();
         assert_eq!(it, 20);
         // Every category appears.
         for c in Category::ALL {

@@ -27,9 +27,24 @@ pub const SUBSCRIPTION_COOKIE: &str = "cw_sub";
 /// Install the whole population onto `net`. Returns the shared handle that
 /// also serves the infrastructure hosts.
 pub fn install(population: Arc<Population>, net: &Network) {
+    install_with_faults(population, net, None);
+}
+
+/// Like [`install`], but with an optional fault-injection plan wrapped
+/// around every *site* origin ([`httpsim::FaultyServer`]). Infrastructure
+/// hosts (trackers, SMP/CMP CDNs) stay fault-free: the study's unit of
+/// failure is the site visit, and a faulted navigation never reaches
+/// subresources anyway. A `None` plan is exactly [`install`].
+pub fn install_with_faults(
+    population: Arc<Population>,
+    net: &Network,
+    fault_plan: Option<Arc<httpsim::FaultPlan>>,
+) {
     let shared = Arc::new(WebServers {
         population: Arc::clone(&population),
-        visits: (0..population.sites().len()).map(|_| AtomicU64::new(0)).collect(),
+        visits: (0..population.sites().len())
+            .map(|_| AtomicU64::new(0))
+            .collect(),
     });
 
     for (idx, site) in population.sites().iter().enumerate() {
@@ -38,7 +53,14 @@ pub fn install(population: Arc<Population>, net: &Network) {
         if population.is_dead(&site.domain) {
             continue;
         }
-        let server = Arc::new(SiteHandler { shared: Arc::clone(&shared), site_index: idx });
+        let server: Arc<dyn httpsim::Server> = Arc::new(SiteHandler {
+            shared: Arc::clone(&shared),
+            site_index: idx,
+        });
+        let server = match &fault_plan {
+            Some(plan) => Arc::new(httpsim::FaultyServer::new(server, Arc::clone(plan))) as _,
+            None => server,
+        };
         net.register(&site.domain, server);
     }
     for tracker in crate::trackers::tracker_pool() {
@@ -50,14 +72,19 @@ pub fn install(population: Arc<Population>, net: &Network) {
     for smp in [Smp::Contentpass, Smp::Freechoice] {
         net.register(
             smp.cdn_host(),
-            Arc::new(SmpCdnHandler { shared: Arc::clone(&shared), smp }),
+            Arc::new(SmpCdnHandler {
+                shared: Arc::clone(&shared),
+                smp,
+            }),
         );
         net.register(smp.account_host(), Arc::new(SmpAccountHandler { smp }));
     }
     for cmp in Cmp::ALL {
         net.register(
             cmp.host(),
-            Arc::new(CmpCdnHandler { shared: Arc::clone(&shared) }),
+            Arc::new(CmpCdnHandler {
+                shared: Arc::clone(&shared),
+            }),
         );
     }
 }
@@ -94,9 +121,16 @@ fn consent_state(req: &Request) -> ConsentState {
 /// their consent UI from such clients (§3's measurement limitation).
 fn looks_like_bot(user_agent: &str) -> bool {
     let ua = user_agent.to_ascii_lowercase();
-    ["bot", "crawler", "spider", "headless", "python-requests", "curl"]
-        .iter()
-        .any(|m| ua.contains(m))
+    [
+        "bot",
+        "crawler",
+        "spider",
+        "headless",
+        "python-requests",
+        "curl",
+    ]
+    .iter()
+    .any(|m| ua.contains(m))
 }
 
 /// Per-repetition multiplicative noise on cookie counts (advertising
@@ -435,7 +469,11 @@ fn wall_fragment(site: &SiteSpec, cw: &crate::spec::CookiewallSpec) -> String {
     let lang = site.language;
     let text = content::wall_text(lang, &site.domain, &cw.price, cw.smp.map(Smp::name));
     let subscribe_href = match cw.smp {
-        Some(smp) => format!("https://{}/subscribe?site={}", smp.account_host(), site.domain),
+        Some(smp) => format!(
+            "https://{}/subscribe?site={}",
+            smp.account_host(),
+            site.domain
+        ),
         None => "/abo".to_string(),
     };
     let mut s = format!(
@@ -676,8 +714,14 @@ mod tests {
         for domain in pop.merged_targets() {
             let resp = get(&net, &format!("https://{domain}/"), Region::Germany);
             assert_eq!(resp.status, 200, "{domain}");
-            assert!(resp.body_text().contains(&domain), "{domain} page mentions itself");
-            assert!(!resp.set_cookies.is_empty(), "{domain} sets a session cookie");
+            assert!(
+                resp.body_text().contains(&domain),
+                "{domain} page mentions itself"
+            );
+            assert!(
+                !resp.set_cookies.is_empty(),
+                "{domain} sets a session cookie"
+            );
         }
     }
 
@@ -711,7 +755,9 @@ mod tests {
         if let Some(site) = eu_only {
             let url = format!("https://{}/", site.domain);
             let us = get(&net, &url, Region::UsEast).body_text();
-            assert!(!us.contains("cw-wall") && !us.contains("cw-frame") && !us.contains("cw-mount"));
+            assert!(
+                !us.contains("cw-wall") && !us.contains("cw-frame") && !us.contains("cw-mount")
+            );
             let de = get(&net, &url, Region::Germany).body_text();
             assert!(de.contains("cw-wall") || de.contains("cw-frame") || de.contains("cw-mount"));
         }
@@ -747,7 +793,11 @@ mod tests {
         let (_pop, net) = setup();
         let account = Smp::Contentpass.account_host();
         // Anonymous check.
-        let anon = get(&net, &format!("https://{account}/check.js?site=x.de"), Region::Germany);
+        let anon = get(
+            &net,
+            &format!("https://{account}/check.js?site=x.de"),
+            Region::Germany,
+        );
         assert_eq!(anon.body_text(), "anon");
         // Login.
         let mut login = Request::navigation(
@@ -755,9 +805,15 @@ mod tests {
             Region::Germany,
         );
         login.method = Method::Post;
-        login.body_params = vec![("user".into(), "alice".into()), ("pass".into(), "pw".into())];
+        login.body_params = vec![
+            ("user".into(), "alice".into()),
+            ("pass".into(), "pw".into()),
+        ];
         let resp = net.dispatch(&login);
-        assert!(resp.set_cookies.iter().any(|c| c.starts_with("cp_session=tok-")));
+        assert!(resp
+            .set_cookies
+            .iter()
+            .any(|c| c.starts_with("cp_session=tok-")));
         // Entitled check with the session cookie.
         let mut check = Request::navigation(
             Url::parse(&format!("https://{account}/check.js?site=x.de")).unwrap(),
@@ -773,7 +829,11 @@ mod tests {
         let partner = pop.smp_partners(Smp::Contentpass).first().cloned();
         if let Some(partner) = partner {
             let cdn = Smp::Contentpass.cdn_host();
-            let resp = get(&net, &format!("https://{cdn}/wall?site={partner}"), Region::Germany);
+            let resp = get(
+                &net,
+                &format!("https://{cdn}/wall?site={partner}"),
+                Region::Germany,
+            );
             assert_eq!(resp.status, 200);
             let body = resp.body_text();
             assert!(body.contains("cw-wall"));
@@ -786,16 +846,22 @@ mod tests {
     fn bot_sensitive_site_hides_ui_from_bots() {
         let (pop, net) = setup();
         // Find any bot-sensitive site with some consent UI.
-        let candidate = pop.sites().iter().find(|s| {
-            s.bot_sensitive && !matches!(s.banner, BannerKind::None)
-        });
+        let candidate = pop
+            .sites()
+            .iter()
+            .find(|s| s.bot_sensitive && !matches!(s.banner, BannerKind::None));
         if let Some(site) = candidate {
             let url = Url::parse(&format!("https://{}/", site.domain)).unwrap();
             let mut req = Request::navigation(url, Region::Germany);
             req.user_agent = "SuperCrawler bot/1.0".to_string();
             let body = net.dispatch(&req).body_text();
             assert!(
-                !body.contains("cmp-banner") && !body.contains("cw-wall") && !body.contains("cw-mount") && !body.contains("cmp-mount") && !body.contains("cmp-frame") && !body.contains("cw-frame"),
+                !body.contains("cmp-banner")
+                    && !body.contains("cw-wall")
+                    && !body.contains("cw-mount")
+                    && !body.contains("cmp-mount")
+                    && !body.contains("cmp-frame")
+                    && !body.contains("cw-frame"),
                 "bot visit must hide consent UI on {}",
                 site.domain
             );
@@ -819,7 +885,10 @@ mod tests {
         }
         let base = wall.cookies.accepted.first_party as f64;
         for c in &counts {
-            assert!((c - base).abs() / base < 0.25, "noise bounded: {c} vs {base}");
+            assert!(
+                (c - base).abs() / base < 0.25,
+                "noise bounded: {c} vs {base}"
+            );
         }
         assert!(
             counts.iter().any(|c| (c - counts[0]).abs() > 0.5),
@@ -873,7 +942,10 @@ mod tests {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("region fetcher")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("region fetcher"))
+                .collect()
         });
         let flat: Vec<String> = concurrent.into_iter().flatten().collect();
         assert_eq!(reference, flat, "concurrent generation must match serial");

@@ -475,9 +475,21 @@ mod tests {
                 breaks_scroll_when_blocked: false,
             }),
             cookies: CookieProfile {
-                pre_consent: CookieCounts { first_party: 3, benign_third_party: 0, tracking: 0 },
-                accepted: CookieCounts { first_party: 19, benign_third_party: 7, tracking: 43 },
-                subscribed: CookieCounts { first_party: 6, benign_third_party: 4, tracking: 0 },
+                pre_consent: CookieCounts {
+                    first_party: 3,
+                    benign_third_party: 0,
+                    tracking: 0,
+                },
+                accepted: CookieCounts {
+                    first_party: 19,
+                    benign_third_party: 7,
+                    tracking: 43,
+                },
+                subscribed: CookieCounts {
+                    first_party: 6,
+                    benign_third_party: 4,
+                    tracking: 0,
+                },
             },
             bot_sensitive: false,
         };
@@ -498,14 +510,32 @@ mod tests {
             language: langid::Language::German,
             category: categorize::Category::Business,
             toplists: vec![
-                ToplistEntry { country: Country::De, bucket: RankBucket::Top1k },
-                ToplistEntry { country: Country::Se, bucket: RankBucket::Top10k },
+                ToplistEntry {
+                    country: Country::De,
+                    bucket: RankBucket::Top1k,
+                },
+                ToplistEntry {
+                    country: Country::Se,
+                    bucket: RankBucket::Top10k,
+                },
             ],
             banner: BannerKind::None,
             cookies: CookieProfile {
-                pre_consent: CookieCounts { first_party: 2, benign_third_party: 0, tracking: 0 },
-                accepted: CookieCounts { first_party: 15, benign_third_party: 6, tracking: 1 },
-                subscribed: CookieCounts { first_party: 2, benign_third_party: 0, tracking: 0 },
+                pre_consent: CookieCounts {
+                    first_party: 2,
+                    benign_third_party: 0,
+                    tracking: 0,
+                },
+                accepted: CookieCounts {
+                    first_party: 15,
+                    benign_third_party: 6,
+                    tracking: 1,
+                },
+                subscribed: CookieCounts {
+                    first_party: 2,
+                    benign_third_party: 0,
+                    tracking: 0,
+                },
             },
             bot_sensitive: false,
         };
@@ -522,7 +552,10 @@ mod tests {
         assert_eq!(Smp::Contentpass.name(), "contentpass");
         assert_eq!(Smp::Contentpass.cdn_host(), "cdn.contentpass.net");
         assert_eq!(Smp::Freechoice.account_host(), "account.freechoice.club");
-        assert_ne!(Smp::Contentpass.session_cookie(), Smp::Freechoice.session_cookie());
+        assert_ne!(
+            Smp::Contentpass.session_cookie(),
+            Smp::Freechoice.session_cookie()
+        );
     }
 
     #[test]

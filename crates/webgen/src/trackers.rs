@@ -88,7 +88,12 @@ pub fn plan_trackers(site: &str, visit: u64, total_cookies: u32) -> Vec<TrackerP
         let slot = per_host_offset.entry(host).or_insert(0);
         let name_offset = *slot;
         *slot += per;
-        plans.push(TrackerPlan { host, cookies: per, name_offset, sync_with });
+        plans.push(TrackerPlan {
+            host,
+            cookies: per,
+            name_offset,
+            sync_with,
+        });
     }
     plans
 }
@@ -143,8 +148,14 @@ mod tests {
 
     #[test]
     fn different_sites_use_different_trackers() {
-        let a: Vec<_> = plan_trackers("alpha.de", 0, 20).iter().map(|p| p.host).collect();
-        let b: Vec<_> = plan_trackers("beta.de", 0, 20).iter().map(|p| p.host).collect();
+        let a: Vec<_> = plan_trackers("alpha.de", 0, 20)
+            .iter()
+            .map(|p| p.host)
+            .collect();
+        let b: Vec<_> = plan_trackers("beta.de", 0, 20)
+            .iter()
+            .map(|p| p.host)
+            .collect();
         assert_ne!(a, b);
     }
 
@@ -161,7 +172,11 @@ mod tests {
     #[test]
     fn heavy_plans_have_many_trackers() {
         let plans = plan_trackers("heavy.de", 0, 100);
-        assert!(plans.len() >= 15, "100 cookies need many trackers: {}", plans.len());
+        assert!(
+            plans.len() >= 15,
+            "100 cookies need many trackers: {}",
+            plans.len()
+        );
         let syncs = plans.iter().filter(|p| p.sync_with.is_some()).count();
         assert!(syncs >= 1, "cookie syncing should occur in large plans");
     }

@@ -130,11 +130,7 @@ fn dead_domains_are_unreachable_and_calibration_unaffected() {
     let net = Network::new();
     server::install(Arc::clone(&pop), &net);
     // Dead domains fail like lapsed registrations.
-    let dead = pop
-        .sites()
-        .iter()
-        .find(|s| pop.is_dead(&s.domain))
-        .unwrap();
+    let dead = pop.sites().iter().find(|s| pop.is_dead(&s.domain)).unwrap();
     let resp = net.dispatch(&Request::navigation(
         Url::parse(&dead.domain).unwrap(),
         Region::Germany,

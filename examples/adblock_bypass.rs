@@ -51,7 +51,10 @@ fn main() {
         } else {
             bypassed += 1;
             if interstitial {
-                notes.push(format!("{}: detects the ad blocker and demands deactivation", site.domain));
+                notes.push(format!(
+                    "{}: detects the ad blocker and demands deactivation",
+                    site.domain
+                ));
             } else if scroll_broken {
                 notes.push(format!("{}: clickable but not scrollable", site.domain));
             }
@@ -60,7 +63,10 @@ fn main() {
 
     let total = bypassed + survived;
     println!("walls shown without blocker: {total}");
-    println!("bypassed with Annoyances:    {bypassed} ({:.0}%)", 100.0 * bypassed as f64 / total as f64);
+    println!(
+        "bypassed with Annoyances:    {bypassed} ({:.0}%)",
+        100.0 * bypassed as f64 / total as f64
+    );
     println!("still shown (first-party):   {survived}");
     if notes.is_empty() {
         println!("no misbehaving sites in this sample");

@@ -29,18 +29,29 @@ fn main() {
                     && c.visibility != webgen::Visibility::DeOnly)
         })
         .expect("a shadow-embedded wall exists");
-    println!("target: https://{}/  (language {:?}, category {})",
-        site.domain, site.language, site.category);
+    println!(
+        "target: https://{}/  (language {:?}, category {})",
+        site.domain, site.language, site.category
+    );
 
     let mut browser = Browser::new(net, Region::Germany);
     let mut page = browser.visit_domain(&site.domain).expect("site reachable");
-    println!("loaded: {} frame(s), {} nodes in the main document",
-        page.frames.len(), page.main().doc.len());
+    println!(
+        "loaded: {} frame(s), {} nodes in the main document",
+        page.frames.len(),
+        page.main().doc.len()
+    );
 
     // Naive selector lookup cannot see the wall — that is the point.
     let naive = page.select_all_frames("#cw-wall");
-    println!("naive '#cw-wall' selector hits: {} (shadow DOM is opaque)", naive.len());
-    println!("shadow hosts present: {}", page.main().doc.shadow_hosts().len());
+    println!(
+        "naive '#cw-wall' selector hits: {} (shadow DOM is opaque)",
+        naive.len()
+    );
+    println!(
+        "shadow hosts present: {}",
+        page.main().doc.shadow_hosts().len()
+    );
 
     // The BannerClick pipeline pierces it.
     let banners = detect_banners(&mut page, &Default::default());
@@ -53,8 +64,10 @@ fn main() {
         "cookiewall: {} (subscription word: {}, price: {:?})",
         classification.is_cookiewall,
         classification.subscription_word,
-        classification.price.as_ref().map(|p| format!(
-            "{} {} ≙ {:.2} €/month", p.amount, p.currency, p.monthly_eur)),
+        classification
+            .price
+            .as_ref()
+            .map(|p| format!("{} {} ≙ {:.2} €/month", p.amount, p.currency, p.monthly_eur)),
     );
 
     for button in find_buttons(&page, banner) {
@@ -63,11 +76,15 @@ fn main() {
 
     // Accept and compare the cookie ledger.
     let trackers = TrackerDb::justdomains();
-    let before = browser.jar().breakdown(&site.domain, |d| trackers.is_tracking_domain(d));
+    let before = browser
+        .jar()
+        .breakdown(&site.domain, |d| trackers.is_tracking_domain(d));
     let after_page = bannerclick::click_accept(&mut browser, &page, banner)
         .expect("click dispatched")
         .expect("accept button found");
-    let after = browser.jar().breakdown(&site.domain, |d| trackers.is_tracking_domain(d));
+    let after = browser
+        .jar()
+        .breakdown(&site.domain, |d| trackers.is_tracking_domain(d));
     println!(
         "cookies before accept: {:.0} first-party / {:.0} third-party / {:.0} tracking",
         before.first_party, before.third_party, before.tracking
@@ -76,10 +93,15 @@ fn main() {
         "cookies after  accept: {:.0} first-party / {:.0} third-party / {:.0} tracking",
         after.first_party, after.third_party, after.tracking
     );
-    println!("wall still visible after accept: {}",
-        !detect_banners(&mut { after_page }, &Default::default()).is_empty());
+    println!(
+        "wall still visible after accept: {}",
+        !detect_banners(&mut { after_page }, &Default::default()).is_empty()
+    );
 
     // Ground truth check — in the real study this was a manual screenshot
     // inspection.
-    println!("ground truth confirms cookiewall: {}", site.banner.is_cookiewall());
+    println!(
+        "ground truth confirms cookiewall: {}",
+        site.banner.is_cookiewall()
+    );
 }

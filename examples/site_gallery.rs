@@ -21,16 +21,24 @@ fn main() {
             .map(|s| s.domain.clone())
     };
 
-    if let Some(d) = pick(&|s| matches!(&s.banner, BannerKind::Banner(b) if b.embedding == Embedding::MainDom && b.serving == Serving::FirstParty)) {
+    if let Some(d) = pick(
+        &|s| matches!(&s.banner, BannerKind::Banner(b) if b.embedding == Embedding::MainDom && b.serving == Serving::FirstParty),
+    ) {
         shown.push(("regular cookie banner (inline, first-party)", d));
     }
-    if let Some(d) = pick(&|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.embedding == Embedding::MainDom && c.serving == Serving::FirstParty)) {
+    if let Some(d) = pick(
+        &|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.embedding == Embedding::MainDom && c.serving == Serving::FirstParty),
+    ) {
         shown.push(("cookiewall (inline in the main DOM)", d));
     }
-    if let Some(d) = pick(&|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.embedding == Embedding::Iframe)) {
+    if let Some(d) = pick(
+        &|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.embedding == Embedding::Iframe),
+    ) {
         shown.push(("cookiewall (SMP iframe)", d));
     }
-    if let Some(d) = pick(&|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.embedding.is_shadow())) {
+    if let Some(d) =
+        pick(&|s| matches!(&s.banner, BannerKind::Cookiewall(c) if c.embedding.is_shadow()))
+    {
         shown.push(("cookiewall (shadow DOM)", d));
     }
     if let Some(d) = pick(&|s| matches!(s.banner, BannerKind::DecoyPaywall)) {

@@ -27,14 +27,23 @@ fn main() {
     );
 
     println!("measuring the ACCEPT experience (5 repetitions per site)…");
-    let accept = measure_sites(&net, Region::Germany, &partners, InteractionMode::Accept, &tool, 4);
+    let accept = measure_sites(
+        &net,
+        Region::Germany,
+        &partners,
+        InteractionMode::Accept,
+        &tool,
+        4,
+    );
 
     println!("measuring the SUBSCRIBER experience (login + entitlement check)…\n");
     let subscribed = measure_sites(
         &net,
         Region::Germany,
         &partners,
-        InteractionMode::Subscribed { account_host: Smp::Contentpass.account_host() },
+        InteractionMode::Subscribed {
+            account_host: Smp::Contentpass.account_host(),
+        },
         &tool,
         4,
     );
@@ -52,11 +61,23 @@ fn main() {
 
     println!("median cookies per partner site (avg over 5 visits):");
     println!("                first-party   third-party   tracking");
-    println!("  accept        {:>8.1}      {:>8.1}      {:>8.1}", med(&mut acc_fp), med(&mut acc_tp), med(&mut acc_tr));
-    println!("  subscription  {:>8.1}      {:>8.1}      {:>8.1}", med(&mut sub_fp), med(&mut sub_tp), med(&mut sub_tr));
+    println!(
+        "  accept        {:>8.1}      {:>8.1}      {:>8.1}",
+        med(&mut acc_fp),
+        med(&mut acc_tp),
+        med(&mut acc_tr)
+    );
+    println!(
+        "  subscription  {:>8.1}      {:>8.1}      {:>8.1}",
+        med(&mut sub_fp),
+        med(&mut sub_tp),
+        med(&mut sub_tr)
+    );
 
     let max_tr = sub_tr.iter().cloned().fold(0.0, f64::max);
-    println!("\nsubscribers see {} tracking cookies (max across all partners: {max_tr:.0})",
-        if max_tr == 0.0 { "zero" } else { "some!" });
+    println!(
+        "\nsubscribers see {} tracking cookies (max across all partners: {max_tr:.0})",
+        if max_tr == 0.0 { "zero" } else { "some!" }
+    );
     println!("paper shape: accept ≈ 16 tracking median, subscription = 0 (Figure 5)");
 }

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Full local gate: release build, the whole test suite, and lint-clean
-# clippy. Everything runs offline — external dependencies are vendored
-# under vendor/, so no registry access is needed (or attempted).
+# Full local gate: formatting, release build, the whole test suite, and
+# lint-clean clippy. Everything runs offline — external dependencies are
+# vendored under vendor/, so no registry access is needed (or attempted).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "check.sh: build + tests + clippy all green"
+echo "check.sh: fmt + build + tests + clippy all green"

@@ -9,10 +9,10 @@
 //! ```
 
 use analysis::Study;
-use std::io::Write;
 use bannerclick::BannerClick;
 use browser::Browser;
-use httpsim::Region;
+use httpsim::{FaultConfig, Region};
+use std::io::Write;
 use std::process::ExitCode;
 use webgen::PopulationConfig;
 
@@ -55,7 +55,86 @@ fn print_help() {
          The eight-vantage-point sweep runs on one work-stealing scheduler with a\n\
          shared-fetch cache; --workers sizes the pool (default: CPU count) and\n\
          --no-cache disables result sharing across vantage points. The scheduler\n\
-         prints task/cache/utilization metrics to stderr after each run."
+         prints task/cache/utilization metrics to stderr after each run.\n\
+         \n\
+         FAULT INJECTION (run and crawl):\n\
+         \u{20}  --fault-rate F       probability a (region, domain) cell starts with a\n\
+         \u{20}                       transient fault window (reset/5xx/stall/truncation,\n\
+         \u{20}                       heals after 1-2 attempts); default 0\n\
+         \u{20}  --fault-permanent F  probability a domain is dead for the whole run; default 0\n\
+         \u{20}  --fault-seed N       seed for the deterministic fault schedule; default 0\n\
+         \u{20}  --max-retries N      retry budget per navigation (exponential backoff in\n\
+         \u{20}                       virtual time, per-host circuit breaker); default 3\n\
+         \n\
+         Faults are deterministic: same seed, same rates, same injected chaos. With\n\
+         only transient faults and retries enabled, the report is byte-identical to\n\
+         a fault-free run; a chaos summary goes to stderr."
+    );
+}
+
+/// Parse the chaos flags into an optional fault config. Absent flags mean
+/// no fault layer at all; `--fault-seed`/`--max-retries` alone keep rates
+/// at zero, which the study treats the same way.
+fn parse_fault_config(flags: &[&str]) -> Result<Option<FaultConfig>, String> {
+    let seed = flag_value(flags, "--fault-seed");
+    let transient = flag_value(flags, "--fault-rate");
+    let permanent = flag_value(flags, "--fault-permanent");
+    if seed.is_none() && transient.is_none() && permanent.is_none() {
+        return Ok(None);
+    }
+    let mut config = match seed {
+        None => FaultConfig::new(0),
+        Some(raw) => FaultConfig::new(
+            raw.parse::<u64>()
+                .map_err(|_| format!("--fault-seed needs an integer, got {raw:?}"))?,
+        ),
+    };
+    if let Some(raw) = transient {
+        config.transient_rate = parse_rate(raw, "--fault-rate")?;
+    }
+    if let Some(raw) = permanent {
+        config.permanent_rate = parse_rate(raw, "--fault-permanent")?;
+    }
+    Ok(Some(config))
+}
+
+fn parse_rate(raw: &str, flag: &str) -> Result<f64, String> {
+    raw.parse::<f64>()
+        .ok()
+        .filter(|r| (0.0..=1.0).contains(r))
+        .ok_or_else(|| format!("{flag} needs a probability in [0, 1], got {raw:?}"))
+}
+
+/// Parse `--max-retries` into a retry-budget override.
+fn parse_max_retries(flags: &[&str]) -> Result<Option<u32>, String> {
+    match flag_value(flags, "--max-retries") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u32>()
+            .map(Some)
+            .map_err(|_| format!("--max-retries needs a non-negative integer, got {raw:?}")),
+    }
+}
+
+/// One-line chaos summary for studies that ran with fault injection.
+fn report_chaos(study: &Study) {
+    let Some(plan) = &study.fault_plan else {
+        return;
+    };
+    let config = plan.config();
+    let injected = plan.injected();
+    eprintln!(
+        "chaos: seed {} transient {} permanent {} → {} faults injected \
+         ({} resets, {} 5xx, {} stalls, {} truncated); retry budget {}",
+        config.seed,
+        config.transient_rate,
+        config.permanent_rate,
+        injected.total(),
+        injected.resets,
+        injected.server_errors,
+        injected.stalls,
+        injected.truncated,
+        study.retry.max_retries,
     );
 }
 
@@ -109,11 +188,20 @@ fn cmd_run(flags: Vec<&str>) -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail(&e),
     };
+    let fault = match parse_fault_config(&flags) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
     let t0 = std::time::Instant::now();
     eprintln!("building the synthetic web…");
-    let mut study = Study::new(config);
+    let mut study = Study::with_fault_config(config, fault);
     match parse_workers(&flags, study.workers) {
         Ok(w) => study.workers = w,
+        Err(e) => return fail(&e),
+    }
+    match parse_max_retries(&flags) {
+        Ok(Some(n)) => study.retry.max_retries = n,
+        Ok(None) => {}
         Err(e) => return fail(&e),
     }
     study.cache = !flags.contains(&"--no-cache");
@@ -128,6 +216,7 @@ fn cmd_run(flags: Vec<&str>) -> ExitCode {
     let report = analysis::run_all(&study);
     println!("{}", report.render());
     eprint!("{}", report.crawl_metrics.render());
+    report_chaos(&study);
     if let Some(path) = flag_value(&flags, "--json") {
         match std::fs::write(path, report.to_json()) {
             Ok(()) => eprintln!("JSON results written to {path}"),
@@ -147,14 +236,34 @@ fn cmd_crawl(flags: Vec<&str>) -> ExitCode {
         Ok(r) => r,
         Err(e) => return fail(&e),
     };
-    let study = Study::new(config);
+    let fault = match parse_fault_config(&flags) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let mut study = Study::with_fault_config(config, fault);
     let workers = match parse_workers(&flags, study.workers) {
         Ok(w) => w,
         Err(e) => return fail(&e),
     };
+    match parse_max_retries(&flags) {
+        Ok(Some(n)) => study.retry.max_retries = n,
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
     let targets = study.targets();
-    eprintln!("crawling {} targets from {}…", targets.len(), region.label());
-    let crawl = analysis::crawl_region(&study.net, region, &targets, &study.tool, workers);
+    eprintln!(
+        "crawling {} targets from {}…",
+        targets.len(),
+        region.label()
+    );
+    let crawl = analysis::crawl_region_with(
+        &study.net,
+        region,
+        &targets,
+        &study.tool,
+        workers,
+        &study.retry,
+    );
     let mut banners = 0;
     let mut out = std::io::stdout().lock();
     for r in &crawl.records {
@@ -186,6 +295,14 @@ fn cmd_crawl(flags: Vec<&str>) -> ExitCode {
         crawl.metrics.wall_ms,
         workers
     );
+    eprintln!(
+        "{} failed ({} gave up after retries, {} rescued by retries), {} unresolved requests",
+        crawl.records.iter().filter(|r| r.failure.is_some()).count(),
+        crawl.records.iter().filter(|r| r.gave_up()).count(),
+        crawl.records.iter().filter(|r| r.retried_ok()).count(),
+        study.net.stats().unresolved(),
+    );
+    report_chaos(&study);
     ExitCode::SUCCESS
 }
 
@@ -209,8 +326,10 @@ fn cmd_detect(flags: Vec<&str>) -> ExitCode {
     let tool = BannerClick::new();
     let analysis = tool.analyze(&mut browser, domain);
     if !analysis.reachable {
-        return fail(&format!("{domain} is not reachable in this synthetic web \
-            (use `walls` to list sites)"));
+        return fail(&format!(
+            "{domain} is not reachable in this synthetic web \
+            (use `walls` to list sites)"
+        ));
     }
     println!("domain:       {domain}");
     println!("vantage:      {}", region.label());
@@ -246,7 +365,14 @@ fn cmd_detect(flags: Vec<&str>) -> ExitCode {
         .site(domain)
         .map(|s| s.banner.is_cookiewall())
         .unwrap_or(false);
-    println!("ground truth: {}", if truth { "cookiewall" } else { "not a cookiewall" });
+    println!(
+        "ground truth: {}",
+        if truth {
+            "cookiewall"
+        } else {
+            "not a cookiewall"
+        }
+    );
     ExitCode::SUCCESS
 }
 
@@ -258,7 +384,9 @@ fn cmd_walls(flags: Vec<&str>) -> ExitCode {
     let study = Study::new(config);
     let mut out = std::io::stdout().lock();
     for site in study.population.ground_truth_walls() {
-        let webgen::BannerKind::Cookiewall(cw) = &site.banner else { continue };
+        let webgen::BannerKind::Cookiewall(cw) = &site.banner else {
+            continue;
+        };
         let line = format!(
             "{}\t{:?}\t{:?}\t{:.2}€/mo\t{}",
             site.domain,

@@ -56,7 +56,10 @@ fn corpus_ablation_changes_precision_recall_tradeoff() {
         .collect();
 
     let run = |corpus: CorpusMode, domain: &str| {
-        let tool = BannerClick { detector: DetectorOptions::default(), corpus };
+        let tool = BannerClick {
+            detector: DetectorOptions::default(),
+            corpus,
+        };
         let mut b = Browser::new(net.clone(), Region::Germany);
         tool.analyze(&mut b, domain).cookiewall_detected()
     };
@@ -65,7 +68,10 @@ fn corpus_ablation_changes_precision_recall_tradeoff() {
     for w in &walls {
         assert!(run(CorpusMode::WordsAndPrices, w), "{w}");
     }
-    assert!(run(CorpusMode::WordsAndPrices, &decoy), "decoy trips full corpus");
+    assert!(
+        run(CorpusMode::WordsAndPrices, &decoy),
+        "decoy trips full corpus"
+    );
 
     // Each corpus half trips on the decoy on its own: the paywall shows a
     // price (price half) *and* its subscribe CTA carries subscription
@@ -108,7 +114,9 @@ fn rejecting_a_regular_banner_prevents_trackers() {
     assert_eq!(b.tracking, 0.0, "reject must prevent tracking cookies");
     // And the banner is gone.
     let mut after = after;
-    assert!(!tool.analyze_page(&site.domain, &mut after).banner_detected());
+    assert!(!tool
+        .analyze_page(&site.domain, &mut after)
+        .banner_detected());
 }
 
 #[test]
@@ -117,21 +125,24 @@ fn bot_user_agent_changes_observed_behaviour() {
     // crawler-like clients. Our default UA mimics a real browser
     // (OpenWPM-style), so walls are visible; a naive bot UA loses them.
     let (pop, net) = world();
-    let wall = pop
-        .ground_truth_walls()
-        .into_iter()
-        .find(|s| s.bot_sensitive
-            && matches!(&s.banner, BannerKind::Cookiewall(c) if c.visibility != Visibility::DeOnly));
+    let wall = pop.ground_truth_walls().into_iter().find(|s| {
+        s.bot_sensitive
+            && matches!(&s.banner, BannerKind::Cookiewall(c) if c.visibility != Visibility::DeOnly)
+    });
     let Some(wall) = wall else {
         return; // small population may have no bot-sensitive wall
     };
     let tool = BannerClick::new();
     let mut stealthy = Browser::new(net.clone(), Region::Germany);
-    assert!(tool.analyze(&mut stealthy, &wall.domain).cookiewall_detected());
-    let mut obvious = Browser::new(net, Region::Germany)
-        .with_user_agent("cookiewall-crawler/1.0 (research bot)");
+    assert!(tool
+        .analyze(&mut stealthy, &wall.domain)
+        .cookiewall_detected());
+    let mut obvious =
+        Browser::new(net, Region::Germany).with_user_agent("cookiewall-crawler/1.0 (research bot)");
     assert!(
-        !tool.analyze(&mut obvious, &wall.domain).cookiewall_detected(),
+        !tool
+            .analyze(&mut obvious, &wall.domain)
+            .cookiewall_detected(),
         "bot UA must hide the wall on {}",
         wall.domain
     );
@@ -210,7 +221,10 @@ fn overlay_heuristics_ablation_is_noisier() {
         .unwrap();
     let strict = BannerClick::new();
     let sloppy = BannerClick {
-        detector: DetectorOptions { overlay_heuristics: false, ..Default::default() },
+        detector: DetectorOptions {
+            overlay_heuristics: false,
+            ..Default::default()
+        },
         corpus: CorpusMode::WordsAndPrices,
     };
     let mut b = Browser::new(net.clone(), Region::Germany);

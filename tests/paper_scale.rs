@@ -15,7 +15,11 @@ use httpsim::Region;
 #[ignore = "full 45k × 8 crawl; run with --release -- --ignored"]
 fn paper_scale_headline_numbers() {
     let study = Study::paper();
-    assert_eq!(study.targets().len(), 45_222, "§3: unique reachable targets");
+    assert_eq!(
+        study.targets().len(),
+        45_222,
+        "§3: unique reachable targets"
+    );
 
     let report = run_all(&study);
 
@@ -33,8 +37,14 @@ fn paper_scale_headline_numbers() {
     let au = report.table1.row(Region::Australia).unwrap();
     assert_eq!(au.toplist, 5);
     // Non-EU detections in the paper's 190–199 band.
-    for region in [Region::UsEast, Region::UsWest, Region::Brazil,
-                   Region::SouthAfrica, Region::India, Region::Australia] {
+    for region in [
+        Region::UsEast,
+        Region::UsWest,
+        Region::Brazil,
+        Region::SouthAfrica,
+        Region::India,
+        Region::Australia,
+    ] {
         let row = report.table1.row(region).unwrap();
         assert!(
             (185..=205).contains(&row.cookiewalls),
@@ -85,8 +95,16 @@ fn paper_scale_headline_numbers() {
     assert!((f4.wall.third_party.median - 50.4).abs() < 8.0);
     assert!((f4.banner.tracking.median - 1.0).abs() < 1.0);
     assert!((f4.wall.tracking.median - 43.0).abs() < 8.0);
-    assert!((4.0..10.0).contains(&f4.third_party_ratio), "{}", f4.third_party_ratio);
-    assert!((30.0..60.0).contains(&f4.tracking_ratio), "{}", f4.tracking_ratio);
+    assert!(
+        (4.0..10.0).contains(&f4.third_party_ratio),
+        "{}",
+        f4.third_party_ratio
+    );
+    assert!(
+        (30.0..60.0).contains(&f4.tracking_ratio),
+        "{}",
+        f4.tracking_ratio
+    );
 
     // Figure 5: 219 partners; accept ≈ 13 FP / 23.2 TP / 16 tracking;
     // subscription ≈ 6 / 4.4 / 0 with >100-tracking outliers on accept.
@@ -98,7 +116,10 @@ fn paper_scale_headline_numbers() {
     assert!((f5.subscribed.first_party.median - 6.0).abs() < 1.5);
     assert!((f5.subscribed.third_party.median - 4.4).abs() < 1.5);
     assert_eq!(f5.subscribed.tracking.max, 0.0);
-    assert!(f5.extreme_sites >= 1, "some sites send >100 tracking cookies");
+    assert!(
+        f5.extreme_sites >= 1,
+        "some sites send >100 tracking cookies"
+    );
 
     // Figure 6: no meaningful linear correlation.
     assert!(report.fig6.pearson_r.unwrap().abs() < 0.2);
@@ -112,21 +133,36 @@ fn paper_scale_headline_numbers() {
     // Mechanism ablation at paper scale: the shadow workaround buys the
     // 76 shadow walls, iframe descent the 132 iframe walls.
     assert_eq!(
-        report.ablation.row("no shadow workaround").unwrap().lost_vs_full,
+        report
+            .ablation
+            .row("no shadow workaround")
+            .unwrap()
+            .lost_vs_full,
         76
     );
     assert_eq!(
-        report.ablation.row("no iframe descent").unwrap().lost_vs_full,
+        report
+            .ablation
+            .row("no iframe descent")
+            .unwrap()
+            .lost_vs_full,
         132
     );
 
     // Banner prevalence (§4.1 context): EU ≫ non-EU.
     let de_rate = report.banners.rate_of("Germany").unwrap();
     let in_rate = report.banners.rate_of("India").unwrap();
-    assert!(de_rate > 0.35 && in_rate < 0.30, "DE {de_rate} vs IN {in_rate}");
+    assert!(
+        de_rate > 0.35 && in_rate < 0.30,
+        "DE {de_rate} vs IN {in_rate}"
+    );
 
     // Bot detection (§3 limitation): a naive UA loses a handful of walls.
-    assert!((1..=25).contains(&report.botdetect.lost), "{}", report.botdetect.lost);
+    assert!(
+        (1..=25).contains(&report.botdetect.lost),
+        "{}",
+        report.botdetect.lost
+    );
 
     // Dark pattern (§5): all 280 walls offer accept+subscribe, none
     // offers reject.

@@ -34,7 +34,10 @@ fn full_small_scale_study_reproduces_paper_shapes() {
 
     // ---- §3 accuracy: high precision with at least the decoy FP;
     // perfect recall from the EU.
-    assert!(report.accuracy.false_positives >= 1, "the decoy fools the tool");
+    assert!(
+        report.accuracy.false_positives >= 1,
+        "the decoy fools the tool"
+    );
     assert!(report.accuracy.precision > 0.9);
     assert_eq!(report.accuracy.false_negatives, 0);
     assert_eq!(
@@ -58,9 +61,21 @@ fn full_small_scale_study_reproduces_paper_shapes() {
     assert!(report.fig1.total > 0);
 
     // ---- Figure 2: the 3-euro mode and the ≤4€ mass.
-    assert!(report.fig2.at_most_4 > 0.80, "≤4€: {}", report.fig2.at_most_4);
-    assert!(report.fig2.at_most_3 > 0.55, "≤3€: {}", report.fig2.at_most_3);
-    assert!(report.fig2.median <= 3.05, "median near 3€: {}", report.fig2.median);
+    assert!(
+        report.fig2.at_most_4 > 0.80,
+        "≤4€: {}",
+        report.fig2.at_most_4
+    );
+    assert!(
+        report.fig2.at_most_3 > 0.55,
+        "≤3€: {}",
+        report.fig2.at_most_3
+    );
+    assert!(
+        report.fig2.median <= 3.05,
+        "median near 3€: {}",
+        report.fig2.median
+    );
     assert!(!report.fig2.prices.is_empty());
 
     // ---- Figure 3: no meaningful category/price relationship.
@@ -72,26 +87,43 @@ fn full_small_scale_study_reproduces_paper_shapes() {
     // tracking cookies.
     let f4 = &report.fig4;
     assert!(f4.wall.tracking.median > 10.0 * f4.banner.tracking.median.max(0.5));
-    assert!(f4.tracking_ratio > 15.0, "tracking ratio {}", f4.tracking_ratio);
-    assert!(f4.third_party_ratio > 3.0, "TP ratio {}", f4.third_party_ratio);
+    assert!(
+        f4.tracking_ratio > 15.0,
+        "tracking ratio {}",
+        f4.tracking_ratio
+    );
+    assert!(
+        f4.third_party_ratio > 3.0,
+        "TP ratio {}",
+        f4.third_party_ratio
+    );
     // First-party counts are similar between groups (same order).
     assert!(f4.wall.first_party.median / f4.banner.first_party.median < 2.0);
 
     // ---- Figure 5: subscription eliminates tracking entirely.
     let f5 = &report.fig5;
-    assert_eq!(f5.subscribed.tracking.max, 0.0, "no tracking for subscribers");
+    assert_eq!(
+        f5.subscribed.tracking.max, 0.0,
+        "no tracking for subscribers"
+    );
     assert!(f5.accept.tracking.median > 5.0);
     assert!(f5.subscribed.first_party.median < f5.accept.first_party.median);
     assert!(f5.subscribed.third_party.median < f5.accept.third_party.median);
 
     // ---- Figure 6: no meaningful linear correlation.
     if let Some(r) = report.fig6.pearson_r {
-        assert!(r.abs() < 0.5, "price/tracking correlation should be weak: {r}");
+        assert!(
+            r.abs() < 0.5,
+            "price/tracking correlation should be weak: {r}"
+        );
     }
 
     // ---- §4.5: majority of walls bypassed, but not all.
-    assert!(report.bypass.rate > 0.5 && report.bypass.rate < 0.9,
-        "bypass rate {}", report.bypass.rate);
+    assert!(
+        report.bypass.rate > 0.5 && report.bypass.rate < 0.9,
+        "bypass rate {}",
+        report.bypass.rate
+    );
     assert!(report.bypass.bypassed < report.bypass.total);
 
     // ---- §4.4: both SMPs present; claimed > in-toplist; crawl attribution
@@ -106,7 +138,10 @@ fn full_small_scale_study_reproduces_paper_shapes() {
     // ---- Banner prevalence: EU sees more consent UIs than non-EU.
     let de_rate = report.banners.rate_of("Germany").unwrap();
     let in_rate = report.banners.rate_of("India").unwrap();
-    assert!(de_rate > in_rate, "banner rate DE {de_rate} vs IN {in_rate}");
+    assert!(
+        de_rate > in_rate,
+        "banner rate DE {de_rate} vs IN {in_rate}"
+    );
 
     // ---- Mechanism ablation: each §3 mechanism loses exactly its
     // embedding class; the corpus halves keep recall on generator walls.
@@ -125,7 +160,10 @@ fn full_small_scale_study_reproduces_paper_shapes() {
     assert_eq!(dp.walls.with_subscribe, dp.walls.inspected);
     assert!(dp.banners.with_reject as f64 / dp.banners.inspected as f64 > 0.7);
     assert_eq!(dp.banners.with_subscribe, 0);
-    assert_eq!(dp.walls.with_accept, dp.walls.inspected, "accept always present");
+    assert_eq!(
+        dp.walls.with_accept, dp.walls.inspected,
+        "accept always present"
+    );
 
     // ---- Bot detection: a naive crawler UA loses some consent UIs.
     let bd = &report.botdetect;

@@ -16,13 +16,17 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { inner: Arc::from(&[][..]) }
+        Bytes {
+            inner: Arc::from(&[][..]),
+        }
     }
 
     /// A buffer backed by a static slice (copied; the real crate borrows,
     /// but nothing here depends on zero-copy semantics).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { inner: Arc::from(bytes) }
+        Bytes {
+            inner: Arc::from(bytes),
+        }
     }
 
     /// Length in bytes.
@@ -57,25 +61,33 @@ impl std::fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { inner: Arc::from(v) }
+        Bytes {
+            inner: Arc::from(v),
+        }
     }
 }
 
 impl From<String> for Bytes {
     fn from(s: String) -> Self {
-        Bytes { inner: Arc::from(s.into_bytes()) }
+        Bytes {
+            inner: Arc::from(s.into_bytes()),
+        }
     }
 }
 
 impl From<&str> for Bytes {
     fn from(s: &str) -> Self {
-        Bytes { inner: Arc::from(s.as_bytes()) }
+        Bytes {
+            inner: Arc::from(s.as_bytes()),
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(s: &[u8]) -> Self {
-        Bytes { inner: Arc::from(s) }
+        Bytes {
+            inner: Arc::from(s),
+        }
     }
 }
 

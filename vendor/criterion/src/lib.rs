@@ -17,7 +17,9 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Keep runs quick: simulator iterations are milliseconds-to-seconds.
-        Criterion { default_samples: 10 }
+        Criterion {
+            default_samples: 10,
+        }
     }
 }
 
@@ -27,7 +29,11 @@ impl Criterion {
         let name = name.into();
         let samples = self.default_samples;
         println!("\n== group: {name}");
-        BenchmarkGroup { _parent: self, name, samples }
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            samples,
+        }
     }
 
     /// Run a standalone benchmark.
@@ -188,7 +194,10 @@ impl Bencher {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
-    let mut b = Bencher { samples, durations: Vec::new() };
+    let mut b = Bencher {
+        samples,
+        durations: Vec::new(),
+    };
     f(&mut b);
     if b.durations.is_empty() {
         println!("{label:<44} (no measurements)");
@@ -200,7 +209,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     let mean = b.durations.iter().sum::<Duration>() / b.durations.len() as u32;
     println!(
         "{label:<44} min {:>10?}  mean {:>10?}  median {:>10?}  ({} samples)",
-        min, mean, median, b.durations.len()
+        min,
+        mean,
+        median,
+        b.durations.len()
     );
 }
 

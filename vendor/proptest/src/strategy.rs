@@ -26,7 +26,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Arc::new(self) }
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
     }
 
     /// Build recursive structures: `self` is the leaf case, `f` wraps a
@@ -62,7 +64,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { inner: Arc::clone(&self.inner) }
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -113,7 +117,9 @@ impl<T> Union<T> {
     /// Uniform choice.
     pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
         assert!(!arms.is_empty(), "Union requires at least one strategy");
-        Union { arms: arms.into_iter().map(|s| (1, s)).collect() }
+        Union {
+            arms: arms.into_iter().map(|s| (1, s)).collect(),
+        }
     }
 
     /// Weighted choice.
@@ -247,9 +253,11 @@ mod tests {
                 Tree::Node(children) => 1 + children.iter().map(size).sum::<usize>(),
             }
         }
-        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(4, 16, 3, |inner| {
-            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
-        });
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 3, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::from_seed(5);
         for _ in 0..50 {
             assert!(size(&strat.generate(&mut rng)) >= 1);

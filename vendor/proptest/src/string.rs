@@ -46,10 +46,16 @@ impl Strategy for RegexStrategy {
 
 /// Compile a regex pattern into a string strategy.
 pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
-    let mut p = Parser { chars: pattern.chars().collect(), pos: 0 };
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
     let root = p.parse_alt()?;
     if p.pos != p.chars.len() {
-        return Err(Error(format!("unexpected `{}` at {}", p.chars[p.pos], p.pos)));
+        return Err(Error(format!(
+            "unexpected `{}` at {}",
+            p.chars[p.pos], p.pos
+        )));
     }
     Ok(RegexStrategy { root })
 }
@@ -117,7 +123,11 @@ impl Parser {
             self.bump();
             arms.push(self.parse_seq()?);
         }
-        Ok(if arms.len() == 1 { arms.pop().unwrap() } else { Node::Alt(arms) })
+        Ok(if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Node::Alt(arms)
+        })
     }
 
     fn parse_seq(&mut self) -> Result<Node, Error> {
@@ -156,7 +166,12 @@ impl Parser {
             Some('t') => Ok(Node::Lit('\t')),
             Some('r') => Ok(Node::Lit('\r')),
             Some('d') => Ok(Node::Class(vec![('0', '9')])),
-            Some('w') => Ok(Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])),
+            Some('w') => Ok(Node::Class(vec![
+                ('a', 'z'),
+                ('A', 'Z'),
+                ('0', '9'),
+                ('_', '_'),
+            ])),
             Some('s') => Ok(Node::Class(vec![(' ', ' '), ('\t', '\t')])),
             Some('P') => {
                 // `\PC` = not-a-control-character: any printable char.
@@ -287,7 +302,11 @@ mod tests {
     fn ranges_and_counts() {
         for v in gen_many("[a-z0-9]{2,4}", 100) {
             assert!((2..=4).contains(&v.chars().count()), "{v}");
-            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{v}");
+            assert!(
+                v.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "{v}"
+            );
         }
     }
 

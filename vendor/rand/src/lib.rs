@@ -105,7 +105,12 @@ impl Standard for f32 {
 pub trait SampleUniform: Sized {
     /// Sample uniformly from `[low, high)` (`high` exclusive) or
     /// `[low, high]` when `inclusive`.
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -130,15 +135,28 @@ macro_rules! impl_sample_uniform_int {
 impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
-        assert!(low < high || (_inclusive && low <= high), "empty float range");
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(
+            low < high || (_inclusive && low <= high),
+            "empty float range"
+        );
         let unit = f64::sample_standard(rng);
         low + unit * (high - low)
     }
 }
 
 impl SampleUniform for f32 {
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
         let unit = f32::sample_standard(rng);
         low + unit * (high - low)
     }

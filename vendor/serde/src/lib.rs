@@ -143,13 +143,21 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
 impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -157,8 +165,10 @@ impl<K: ToString + Ord, V: Serialize, S> Serialize for std::collections::HashMap
     fn to_value(&self) -> Value {
         // Sort for output stability: std HashMap iteration order is
         // seeded per process and would break golden-snapshot comparisons.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }
@@ -186,7 +196,9 @@ mod tests {
         let mut m = std::collections::HashMap::new();
         m.insert("b", 1u8);
         m.insert("a", 2u8);
-        let Value::Object(fields) = m.to_value() else { panic!() };
+        let Value::Object(fields) = m.to_value() else {
+            panic!()
+        };
         assert_eq!(fields[0].0, "a");
         assert_eq!(fields[1].0, "b");
     }

@@ -1,7 +1,8 @@
 //! Offline stand-in for `serde_derive`: a hand-rolled `#[derive(Serialize)]`
 //! for the shapes this workspace uses (named-field structs, unit enums),
-//! with `#[serde(skip)]` support — no `syn`/`quote` available offline, so
-//! the item token stream is walked directly.
+//! with `#[serde(skip)]` and `#[serde(skip_serializing_if = "path")]`
+//! support — no `syn`/`quote` available offline, so the item token stream
+//! is walked directly.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -11,7 +12,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match generate(input) {
         Ok(out) => out,
-        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error tokens"),
     }
 }
 
@@ -47,7 +50,9 @@ fn generate(input: TokenStream) -> Result<TokenStream, String> {
     i += 1;
     if let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() == '<' {
-            return Err(format!("derive(Serialize) stub does not support generics on {name}"));
+            return Err(format!(
+                "derive(Serialize) stub does not support generics on {name}"
+            ));
         }
     }
     let body = match tokens.get(i) {
@@ -60,10 +65,16 @@ fn generate(input: TokenStream) -> Result<TokenStream, String> {
             let fields = parse_named_fields(body)?;
             let mut pushes = String::new();
             for f in fields.iter().filter(|f| !f.skip) {
-                pushes.push_str(&format!(
+                let push = format!(
                     "fields.push(({:?}.to_string(), serde::Serialize::to_value(&self.{})));\n",
                     f.name, f.name
-                ));
+                );
+                match &f.skip_if {
+                    Some(path) => {
+                        pushes.push_str(&format!("if !{path}(&self.{}) {{\n{push}}}\n", f.name))
+                    }
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "impl serde::Serialize for {name} {{\n\
@@ -89,30 +100,38 @@ fn generate(input: TokenStream) -> Result<TokenStream, String> {
         }
         other => return Err(format!("cannot derive Serialize for {other}")),
     };
-    code.parse().map_err(|e| format!("generated code failed to parse: {e:?}"))
+    code.parse()
+        .map_err(|e| format!("generated code failed to parse: {e:?}"))
 }
 
 struct Field {
     name: String,
     skip: bool,
+    /// Predicate path from `skip_serializing_if = "path"`: the field is
+    /// serialized only when `!path(&self.field)`.
+    skip_if: Option<String>,
 }
 
-/// Walk `{ attrs vis name: Type, ... }`, honouring `#[serde(skip)]` and
-/// commas nested in generic argument lists.
+/// Walk `{ attrs vis name: Type, ... }`, honouring `#[serde(skip)]`,
+/// `#[serde(skip_serializing_if = "path")]`, and commas nested in generic
+/// argument lists.
 fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
         let mut skip = false;
+        let mut skip_if = None;
         // Field attributes.
         while let Some(TokenTree::Punct(p)) = tokens.get(i) {
             if p.as_char() != '#' {
                 break;
             }
             if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                if attr_is_serde_skip(g.stream()) {
-                    skip = true;
+                let attr = parse_serde_attr(g.stream());
+                skip |= attr.skip;
+                if attr.skip_if.is_some() {
+                    skip_if = attr.skip_if;
                 }
             }
             i += 2;
@@ -154,21 +173,56 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
             i += 1;
         }
         i += 1; // past the comma (or end)
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            skip_if,
+        });
     }
     Ok(fields)
 }
 
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+#[derive(Default)]
+struct SerdeAttr {
+    skip: bool,
+    skip_if: Option<String>,
+}
+
+/// Interpret one `#[...]` attribute body: only `serde(...)` contributes.
+/// Recognized arguments: bare `skip`, and
+/// `skip_serializing_if = "some::path"` (the literal keeps its quotes in
+/// the token stream; they are trimmed off here).
+fn parse_serde_attr(stream: TokenStream) -> SerdeAttr {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
-    match (tokens.first(), tokens.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
-            if id.to_string() == "serde" =>
-        {
-            args.stream().into_iter().any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
-        }
-        _ => false,
+    let mut attr = SerdeAttr::default();
+    let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+        (tokens.first(), tokens.get(1))
+    else {
+        return attr;
+    };
+    if id.to_string() != "serde" {
+        return attr;
     }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(name) if name.to_string() == "skip" => attr.skip = true,
+            TokenTree::Ident(name) if name.to_string() == "skip_serializing_if" => {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (args.get(j + 1), args.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        attr.skip_if = Some(lit.to_string().trim_matches('"').to_string());
+                        j += 2;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    attr
 }
 
 /// Walk `{ attrs Name, attrs Name, ... }` of a fieldless enum.

@@ -45,17 +45,35 @@ fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) 
         }
         Value::Float(f) => write_float(out, *f),
         Value::String(s) => write_json_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, '[', ']', |out, item, indent, depth| {
-            write_value(out, item, indent, depth);
-        }),
-        Value::Object(fields) => write_seq(out, fields.iter(), fields.len(), indent, depth, '{', '}', |out, (k, val), indent, depth| {
-            write_json_string(out, k);
-            out.push(':');
-            if indent.is_some() {
-                out.push(' ');
-            }
-            write_value(out, val, indent, depth);
-        }),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            '[',
+            ']',
+            |out, item, indent, depth| {
+                write_value(out, item, indent, depth);
+            },
+        ),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            fields.len(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |out, (k, val), indent, depth| {
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth);
+            },
+        ),
     }
 }
 
@@ -137,10 +155,16 @@ mod tests {
     fn compact_and_pretty() {
         let v = Value::Object(vec![
             ("a".to_string(), Value::UInt(1)),
-            ("b".to_string(), Value::Array(vec![Value::Float(1.0), Value::Float(2.5)])),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Float(1.0), Value::Float(2.5)]),
+            ),
             ("c".to_string(), Value::String("x\"y".to_string())),
         ]);
-        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[1.0,2.5],"c":"x\"y"}"#);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1.0,2.5],"c":"x\"y"}"#
+        );
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains("\n  \"a\": 1,"));
         assert!(pretty.ends_with('}'));
