@@ -38,11 +38,12 @@ use httpsim::{content_hash, Network, Region};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
+use store::Store;
 
 /// One crawled site, as the measurement pipeline saw it (no ground truth).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CrawlRecord {
     /// The crawled domain.
     pub domain: String,
@@ -841,6 +842,289 @@ pub fn crawl_all_regions_with(
         failures,
     };
     (crawls, metrics)
+}
+
+/// Checkpoint/abort behaviour for a persistent sweep.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Flush buffered store writes to disk every N newly completed cells
+    /// (per-put granularity; `0` flushes on every put).
+    pub every: usize,
+    /// Test hook: stop claiming work once N *new* (non-restored) cells
+    /// have completed, leaving the buffered tail unflushed — simulating a
+    /// kill at an arbitrary point. `Some(0)` aborts before any work.
+    pub abort_after: Option<usize>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every: store::DEFAULT_CHECKPOINT_EVERY,
+            abort_after: None,
+        }
+    }
+}
+
+/// [`crawl_all_regions_with`], persisting every completed cell into
+/// `store` and restoring already-stored cells instead of recomputing them.
+///
+/// Returns `(None, metrics)` when the sweep aborted early via
+/// [`CheckpointPolicy::abort_after`]; otherwise the crawls are complete,
+/// the store holds every `(region, domain)` cell, and a final checkpoint
+/// has flushed the journal.
+///
+/// ## Byte-identical resume
+///
+/// A resumed sweep must produce the same report as an uninterrupted one,
+/// and reports depend on origin-side per-site visit counters (they seed
+/// the per-visit cookie noise the measure phase consumes). A restored
+/// *reachable* cell therefore replays exactly one successful navigation —
+/// same retry loop, same fault schedule — so the origin observes the same
+/// visit it observed in the interrupted run; the expensive load/parse/
+/// analysis is skipped and the stored record reused. Restored *failure*
+/// cells replay nothing: their attempts never produced a successful fetch,
+/// and the deterministic fault plan would re-inject the same failures
+/// before any attempt reached the origin.
+pub fn crawl_all_regions_persistent(
+    net: &Network,
+    targets: &[String],
+    tool: &BannerClick,
+    opts: &CrawlOptions,
+    store: &Store,
+    policy: &CheckpointPolicy,
+) -> (Option<Vec<VantageCrawl>>, CrawlMetrics) {
+    let workers = opts.workers.max(1);
+    let n_regions = Region::ALL.len();
+    let n_targets = targets.len();
+    let start = Instant::now();
+    store.set_checkpoint_every(policy.every);
+
+    // Decode the restored matrix up front; a payload that fails to decode
+    // (codec version skew) degrades to a recompute of that cell.
+    let restored: Vec<Vec<Option<CrawlRecord>>> = (0..n_regions)
+        .map(|r| {
+            targets
+                .iter()
+                .map(|domain| {
+                    store
+                        .get(r as u8, domain)
+                        .and_then(|bytes| crate::persist::decode_record(&bytes).ok())
+                        .filter(|rec| rec.domain == *domain)
+                })
+                .collect()
+        })
+        .collect();
+
+    let cursors: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(0)).collect();
+    let remaining: Vec<AtomicUsize> = (0..n_regions)
+        .map(|_| AtomicUsize::new(n_targets))
+        .collect();
+    let region_wall_ms: Vec<AtomicU64> = (0..n_regions).map(|_| AtomicU64::new(0)).collect();
+    let stolen: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(0)).collect();
+    let busy_us = AtomicU64::new(0);
+    let tasks_done = AtomicUsize::new(0);
+    let new_done = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(policy.abort_after == Some(0));
+    let slots: Vec<Vec<parking_lot::Mutex<Option<CrawlRecord>>>> = (0..n_regions)
+        .map(|_| {
+            targets
+                .iter()
+                .map(|_| parking_lot::Mutex::new(None))
+                .collect()
+        })
+        .collect();
+    let cache = FetchCache::new(opts.cache);
+    let res = Resilience::new(&opts.retry);
+    let unresolved_before = net.stats().unresolved();
+
+    let _ = thread::scope(|scope| {
+        for w in 0..workers {
+            let cursors = &cursors;
+            let remaining = &remaining;
+            let region_wall_ms = &region_wall_ms;
+            let stolen = &stolen;
+            let busy_us = &busy_us;
+            let tasks_done = &tasks_done;
+            let new_done = &new_done;
+            let aborted = &aborted;
+            let slots = &slots;
+            let restored = &restored;
+            let cache = &cache;
+            let res = &res;
+            scope.spawn(move |_| {
+                let home = w % n_regions;
+                let mut browsers: HashMap<Region, Option<Browser>> = HashMap::new();
+                loop {
+                    if aborted.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let mut claimed = None;
+                    for k in 0..n_regions {
+                        let r = (home + k) % n_regions;
+                        let i = cursors[r].fetch_add(1, Ordering::Relaxed);
+                        if i < n_targets {
+                            claimed = Some((r, i, k != 0));
+                            break;
+                        }
+                    }
+                    let Some((r, i, stole)) = claimed else { break };
+                    let region = Region::ALL[r];
+                    let task_start = Instant::now();
+                    let browser_slot = browsers.entry(region).or_insert(None);
+                    let cache_ref = cache.enabled.then_some(cache);
+                    let record = match &restored[r][i] {
+                        Some(rec) => {
+                            replay_restored(
+                                res,
+                                net,
+                                region,
+                                browser_slot,
+                                &targets[i],
+                                rec,
+                                cache_ref,
+                            );
+                            rec.clone()
+                        }
+                        None => {
+                            let rec = crawl_one(
+                                res,
+                                net,
+                                tool,
+                                region,
+                                browser_slot,
+                                &targets[i],
+                                cache_ref,
+                            );
+                            // A failed put is a durability loss, not a
+                            // correctness loss: the journal stays valid
+                            // (open() truncates any torn tail) and resume
+                            // simply recomputes the cell.
+                            let _ = store.put(
+                                r as u8,
+                                &targets[i],
+                                &crate::persist::encode_record(&rec),
+                            );
+                            let done = new_done.fetch_add(1, Ordering::Relaxed) + 1;
+                            if policy.abort_after.is_some_and(|limit| done >= limit) {
+                                aborted.store(true, Ordering::Relaxed);
+                            }
+                            rec
+                        }
+                    };
+                    *slots[r][i].lock() = Some(record);
+                    tasks_done.fetch_add(1, Ordering::Relaxed);
+                    busy_us.fetch_add(task_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    if stole {
+                        stolen[r].fetch_add(1, Ordering::Relaxed);
+                    }
+                    if remaining[r].fetch_sub(1, Ordering::Relaxed) == 1 {
+                        region_wall_ms[r]
+                            .store(start.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let aborted = aborted.load(Ordering::Relaxed);
+    let mut crawls = Vec::with_capacity(n_regions);
+    let mut per_region = Vec::with_capacity(n_regions);
+    if !aborted {
+        // Durability point: every cell is in the store, flush the tail.
+        let _ = store.checkpoint();
+        for (r, region_slots) in slots.into_iter().enumerate() {
+            let records: Vec<CrawlRecord> = region_slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    slot.into_inner()
+                        .unwrap_or_else(|| failure_record(&targets[i], FailureKind::Panic, 1))
+                })
+                .collect();
+            let metrics = RegionMetrics {
+                tasks: n_targets,
+                stolen: stolen[r].load(Ordering::Relaxed),
+                wall_ms: region_wall_ms[r].load(Ordering::Relaxed),
+            };
+            per_region.push((Region::ALL[r], metrics.clone()));
+            crawls.push(VantageCrawl {
+                region: Region::ALL[r],
+                records,
+                metrics,
+            });
+        }
+    }
+    let failures = FailureTaxonomy::from_crawls(&crawls);
+    let metrics = CrawlMetrics {
+        workers,
+        cache_enabled: opts.cache,
+        tasks_completed: tasks_done.load(Ordering::Relaxed),
+        cache_hits: cache.hits.load(Ordering::Relaxed),
+        cache_misses: cache.misses.load(Ordering::Relaxed),
+        wall_ms: start.elapsed().as_millis() as u64,
+        busy_us: busy_us.load(Ordering::Relaxed),
+        per_region,
+        retries: res.retries.load(Ordering::Relaxed),
+        backoff_virtual_ms: res.backoff_ms.load(Ordering::Relaxed),
+        panics: res.panics.load(Ordering::Relaxed),
+        breaker_open_hosts: res.breaker.opened.load(Ordering::Relaxed),
+        breaker_skips: res.breaker.skips.load(Ordering::Relaxed),
+        unresolved_requests: net.stats().unresolved().saturating_sub(unresolved_before),
+        failures,
+    };
+    ((!aborted).then_some(crawls), metrics)
+}
+
+/// Re-drive the origin-visible side effects of a restored reachable cell:
+/// one successful navigation under the same retry loop [`crawl_one`] uses,
+/// without the load/parse/analysis that the stored record already holds.
+/// With the cache on, the restored record is seeded under the fetched
+/// document's key so later vantage points hit it exactly as they would
+/// have hit the computed record.
+fn replay_restored(
+    res: &Resilience<'_>,
+    net: &Network,
+    region: Region,
+    browser_slot: &mut Option<Browser>,
+    domain: &str,
+    record: &CrawlRecord,
+    cache: Option<&FetchCache>,
+) {
+    if !record.reachable {
+        // Failure cells never completed a fetch: the origin saw no visit,
+        // so there is nothing to replay.
+        return;
+    }
+    let mut attempts: u32 = 0;
+    loop {
+        attempts += 1;
+        let browser = browser_slot.get_or_insert_with(|| Browser::new(net.clone(), region));
+        browser.clear_cookies();
+        match browser.fetch_domain_document(domain) {
+            Ok(fetched) => {
+                if let Some(cache) = cache {
+                    let key = (domain.to_string(), content_hash(fetched.body().as_bytes()));
+                    cache
+                        .map
+                        .lock()
+                        .entry(key)
+                        .or_insert_with(|| record.clone());
+                }
+                return;
+            }
+            Err(err) if err.is_transient() && attempts <= res.policy.max_retries => {
+                res.retries.fetch_add(1, Ordering::Relaxed);
+                res.backoff_ms
+                    .fetch_add(res.policy.backoff_ms(attempts), Ordering::Relaxed);
+            }
+            Err(_) => {
+                // The original run fetched this cell successfully, so under
+                // the deterministic fault plan the replay succeeds too;
+                // keep the stored record defensively if it somehow doesn't.
+                return;
+            }
+        }
+    }
 }
 
 /// Shared-fetch cache: `(domain, document hash)` → finished record.

@@ -13,5 +13,6 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod longitudinal;
 pub mod smp;
 pub mod table1;

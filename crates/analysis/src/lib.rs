@@ -30,17 +30,22 @@ pub mod context;
 pub mod crawl;
 pub mod experiments;
 pub mod measure;
+pub mod persist;
 pub mod render;
 pub mod runner;
 pub mod stats;
 
 pub use context::Study;
 pub use crawl::{
-    analyze_domain, crawl_all_regions, crawl_all_regions_serial, crawl_all_regions_with,
-    crawl_region, crawl_region_with, CrawlMetrics, CrawlOptions, CrawlRecord, FailureKind,
-    FailureTaxonomy, RegionFailures, RegionMetrics, RetryPolicy, VantageCrawl,
+    analyze_domain, crawl_all_regions, crawl_all_regions_persistent, crawl_all_regions_serial,
+    crawl_all_regions_with, crawl_region, crawl_region_with, CheckpointPolicy, CrawlMetrics,
+    CrawlOptions, CrawlRecord, FailureKind, FailureTaxonomy, RegionFailures, RegionMetrics,
+    RetryPolicy, VantageCrawl,
 };
 pub use measure::{
     measure_site, measure_sites, InteractionMode, SiteCookieMeasurement, REPETITIONS,
 };
-pub use runner::{run_all, run_all_with_crawls, run_crawls, run_crawls_with_metrics, StudyReport};
+pub use runner::{
+    run_all, run_all_persistent, run_all_with_crawls, run_crawls, run_crawls_with_metrics,
+    StudyReport,
+};

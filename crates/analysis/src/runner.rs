@@ -2,12 +2,17 @@
 //! expensive crawls.
 
 use crate::context::Study;
-use crate::crawl::{crawl_all_regions_with, CrawlMetrics, FailureTaxonomy, VantageCrawl};
+use crate::crawl::{
+    crawl_all_regions_persistent, crawl_all_regions_with, CheckpointPolicy, CrawlMetrics,
+    FailureTaxonomy, VantageCrawl,
+};
 use crate::experiments::{
     ablation, accuracy, banners, botdetect, bypass, darkpatterns, fig1, fig2, fig3, fig4, fig5,
     fig6, smp, table1,
 };
+use crate::measure::{measure_sites, InteractionMode};
 use serde::Serialize;
+use store::Store;
 
 /// Results of every experiment in the paper's evaluation.
 #[derive(Debug, Serialize)]
@@ -73,6 +78,103 @@ pub fn run_all(study: &Study) -> StudyReport {
     let mut report = run_all_with_crawls(study, &crawls);
     report.crawl_metrics = metrics;
     report
+}
+
+/// Name of the store note carrying the per-region epoch summary that the
+/// longitudinal diff reads for tracking-cookie drift.
+pub const EPOCH_SUMMARY_NOTE: &str = "epoch-summary";
+
+/// [`run_all`], checkpointing every crawled cell into `store` and
+/// restoring whatever a previous (interrupted) run already computed.
+///
+/// Returns `Ok(None)` when the sweep stopped early via
+/// [`CheckpointPolicy::abort_after`]; re-invoking with the same store
+/// resumes and — by construction, pinned by the resume tests — yields a
+/// report byte-identical to an uninterrupted [`run_all`].
+///
+/// Errors when the store was built for a different target list (other
+/// scale, generation seed, or epoch): resuming across universes would
+/// silently mix incompatible records.
+pub fn run_all_persistent(
+    study: &Study,
+    store: &Store,
+    policy: &CheckpointPolicy,
+) -> Result<Option<StudyReport>, String> {
+    let targets = study.targets();
+    let hash = crate::persist::targets_hash(&targets).to_string();
+    match store.meta_value("targets_hash") {
+        Some(stored) if stored != hash => {
+            return Err(format!(
+                "store targets_hash {stored} does not match this study's {hash}: \
+                 the store was produced from a different population"
+            ));
+        }
+        _ => {}
+    }
+    let (crawls, metrics) = crawl_all_regions_persistent(
+        &study.net,
+        &targets,
+        &study.tool,
+        &study.crawl_options(),
+        store,
+        policy,
+    );
+    let Some(crawls) = crawls else {
+        return Ok(None);
+    };
+    let mut report = run_all_with_crawls(study, &crawls);
+    report.crawl_metrics = metrics;
+    // The epoch summary is written only after the report is computed: its
+    // measurement probe advances origin visit counters, and running it
+    // earlier would perturb the report relative to a plain `run_all`.
+    let summary = epoch_summary(study, &crawls);
+    // A failed note write degrades the later diff (tracking drift reads
+    // it), never the report itself.
+    let _ = store.write_note(EPOCH_SUMMARY_NOTE, &summary);
+    Ok(Some(report))
+}
+
+/// One line per region: wall count, mean advertised price, and the mean
+/// tracking-cookie count measured under Accept across that region's
+/// detected walls. Parsed back by the longitudinal diff engine.
+fn epoch_summary(study: &Study, crawls: &[VantageCrawl]) -> String {
+    let mut out = String::new();
+    for crawl in crawls {
+        let walls: Vec<&crate::crawl::CrawlRecord> = crawl.detected_walls().collect();
+        let priced: Vec<f64> = walls.iter().filter_map(|r| r.monthly_eur).collect();
+        let mean_price = if priced.is_empty() {
+            "na".to_string()
+        } else {
+            format!("{:.3}", priced.iter().sum::<f64>() / priced.len() as f64)
+        };
+        let domains: Vec<String> = walls.iter().map(|r| r.domain.clone()).collect();
+        let mean_tracking = if domains.is_empty() {
+            "na".to_string()
+        } else {
+            let measured = measure_sites(
+                &study.net,
+                crawl.region,
+                &domains,
+                InteractionMode::Accept,
+                &study.tool,
+                study.workers,
+            );
+            format!(
+                "{:.3}",
+                measured.iter().map(|m| m.tracking).sum::<f64>() / measured.len() as f64
+            )
+        };
+        // Labels are slugged (spaces to dashes) so the line stays a flat
+        // whitespace-separated key=value record.
+        out.push_str(&format!(
+            "region={} walls={} mean_price_eur={} mean_tracking={}\n",
+            crawl.region.label().replace(' ', "-"),
+            walls.len(),
+            mean_price,
+            mean_tracking
+        ));
+    }
+    out
 }
 
 /// Run every experiment against pre-computed crawls.

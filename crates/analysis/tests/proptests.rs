@@ -26,6 +26,7 @@ fn fault_config(list_size: usize, unreachable: u16) -> PopulationConfig {
         banner_fraction: 0.5,
         smp_divisor: 20,
         unreachable_per_mille: unreachable,
+        epoch: 0,
     }
 }
 
@@ -65,6 +66,7 @@ proptest! {
             banner_fraction: banner_pct as f64 / 100.0,
             smp_divisor: roster_divisor,
             unreachable_per_mille: unreachable,
+            epoch: 0,
         };
         let pop = Arc::new(Population::generate(config));
         let net = Network::new();

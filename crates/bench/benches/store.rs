@@ -1,0 +1,109 @@
+//! Bench: journal write overhead of the persistent crawl store on a
+//! cached sweep — `run` with `--store` versus without. The store's
+//! buffered puts and periodic journal flushes should cost well under 5%
+//! of a cached sweep's wall time.
+
+use analysis::{
+    crawl_all_regions_persistent, crawl_all_regions_with, CheckpointPolicy, CrawlOptions,
+};
+use bannerclick::BannerClick;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use httpsim::{Network, Region};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use store::Store;
+use webgen::{Population, PopulationConfig};
+
+const WORKERS: usize = 4;
+
+fn world(pop: &Arc<Population>) -> Network {
+    let net = Network::new();
+    webgen::server::install(Arc::clone(pop), &net);
+    net
+}
+
+fn fresh_store_dir() -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cookiewall-store-bench-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_store(c: &mut Criterion) {
+    let pop = Arc::new(Population::generate(PopulationConfig::tiny()));
+    let targets = pop.merged_targets();
+    let tool = BannerClick::new();
+    let opts = CrawlOptions {
+        workers: WORKERS,
+        ..CrawlOptions::default()
+    };
+
+    let mut g = c.benchmark_group("store");
+    g.sample_size(10);
+    g.bench_function("cached_sweep_no_store", |b| {
+        b.iter_batched(
+            || world(&pop),
+            |net| black_box(crawl_all_regions_with(&net, &targets, &tool, &opts).0.len()),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("cached_sweep_journaled", |b| {
+        b.iter_batched(
+            || {
+                let dir = fresh_store_dir();
+                let store = Store::create(&dir, Region::ALL.len(), &[]).expect("store creates");
+                (world(&pop), store, dir)
+            },
+            |(net, store, dir)| {
+                let policy = CheckpointPolicy::default();
+                let (crawls, _) =
+                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                let n = black_box(crawls.expect("sweep completes").len());
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+                n
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    // Resume half-way through: what restoring + replaying costs relative
+    // to crawling the cells outright.
+    g.bench_function("cached_sweep_resume_half", |b| {
+        b.iter_batched(
+            || {
+                let dir = fresh_store_dir();
+                let store = Store::create(&dir, Region::ALL.len(), &[]).expect("store creates");
+                let net = world(&pop);
+                let half = Region::ALL.len() * targets.len() / 2;
+                let policy = CheckpointPolicy {
+                    abort_after: Some(half),
+                    ..CheckpointPolicy::default()
+                };
+                let _ = crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                drop(store);
+                let store = Store::open(&dir).expect("store reopens");
+                (world(&pop), store, dir)
+            },
+            |(net, store, dir)| {
+                let policy = CheckpointPolicy::default();
+                let (crawls, _) =
+                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                let n = black_box(crawls.expect("sweep completes").len());
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+                n
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

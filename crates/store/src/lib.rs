@@ -1,0 +1,632 @@
+//! # store — the persistent crawl store
+//!
+//! A content-addressed, sharded on-disk store for completed crawl task
+//! results, with a write-ahead journal so an interrupted sweep can resume
+//! and recompute only the missing `(region, domain)` cells.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/meta               key=value text: format, region count, and the
+//!                          caller's configuration fingerprint
+//! <dir>/journal.wal        append-only journal, one record per stored task
+//! <dir>/shards/shard-N.bin raw payload bytes for region index N
+//! <dir>/note-<name>        free-form text attachments (epoch summaries)
+//! ```
+//!
+//! Each journal record carries the task key (region index + domain), the
+//! payload's byte offset and length in its region shard, the payload's
+//! [`content_hash`], and a trailing hash of the record bytes themselves.
+//! [`Store::open`] replays the journal sequentially and stops at the first
+//! record that is torn (truncated mid-write) or fails either hash check:
+//! the journal is truncated back to the last good record and the shards to
+//! the highest offset the surviving records reference, so a crash mid-write
+//! costs at most the unflushed tail — never the whole shard.
+//!
+//! ## Durability model
+//!
+//! Puts are buffered in memory and flushed by [`Store::checkpoint`], which
+//! runs automatically every [`Store::set_checkpoint_every`] puts (shard
+//! bytes are written before the journal records that reference them, so the
+//! journal never points past a shard's end on a clean flush). Dropping the
+//! store without a checkpoint abandons the buffered tail — exactly what a
+//! `Ctrl-C` or a crash does — and the exactly-once property tests pin that
+//! a reopened store holds precisely the checkpointed puts, no more, no
+//! fewer, no duplicates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use httpsim::content_hash;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Journal record magic: "CookieWall Journal v1".
+const MAGIC: [u8; 4] = *b"CWJ1";
+/// Fixed journal record overhead around the domain bytes:
+/// magic(4) + region(1) + domain_len(2) + offset(8) + payload_len(4) +
+/// payload_hash(8) + record_hash(8).
+const RECORD_OVERHEAD: usize = 4 + 1 + 2 + 8 + 4 + 8 + 8;
+const META_FILE: &str = "meta";
+const JOURNAL_FILE: &str = "journal.wal";
+const SHARD_DIR: &str = "shards";
+
+/// Default auto-checkpoint cadence (puts between flushes).
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 64;
+
+/// The persistent crawl store. Thread-safe: workers `put` concurrently.
+pub struct Store {
+    dir: PathBuf,
+    regions: usize,
+    meta: Vec<(String, String)>,
+    checkpoint_every: AtomicUsize,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    /// Every stored payload (flushed and buffered), keyed by task.
+    index: BTreeMap<(u8, String), Vec<u8>>,
+    /// Current logical length of each region shard (flushed + buffered).
+    shard_len: Vec<u64>,
+    /// Payload bytes appended since the last checkpoint, per region.
+    buf_shards: Vec<Vec<u8>>,
+    /// Journal records appended since the last checkpoint.
+    buf_journal: Vec<u8>,
+    /// Puts since the last checkpoint.
+    pending: usize,
+}
+
+impl Store {
+    /// Create a fresh store at `dir` for `regions` shards, recording the
+    /// caller's `meta` pairs. Fails if a store already exists there.
+    pub fn create(dir: &Path, regions: usize, meta: &[(String, String)]) -> io::Result<Store> {
+        if regions == 0 || regions > u8::MAX as usize {
+            return Err(invalid("region count must be in 1..=255"));
+        }
+        if dir.join(META_FILE).exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("a store already exists at {}", dir.display()),
+            ));
+        }
+        fs::create_dir_all(dir.join(SHARD_DIR))?;
+        let mut pairs = vec![
+            ("format".to_string(), "1".to_string()),
+            ("regions".to_string(), regions.to_string()),
+        ];
+        for (k, v) in meta {
+            if k.is_empty() || k.contains('=') || k.contains('\n') || v.contains('\n') {
+                return Err(invalid("meta keys/values must be single-line, '='-free"));
+            }
+            if k == "format" || k == "regions" {
+                return Err(invalid("meta keys 'format' and 'regions' are reserved"));
+            }
+            pairs.push((k.clone(), v.clone()));
+        }
+        let text: String = pairs.iter().map(|(k, v)| format!("{k}={v}\n")).collect();
+        fs::write(dir.join(META_FILE), text)?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            regions,
+            meta: pairs,
+            checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
+            inner: Mutex::new(Inner {
+                index: BTreeMap::new(),
+                shard_len: vec![0; regions],
+                buf_shards: vec![Vec::new(); regions],
+                buf_journal: Vec::new(),
+                pending: 0,
+            }),
+        })
+    }
+
+    /// Open an existing store, replaying the journal. A torn trailing
+    /// record (crash mid-write) is truncated away, not an error; the
+    /// journal and shards are repaired on disk so the next open is clean.
+    pub fn open(dir: &Path) -> io::Result<Store> {
+        let meta_text = fs::read_to_string(dir.join(META_FILE))
+            .map_err(|e| io::Error::new(e.kind(), format!("no store at {}: {e}", dir.display())))?;
+        let meta = parse_meta(&meta_text)?;
+        let regions: usize = meta_lookup(&meta, "regions")
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0 && n <= u8::MAX as usize)
+            .ok_or_else(|| invalid("store meta has no valid 'regions' entry"))?;
+        if meta_lookup(&meta, "format") != Some("1") {
+            return Err(invalid("unsupported store format"));
+        }
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        let journal = match fs::read(&journal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(regions);
+        for r in 0..regions {
+            shards.push(match fs::read(shard_path(dir, r as u8)) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(e),
+            });
+        }
+
+        // Replay: accept the longest valid prefix of the journal.
+        let mut index = BTreeMap::new();
+        let mut high_water = vec![0u64; regions];
+        let mut pos = 0usize;
+        while pos < journal.len() {
+            let Some((rec, next)) = parse_record(&journal, pos) else {
+                break; // torn or corrupt tail — truncate from here
+            };
+            let r = rec.region as usize;
+            if r >= regions {
+                break;
+            }
+            let end = rec.offset.saturating_add(rec.len as u64);
+            if end > shards[r].len() as u64 {
+                break; // journal references bytes the shard never got
+            }
+            let payload = &shards[r][rec.offset as usize..end as usize];
+            if content_hash(payload) != rec.payload_hash {
+                break; // shard bytes corrupted — drop this record and the rest
+            }
+            index.insert((rec.region, rec.domain), payload.to_vec());
+            high_water[r] = high_water[r].max(end);
+            pos = next;
+        }
+
+        // Repair on disk: drop the bad journal tail and any orphan shard
+        // bytes (payloads flushed whose journal record never landed).
+        if pos < journal.len() {
+            truncate_file(&journal_path, pos as u64)?;
+        }
+        for r in 0..regions {
+            if (shards[r].len() as u64) > high_water[r] {
+                truncate_file(&shard_path(dir, r as u8), high_water[r])?;
+            }
+        }
+
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            regions,
+            meta,
+            checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
+            inner: Mutex::new(Inner {
+                index,
+                shard_len: high_water,
+                buf_shards: vec![Vec::new(); regions],
+                buf_journal: Vec::new(),
+                pending: 0,
+            }),
+        })
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of region shards.
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// All meta pairs, including the reserved `format`/`regions` entries.
+    pub fn meta(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// Look up one meta value.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        meta_lookup(&self.meta, key)
+    }
+
+    /// Change the auto-checkpoint cadence (puts between flushes); 0 means
+    /// flush on every put.
+    pub fn set_checkpoint_every(&self, every: usize) {
+        self.checkpoint_every.store(every, Ordering::Relaxed);
+    }
+
+    /// Store one completed task result. Returns `Ok(false)` without
+    /// writing anything when the key is already present (exactly-once:
+    /// a result is never duplicated or overwritten).
+    pub fn put(&self, region: u8, domain: &str, payload: &[u8]) -> io::Result<bool> {
+        if (region as usize) >= self.regions {
+            return Err(invalid("region index out of range"));
+        }
+        if domain.len() > u16::MAX as usize {
+            return Err(invalid("domain too long for a journal record"));
+        }
+        let mut inner = self.inner.lock();
+        let key = (region, domain.to_string());
+        if inner.index.contains_key(&key) {
+            return Ok(false);
+        }
+        let r = region as usize;
+        let offset = inner.shard_len[r];
+        inner.buf_shards[r].extend_from_slice(payload);
+        inner.shard_len[r] += payload.len() as u64;
+        let record = encode_record(region, domain, offset, payload);
+        inner.buf_journal.extend_from_slice(&record);
+        inner.index.insert(key, payload.to_vec());
+        inner.pending += 1;
+        if inner.pending >= self.checkpoint_every.load(Ordering::Relaxed).max(1) {
+            self.flush(&mut inner)?;
+        }
+        Ok(true)
+    }
+
+    /// Fetch a stored payload.
+    pub fn get(&self, region: u8, domain: &str) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .index
+            .get(&(region, domain.to_string()))
+            .cloned()
+    }
+
+    /// Is this task already stored?
+    pub fn contains(&self, region: u8, domain: &str) -> bool {
+        self.inner
+            .lock()
+            .index
+            .contains_key(&(region, domain.to_string()))
+    }
+
+    /// Total stored task results across all regions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All `(domain, payload)` entries of one region, in domain order.
+    pub fn region_entries(&self, region: u8) -> Vec<(String, Vec<u8>)> {
+        self.inner
+            .lock()
+            .index
+            .iter()
+            .filter(|((r, _), _)| *r == region)
+            .map(|((_, d), p)| (d.clone(), p.clone()))
+            .collect()
+    }
+
+    /// Flush every buffered put to disk. Shard bytes land before the
+    /// journal records that reference them, so a crash between the two
+    /// leaves orphan shard bytes (reclaimed on open), never a journal
+    /// record pointing past its shard.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush(&mut inner)
+    }
+
+    fn flush(&self, inner: &mut Inner) -> io::Result<()> {
+        for r in 0..self.regions {
+            if inner.buf_shards[r].is_empty() {
+                continue;
+            }
+            append(&shard_path(&self.dir, r as u8), &inner.buf_shards[r])?;
+            inner.buf_shards[r].clear();
+        }
+        if !inner.buf_journal.is_empty() {
+            append(&self.dir.join(JOURNAL_FILE), &inner.buf_journal)?;
+            inner.buf_journal.clear();
+        }
+        inner.pending = 0;
+        Ok(())
+    }
+
+    /// Attach (or replace) a free-form text note, e.g. an epoch summary.
+    pub fn write_note(&self, name: &str, text: &str) -> io::Result<()> {
+        fs::write(self.note_path(name)?, text)
+    }
+
+    /// Read back a note written by [`Store::write_note`].
+    pub fn read_note(&self, name: &str) -> io::Result<Option<String>> {
+        match fs::read_to_string(self.note_path(name)?) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn note_path(&self, name: &str) -> io::Result<PathBuf> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            return Err(invalid("note names must be non-empty [a-z0-9-]"));
+        }
+        Ok(self.dir.join(format!("note-{name}")))
+    }
+}
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, message.to_string())
+}
+
+fn shard_path(dir: &Path, region: u8) -> PathBuf {
+    dir.join(SHARD_DIR).join(format!("shard-{region}.bin"))
+}
+
+fn append(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(bytes)
+}
+
+fn truncate_file(path: &Path, len: u64) -> io::Result<()> {
+    OpenOptions::new().write(true).open(path)?.set_len(len)
+}
+
+fn parse_meta(text: &str) -> io::Result<Vec<(String, String)>> {
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| invalid("malformed store meta line"))?;
+        pairs.push((k.to_string(), v.to_string()));
+    }
+    Ok(pairs)
+}
+
+fn meta_lookup<'a>(meta: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// One decoded journal record.
+struct JournalRecord {
+    region: u8,
+    domain: String,
+    offset: u64,
+    len: u32,
+    payload_hash: u64,
+}
+
+fn encode_record(region: u8, domain: &str, offset: u64, payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(RECORD_OVERHEAD + domain.len());
+    rec.extend_from_slice(&MAGIC);
+    rec.push(region);
+    rec.extend_from_slice(&(domain.len() as u16).to_le_bytes());
+    rec.extend_from_slice(domain.as_bytes());
+    rec.extend_from_slice(&offset.to_le_bytes());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&content_hash(payload).to_le_bytes());
+    let record_hash = content_hash(&rec);
+    rec.extend_from_slice(&record_hash.to_le_bytes());
+    rec
+}
+
+/// Decode the record starting at `pos`, or `None` when the bytes there are
+/// torn (too short) or corrupt (bad magic / bad record hash / bad UTF-8).
+fn parse_record(buf: &[u8], pos: usize) -> Option<(JournalRecord, usize)> {
+    let header_end = pos.checked_add(7)?;
+    if header_end > buf.len() || buf[pos..pos + 4] != MAGIC {
+        return None;
+    }
+    let region = buf[pos + 4];
+    let domain_len = u16::from_le_bytes([buf[pos + 5], buf[pos + 6]]) as usize;
+    let end = pos.checked_add(RECORD_OVERHEAD + domain_len)?;
+    if end > buf.len() {
+        return None;
+    }
+    let body_end = end - 8; // record hash covers everything before itself
+    let stored_hash = u64::from_le_bytes(buf[body_end..end].try_into().ok()?);
+    if content_hash(&buf[pos..body_end]) != stored_hash {
+        return None;
+    }
+    let domain = std::str::from_utf8(&buf[pos + 7..pos + 7 + domain_len])
+        .ok()?
+        .to_string();
+    let tail = &buf[pos + 7 + domain_len..body_end];
+    let offset = u64::from_le_bytes(tail[0..8].try_into().ok()?);
+    let len = u32::from_le_bytes(tail[8..12].try_into().ok()?);
+    let payload_hash = u64::from_le_bytes(tail[12..20].try_into().ok()?);
+    Some((
+        JournalRecord {
+            region,
+            domain,
+            offset,
+            len,
+            payload_hash,
+        },
+        end,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cookiewall-store-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn payload(region: u8, domain: &str) -> Vec<u8> {
+        format!("payload/{region}/{domain}").into_bytes()
+    }
+
+    #[test]
+    fn roundtrip_after_checkpoint() {
+        let dir = tempdir("roundtrip");
+        let meta = vec![("scale".to_string(), "tiny".to_string())];
+        let store = Store::create(&dir, 8, &meta).unwrap();
+        assert!(store.put(0, "a.example", &payload(0, "a.example")).unwrap());
+        assert!(store.put(3, "b.example", &payload(3, "b.example")).unwrap());
+        assert!(store.put(0, "c.example", &payload(0, "c.example")).unwrap());
+        store.checkpoint().unwrap();
+        drop(store);
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.meta_value("scale"), Some("tiny"));
+        assert_eq!(store.get(0, "a.example"), Some(payload(0, "a.example")));
+        assert_eq!(store.get(3, "b.example"), Some(payload(3, "b.example")));
+        assert!(!store.contains(1, "a.example"));
+        let entries = store.region_entries(0);
+        assert_eq!(
+            entries.iter().map(|(d, _)| d.as_str()).collect::<Vec<_>>(),
+            vec!["a.example", "c.example"]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_put_is_rejected() {
+        let dir = tempdir("dup");
+        let store = Store::create(&dir, 2, &[]).unwrap();
+        assert!(store.put(1, "x.example", b"first").unwrap());
+        assert!(!store.put(1, "x.example", b"second").unwrap());
+        assert_eq!(store.get(1, "x.example"), Some(b"first".to_vec()));
+        store.checkpoint().unwrap();
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert!(!store.put(1, "x.example", b"third").unwrap());
+        assert_eq!(store.get(1, "x.example"), Some(b"first".to_vec()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_without_checkpoint_loses_only_the_tail() {
+        let dir = tempdir("abort");
+        let store = Store::create(&dir, 2, &[]).unwrap();
+        store.put(0, "kept.example", b"kept").unwrap();
+        store.checkpoint().unwrap();
+        store.put(0, "lost.example", b"lost").unwrap();
+        drop(store); // simulated kill: buffered tail never flushed
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(0, "kept.example"));
+        assert!(!store.contains(0, "lost.example"));
+        // The lost task can be recomputed and stored again.
+        assert!(store.put(0, "lost.example", b"lost").unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_checkpoint_cadence_flushes() {
+        let dir = tempdir("cadence");
+        let store = Store::create(&dir, 1, &[]).unwrap();
+        store.set_checkpoint_every(0); // flush on every put
+        store.put(0, "a.example", b"a").unwrap();
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert!(store.contains(0, "a.example"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_journal_record_is_truncated() {
+        let dir = tempdir("torn");
+        let store = Store::create(&dir, 2, &[]).unwrap();
+        for d in ["a.example", "b.example", "c.example"] {
+            store.put(0, d, &payload(0, d)).unwrap();
+        }
+        store.checkpoint().unwrap();
+        drop(store);
+
+        // Tear the last record: chop a few bytes off the journal tail.
+        let journal = dir.join(JOURNAL_FILE);
+        let len = fs::metadata(&journal).unwrap().len();
+        truncate_file(&journal, len - 5).unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 2, "only the torn record is dropped");
+        assert!(store.contains(0, "a.example"));
+        assert!(store.contains(0, "b.example"));
+        assert!(!store.contains(0, "c.example"));
+        // The torn task is storable again, and the repaired store reopens
+        // cleanly at full size.
+        assert!(store.put(0, "c.example", &payload(0, "c.example")).unwrap());
+        store.checkpoint().unwrap();
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shard_byte_drops_the_affected_tail() {
+        let dir = tempdir("corrupt");
+        let store = Store::create(&dir, 1, &[]).unwrap();
+        store.put(0, "a.example", &payload(0, "a.example")).unwrap();
+        store.put(0, "b.example", &payload(0, "b.example")).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+
+        // Flip a byte inside the second payload.
+        let shard = shard_path(&dir, 0);
+        let mut bytes = fs::read(&shard).unwrap();
+        let first_len = payload(0, "a.example").len();
+        bytes[first_len + 2] ^= 0xFF;
+        fs::write(&shard, &bytes).unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert!(store.contains(0, "a.example"), "clean prefix survives");
+        assert!(!store.contains(0, "b.example"), "corrupt record dropped");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_journal_is_fully_truncated() {
+        let dir = tempdir("garbage");
+        let store = Store::create(&dir, 1, &[]).unwrap();
+        drop(store);
+        fs::write(dir.join(JOURNAL_FILE), b"not a journal at all").unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(store.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_store_and_bad_meta() {
+        let dir = tempdir("create");
+        let _store = Store::create(&dir, 1, &[]).unwrap();
+        assert!(Store::create(&dir, 1, &[]).is_err());
+        let dir2 = tempdir("create-meta");
+        let bad = vec![("has=equals".to_string(), "v".to_string())];
+        assert!(Store::create(&dir2, 1, &bad).is_err());
+        let reserved = vec![("regions".to_string(), "9".to_string())];
+        assert!(Store::create(&dir2, 1, &reserved).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn notes_roundtrip() {
+        let dir = tempdir("notes");
+        let store = Store::create(&dir, 1, &[]).unwrap();
+        assert_eq!(store.read_note("summary").unwrap(), None);
+        store.write_note("summary", "walls=3\n").unwrap();
+        assert_eq!(
+            store.read_note("summary").unwrap().as_deref(),
+            Some("walls=3\n")
+        );
+        assert!(store.write_note("../escape", "x").is_err());
+        assert!(store.write_note("", "x").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_directory_fails() {
+        let dir = tempdir("missing");
+        assert!(Store::open(&dir).is_err());
+    }
+}

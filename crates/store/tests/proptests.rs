@@ -1,0 +1,137 @@
+//! Property: over arbitrary interleavings of puts, checkpoints, aborts
+//! (drop without flushing) and reopens on a small `(region × domain)`
+//! matrix, journal replay is exactly-once — a reopened store holds every
+//! task that was checkpointed, none that was not, each exactly once with
+//! its original payload.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use store::Store;
+
+const REGIONS: u8 = 3;
+const DOMAINS: [&str; 5] = [
+    "alpha.example",
+    "beta.example",
+    "gamma.example",
+    "delta.example",
+    "epsilon.example",
+];
+
+/// One scripted step against the store.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Store the result for cell (region, domain index).
+    Put(u8, usize),
+    /// Flush everything buffered to disk.
+    Checkpoint,
+    /// Kill the process mid-run: drop without flushing, reopen.
+    AbortAndReopen,
+    /// Clean restart: flush, drop, reopen.
+    CheckpointAndReopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u32..10, 0u8..REGIONS, 0usize..DOMAINS.len()).prop_map(|(kind, r, d)| match kind {
+        0..6 => Op::Put(r, d),
+        6 | 7 => Op::Checkpoint,
+        8 => Op::AbortAndReopen,
+        _ => Op::CheckpointAndReopen,
+    })
+}
+
+fn payload(region: u8, domain: &str) -> Vec<u8> {
+    format!("result for {domain} from region {region}").into_bytes()
+}
+
+fn tempdir() -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "cookiewall-store-prop-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    fn journal_replay_is_exactly_once(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let dir = tempdir();
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut live = Store::create(&dir, REGIONS as usize, &[]).unwrap();
+
+        // Model state: what a correct store must contain after each reopen.
+        let mut durable: BTreeSet<(u8, usize)> = BTreeSet::new(); // checkpointed
+        let mut buffered: BTreeSet<(u8, usize)> = BTreeSet::new(); // put, not yet flushed
+        let mut ever_put: BTreeSet<(u8, usize)> = BTreeSet::new();
+
+        for op in ops {
+            match op {
+                Op::Put(r, d) => {
+                    let fresh = live.put(r, DOMAINS[d], &payload(r, DOMAINS[d])).unwrap();
+                    // Exactly-once at the API: a second put of a live key
+                    // is refused, a genuinely new key is accepted.
+                    let expected_fresh = !durable.contains(&(r, d)) && !buffered.contains(&(r, d));
+                    prop_assert_eq!(fresh, expected_fresh, "put ({}, {})", r, d);
+                    buffered.insert((r, d));
+                    ever_put.insert((r, d));
+                }
+                Op::Checkpoint => {
+                    live.checkpoint().unwrap();
+                    durable.append(&mut buffered);
+                }
+                Op::AbortAndReopen => {
+                    drop(live); // buffered tail dies with the process
+                    buffered.clear();
+                    live = Store::open(&dir).unwrap();
+                }
+                Op::CheckpointAndReopen => {
+                    live.checkpoint().unwrap();
+                    durable.append(&mut buffered);
+                    drop(live);
+                    live = Store::open(&dir).unwrap();
+                }
+            }
+        }
+
+        // Final verdict after one more clean restart.
+        live.checkpoint().unwrap();
+        durable.append(&mut buffered);
+        drop(live);
+        let reopened = Store::open(&dir).unwrap();
+
+        prop_assert_eq!(reopened.len(), durable.len(), "no task lost or duplicated");
+        for &(r, d) in &durable {
+            prop_assert_eq!(
+                reopened.get(r, DOMAINS[d]),
+                Some(payload(r, DOMAINS[d])),
+                "payload of ({}, {}) survives verbatim",
+                r,
+                d
+            );
+        }
+        for r in 0..REGIONS {
+            let entries = reopened.region_entries(r);
+            let expected: Vec<&str> = {
+                let mut v: Vec<&str> = durable
+                    .iter()
+                    .filter(|(pr, _)| *pr == r)
+                    .map(|&(_, d)| DOMAINS[d])
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            let got: Vec<&str> = entries.iter().map(|(d, _)| d.as_str()).collect();
+            prop_assert_eq!(got, expected, "region {} entry set", r);
+        }
+        // Tasks that were put but never checkpointed before an abort may
+        // legitimately be absent — but nothing outside ever_put may appear.
+        for r in 0..REGIONS {
+            for (domain, _) in reopened.region_entries(r) {
+                let d = DOMAINS.iter().position(|&x| x == domain).unwrap();
+                prop_assert!(ever_put.contains(&(r, d)), "phantom task ({}, {})", r, domain);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

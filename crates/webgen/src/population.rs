@@ -10,8 +10,8 @@
 use crate::names::{domain_name, rng_for, stable_hash};
 use crate::roster::{scaled_roster, DecoyAssignment, WallAssignment, WallGroup};
 use crate::spec::{
-    BannerKind, BannerSpec, CookieCounts, CookieProfile, CookiewallSpec, Country, Embedding,
-    RankBucket, Serving, SiteSpec, Smp, ToplistEntry,
+    BannerKind, BannerSpec, CookieCounts, CookieProfile, CookiewallSpec, Country, Currency,
+    Embedding, Period, PriceSpec, RankBucket, Serving, SiteSpec, Smp, ToplistEntry, Visibility,
 };
 use categorize::{Category, CategoryDb};
 use langid::Language;
@@ -43,6 +43,12 @@ pub struct PopulationConfig {
     /// all VPs"; the paper-scale config therefore uses 0, but real crawls
     /// must survive connection failures — this knob exercises that path.
     pub unreachable_per_mille: u16,
+    /// Longitudinal epoch of the population. Epoch 0 is the paper's
+    /// snapshot, bit-for-bit; any later epoch applies a deterministic
+    /// drift pass (wall adoption/removal, price changes, tracker churn —
+    /// every decision a pure hash of `epoch × domain`) to the same domain
+    /// universe, so two epochs of one config are directly diffable.
+    pub epoch: u64,
 }
 
 impl PopulationConfig {
@@ -57,6 +63,7 @@ impl PopulationConfig {
             banner_fraction: 0.38,
             smp_divisor: 1,
             unreachable_per_mille: 0,
+            epoch: 0,
         }
     }
 
@@ -72,6 +79,7 @@ impl PopulationConfig {
             banner_fraction: 0.38,
             smp_divisor: 10,
             unreachable_per_mille: 0,
+            epoch: 0,
         }
     }
 
@@ -86,7 +94,14 @@ impl PopulationConfig {
             banner_fraction: 0.38,
             smp_divisor: 20,
             unreachable_per_mille: 0,
+            epoch: 0,
         }
+    }
+
+    /// The same config at a later (or earlier) epoch.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 }
 
@@ -296,6 +311,7 @@ impl Builder {
         self.add_offlist_smp_partners();
         self.add_residents();
         self.fill_lists();
+        self.apply_epoch_drift();
         // Dead sites: a deterministic slice of the banner-less filler
         // population (walls, decoys and banner sites stay reachable so the
         // calibrated counts are unaffected).
@@ -535,6 +551,35 @@ impl Builder {
         }
     }
 
+    /// Longitudinal drift: advance the epoch-0 snapshot to `config.epoch`.
+    ///
+    /// The domain universe and the toplists never change — only what the
+    /// sites *serve* drifts, so two epochs of one config crawl the same
+    /// target list and their stores diff cell by cell. Every decision is a
+    /// pure hash of `(epoch, domain)`; epoch 0 is the identity (the drift
+    /// pass does not run at all), keeping the paper-scale calibration and
+    /// the golden snapshots bit-for-bit stable.
+    ///
+    /// Drift channels, mirroring what longitudinal banner studies observe:
+    ///
+    /// * independent cookiewalls are abolished back to a regular banner
+    ///   (~13% per epoch) — SMP-operated walls are exempt so the partner
+    ///   rosters stay coherent;
+    /// * regular-banner sites harden into first-party accept-or-pay walls
+    ///   (~0.8%) or drop their banner entirely (~3%);
+    /// * banner-less sites adopt a banner (~2.5%);
+    /// * surviving walls reprice (~25% move by ±30%, rounded to 10 cents);
+    /// * consent-gated sites churn their post-accept tracker count (±7).
+    fn apply_epoch_drift(&mut self) {
+        let epoch = self.config.epoch;
+        if epoch == 0 {
+            return;
+        }
+        for site in &mut self.sites {
+            drift_site(site, epoch);
+        }
+    }
+
     /// A filler (non-wall) site: regular banner with probability
     /// `banner_fraction`, banner-less otherwise.
     fn filler_spec(
@@ -583,6 +628,98 @@ impl Builder {
             banner,
             cookies,
             bot_sensitive: rng.random_bool(0.02),
+        }
+    }
+}
+
+/// Apply every drift channel to one site (see
+/// [`Builder::apply_epoch_drift`] for the model).
+fn drift_site(site: &mut SiteSpec, epoch: u64) {
+    match &site.banner {
+        BannerKind::Cookiewall(cw) => {
+            let abolished = cw.smp.is_none()
+                && stable_hash(&format!("drift/unwall/{epoch}/{}", site.domain)) % 1000 < 130;
+            if abolished {
+                let embedding = cw.embedding;
+                let serving = match cw.serving {
+                    Serving::FirstParty => Serving::FirstParty,
+                    Serving::SmpCdn | Serving::CmpScript => Serving::CmpScript,
+                };
+                site.banner = BannerKind::Banner(BannerSpec {
+                    embedding,
+                    serving,
+                    has_reject: true,
+                    has_settings: false,
+                    eu_only: false,
+                });
+            }
+        }
+        BannerKind::Banner(_) => {
+            let h = stable_hash(&format!("drift/banner/{epoch}/{}", site.domain));
+            if h % 1000 < 8 {
+                // The banner hardened into a first-party accept-or-pay wall.
+                let price_wheel: [u32; 8] = [199, 249, 299, 349, 399, 449, 499, 599];
+                let mut rng = rng_for(&format!("driftwall/{epoch}/{}", site.domain), 7);
+                site.banner = BannerKind::Cookiewall(CookiewallSpec {
+                    embedding: Embedding::MainDom,
+                    serving: Serving::FirstParty,
+                    visibility: Visibility::Global,
+                    price: PriceSpec {
+                        amount_cents: price_wheel[((h >> 10) % 8) as usize],
+                        currency: Currency::Eur,
+                        period: Period::Month,
+                    },
+                    smp: None,
+                    detects_adblock: false,
+                    breaks_scroll_when_blocked: false,
+                });
+                site.cookies = wall_profile(&mut rng, None);
+            } else if h % 1000 >= 970 {
+                // The banner was dropped entirely.
+                let mut rng = rng_for(&format!("driftplain/{epoch}/{}", site.domain), 7);
+                site.banner = BannerKind::None;
+                site.cookies = plain_profile(&mut rng);
+            }
+        }
+        BannerKind::None => {
+            let h = stable_hash(&format!("drift/adopt/{epoch}/{}", site.domain));
+            if h % 1000 < 25 {
+                let mut rng = rng_for(&format!("driftbanner/{epoch}/{}", site.domain), 7);
+                site.banner = BannerKind::Banner(BannerSpec {
+                    embedding: Embedding::MainDom,
+                    serving: if h & 0x100 == 0 {
+                        Serving::FirstParty
+                    } else {
+                        Serving::CmpScript
+                    },
+                    has_reject: h & 0x200 != 0,
+                    has_settings: false,
+                    eu_only: false,
+                });
+                site.cookies = banner_profile(&mut rng);
+            }
+        }
+        BannerKind::DecoyPaywall => {}
+    }
+    // Repricing on surviving (and freshly adopted) walls.
+    if let BannerKind::Cookiewall(cw) = &mut site.banner {
+        let h = stable_hash(&format!("drift/price/{epoch}/{}", site.domain));
+        if h % 100 < 25 {
+            let factor = 0.70 + ((h >> 8) % 61) as f64 / 100.0; // 0.70..=1.30
+            let cents = (cw.price.amount_cents as f64 * factor).round() as u32;
+            cw.price.amount_cents = (cents.max(99)).div_ceil(10) * 10;
+        }
+    }
+    // Tracker churn behind any consent gate.
+    if matches!(
+        site.banner,
+        BannerKind::Banner(_) | BannerKind::Cookiewall(_)
+    ) {
+        let h = stable_hash(&format!("drift/trackers/{epoch}/{}", site.domain));
+        if h % 100 < 30 {
+            let delta = ((h >> 8) % 15) as i64 - 7;
+            let churned = site.cookies.accepted.tracking as i64 + delta;
+            site.cookies.accepted.tracking = churned.clamp(0, 220) as u32;
         }
     }
 }
@@ -889,6 +1026,101 @@ mod tests {
         );
         // Heavy tail: some contentpass outliers above 100.
         assert!(cp_tracking.iter().any(|&t| t > 100.0), "no >100 outliers");
+    }
+
+    #[test]
+    fn epoch_drift_is_deterministic_same_universe_nonzero() {
+        use std::collections::BTreeSet;
+        let e0 = Population::generate(PopulationConfig::small());
+        let e1a = Population::generate(PopulationConfig::small().with_epoch(1));
+        let e1b = Population::generate(PopulationConfig::small().with_epoch(1));
+
+        // Determinism: epoch 1 regenerates bit-for-bit.
+        assert_eq!(e1a.sites().len(), e1b.sites().len());
+        for (x, y) in e1a.sites().iter().zip(e1b.sites()) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.banner, y.banner);
+            assert_eq!(x.cookies, y.cookies);
+        }
+
+        // Same universe: domains and toplists never drift.
+        assert_eq!(e0.merged_targets(), e1a.merged_targets());
+        for c in Country::ALL {
+            assert_eq!(e0.toplist(c).top1k, e1a.toplist(c).top1k);
+            assert_eq!(e0.toplist(c).rest, e1a.toplist(c).rest);
+        }
+
+        // SMP partner rosters are exempt from wall removal.
+        assert_eq!(
+            e0.smp_partners(Smp::Contentpass),
+            e1a.smp_partners(Smp::Contentpass)
+        );
+        assert_eq!(
+            e0.smp_partners(Smp::Freechoice),
+            e1a.smp_partners(Smp::Freechoice)
+        );
+
+        // Nonzero drift on every channel the diff engine reports.
+        let walls = |p: &Population| -> BTreeSet<String> {
+            p.ground_truth_walls()
+                .iter()
+                .map(|s| s.domain.clone())
+                .collect()
+        };
+        let (w0, w1) = (walls(&e0), walls(&e1a));
+        let appeared = w1.difference(&w0).count();
+        let disappeared = w0.difference(&w1).count();
+        assert!(appeared > 0, "no wall adopted at epoch 1");
+        assert!(disappeared > 0, "no wall abolished at epoch 1");
+        let price = |p: &Population, d: &str| match &p.site(d).unwrap().banner {
+            BannerKind::Cookiewall(cw) => Some(cw.price.monthly_eur()),
+            _ => None,
+        };
+        let repriced = w0
+            .intersection(&w1)
+            .filter(|d| price(&e0, d) != price(&e1a, d))
+            .count();
+        assert!(repriced > 0, "no persisted wall repriced at epoch 1");
+        let churned = e0
+            .sites()
+            .iter()
+            .zip(e1a.sites())
+            .filter(|(a, b)| a.cookies.accepted.tracking != b.cookies.accepted.tracking)
+            .count();
+        assert!(churned > 0, "no tracker churn at epoch 1");
+    }
+
+    #[test]
+    fn paper_scale_epoch_drift_is_nonzero() {
+        use std::collections::BTreeSet;
+        let e0 = Population::paper();
+        let e1 = Population::generate(PopulationConfig::paper().with_epoch(1));
+        assert_eq!(e0.merged_targets(), e1.merged_targets());
+        let walls = |p: &Population| -> BTreeSet<String> {
+            p.ground_truth_walls()
+                .iter()
+                .map(|s| s.domain.clone())
+                .collect()
+        };
+        let (w0, w1) = (walls(&e0), walls(&e1));
+        assert!(w1.difference(&w0).count() > 0, "no wall adopted");
+        assert!(w0.difference(&w1).count() > 0, "no wall abolished");
+        let price = |p: &Population, d: &str| match &p.site(d).unwrap().banner {
+            BannerKind::Cookiewall(cw) => Some(cw.price.monthly_eur()),
+            _ => None,
+        };
+        let repriced = w0
+            .intersection(&w1)
+            .filter(|d| price(&e0, d) != price(&e1, d))
+            .count();
+        assert!(repriced > 0, "no persisted wall repriced");
+        let churned = e0
+            .sites()
+            .iter()
+            .zip(e1.sites())
+            .filter(|(a, b)| a.cookies.accepted.tracking != b.cookies.accepted.tracking)
+            .count();
+        assert!(churned > 0, "no tracker churn");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, release build, the whole test suite, and
-# lint-clean clippy. Everything runs offline — external dependencies are
+# Full local gate: formatting, release build, the whole test suite,
+# lint-clean clippy, and an end-to-end resume/diff smoke test through the
+# CLI binary. Everything runs offline — external dependencies are
 # vendored under vendor/, so no registry access is needed (or attempted).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,4 +11,28 @@ cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "check.sh: fmt + build + tests + clippy all green"
+# Resume smoke test: run the tiny sweep to completion, then again with a
+# simulated kill plus a resume, and require byte-identical JSON reports.
+BIN=target/release/cookiewall-study
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+
+"$BIN" run --scale tiny --json "$SMOKE/clean.json" >/dev/null 2>&1
+"$BIN" run --scale tiny --store "$SMOKE/epoch0" --checkpoint-every 8 \
+    --abort-after 100 >/dev/null 2>&1
+"$BIN" run --resume "$SMOKE/epoch0" --json "$SMOKE/resumed.json" >/dev/null 2>&1
+cmp "$SMOKE/clean.json" "$SMOKE/resumed.json" \
+    || { echo "check.sh: resumed report differs from uninterrupted run" >&2; exit 1; }
+
+# Diff smoke test: an epoch-1 snapshot must show churn against epoch 0.
+"$BIN" run --scale tiny --epoch 1 --store "$SMOKE/epoch1" >/dev/null 2>&1
+"$BIN" diff "$SMOKE/epoch0" "$SMOKE/epoch1" >"$SMOKE/churn.txt" 2>/dev/null
+grep -q "Longitudinal churn" "$SMOKE/churn.txt" \
+    || { echo "check.sh: diff produced no churn report" >&2; exit 1; }
+
+# Unknown flags must be rejected, not silently ignored.
+if "$BIN" run --scael tiny >/dev/null 2>&1; then
+    echo "check.sh: unknown flag was silently accepted" >&2; exit 1
+fi
+
+echo "check.sh: fmt + build + tests + clippy + resume/diff smoke all green"

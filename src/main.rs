@@ -2,28 +2,37 @@
 //!
 //! ```text
 //! cookiewall-study run     [--scale tiny|small|paper] [--workers N] [--no-cache] [--json PATH]
-//! cookiewall-study crawl   --region <vp> [--scale …] [--workers N]
+//!                          [--store DIR | --resume DIR] [--checkpoint-every N] [--epoch N]
+//! cookiewall-study crawl   --region <vp> [--scale …] [--workers N] [--epoch N]
 //! cookiewall-study detect  <domain> [--region <vp>] [--adblock] [--scale …]
-//! cookiewall-study walls   [--scale …]
+//! cookiewall-study walls   [--scale …] [--epoch N]
+//! cookiewall-study diff    <store-a> <store-b> [--json PATH]
 //! cookiewall-study help
 //! ```
+//!
+//! Every command parses its flags against an explicit allow-list: an
+//! unrecognized `--flag` is a usage error, not a silent no-op.
 
-use analysis::Study;
+use analysis::experiments::longitudinal;
+use analysis::persist::targets_hash;
+use analysis::{CheckpointPolicy, Study};
 use bannerclick::BannerClick;
 use browser::Browser;
 use httpsim::{FaultConfig, Region};
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
+use store::Store;
 use webgen::PopulationConfig;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut args = args.iter().map(String::as_str);
-    match args.next() {
-        Some("run") => cmd_run(args.collect()),
-        Some("crawl") => cmd_crawl(args.collect()),
-        Some("detect") => cmd_detect(args.collect()),
-        Some("walls") => cmd_walls(args.collect()),
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("crawl") => cmd_crawl(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("walls") => cmd_walls(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -42,13 +51,17 @@ fn print_help() {
          \n\
          USAGE:\n\
          \u{20}  cookiewall-study run    [--scale tiny|small|paper] [--workers N] [--no-cache] [--json PATH]\n\
+         \u{20}                          [--store DIR | --resume DIR] [--checkpoint-every N] [--epoch N]\n\
          \u{20}      Run every experiment (Table 1, Figures 1-6, accuracy, bypass, SMPs)\n\
-         \u{20}  cookiewall-study crawl  --region <vp> [--scale …] [--workers N]\n\
+         \u{20}  cookiewall-study crawl  --region <vp> [--scale …] [--workers N] [--epoch N]\n\
          \u{20}      Crawl the target list from one vantage point, print detections\n\
          \u{20}  cookiewall-study detect <domain> [--region <vp>] [--adblock] [--scale …]\n\
          \u{20}      Analyze a single site and explain what the pipeline saw\n\
-         \u{20}  cookiewall-study walls  [--scale …]\n\
+         \u{20}  cookiewall-study walls  [--scale …] [--epoch N]\n\
          \u{20}      List the ground-truth cookiewall roster of the synthetic web\n\
+         \u{20}  cookiewall-study diff   <store-a> <store-b> [--json PATH]\n\
+         \u{20}      Longitudinal churn between two persistent snapshots: walls that\n\
+         \u{20}      appeared/disappeared, price deltas, per-region tracking drift\n\
          \n\
          Vantage points: germany sweden us-east us-west brazil south-africa india australia\n\
          \n\
@@ -56,6 +69,19 @@ fn print_help() {
          shared-fetch cache; --workers sizes the pool (default: CPU count) and\n\
          --no-cache disables result sharing across vantage points. The scheduler\n\
          prints task/cache/utilization metrics to stderr after each run.\n\
+         \n\
+         PERSISTENT STORE (run):\n\
+         \u{20}  --store DIR          checkpoint every completed (region, domain) cell into\n\
+         \u{20}                       a journaled on-disk store as the sweep progresses\n\
+         \u{20}  --resume DIR         continue an interrupted --store run: restores finished\n\
+         \u{20}                       cells, recomputes only the missing ones, and produces\n\
+         \u{20}                       a report byte-identical to an uninterrupted run; the\n\
+         \u{20}                       study configuration is read back from the store\n\
+         \u{20}  --checkpoint-every N flush the journal every N cells (default 64)\n\
+         \u{20}  --abort-after N      stop after N newly crawled cells without flushing the\n\
+         \u{20}                       buffered tail (simulated kill; testing hook)\n\
+         \u{20}  --epoch N            generate the population at a later epoch: walls come\n\
+         \u{20}                       and go, prices move, trackers churn — deterministically\n\
          \n\
          FAULT INJECTION (run and crawl):\n\
          \u{20}  --fault-rate F       probability a (region, domain) cell starts with a\n\
@@ -72,13 +98,92 @@ fn print_help() {
     );
 }
 
+/// Parsed command-line flags, validated against an explicit allow-list.
+#[derive(Debug, Default)]
+struct Flags {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+    positionals: Vec<String>,
+}
+
+impl Flags {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// Strict flag parser: every `--flag` must appear in `valued` (consumes
+/// the next argument, or `--flag=value`) or in `switches`; anything else
+/// is a usage error. At most `max_positionals` bare arguments are
+/// accepted, and repeating a flag is rejected.
+fn parse_flags(
+    args: &[String],
+    valued: &[&str],
+    switches: &[&str],
+    max_positionals: usize,
+) -> Result<Flags, String> {
+    let mut out = Flags::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(rest) = arg.strip_prefix("--") {
+            let (name, inline) = match rest.split_once('=') {
+                Some((n, v)) => (format!("--{n}"), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            if valued.contains(&name.as_str()) {
+                let value = match inline {
+                    Some(v) => v,
+                    None => {
+                        let next = args
+                            .get(i + 1)
+                            .filter(|v| !v.starts_with("--"))
+                            .ok_or_else(|| format!("{name} needs a value"))?;
+                        i += 1;
+                        next.clone()
+                    }
+                };
+                if out.value(&name).is_some() {
+                    return Err(format!("{name} given more than once"));
+                }
+                out.values.push((name, value));
+            } else if switches.contains(&name.as_str()) {
+                if inline.is_some() {
+                    return Err(format!("{name} does not take a value"));
+                }
+                if !out.has(&name) {
+                    out.switches.push(name);
+                }
+            } else {
+                return Err(format!(
+                    "unknown flag {name} for this command (see `cookiewall-study help`)"
+                ));
+            }
+        } else {
+            if out.positionals.len() >= max_positionals {
+                return Err(format!("unexpected argument {arg:?}"));
+            }
+            out.positionals.push(arg.clone());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
 /// Parse the chaos flags into an optional fault config. Absent flags mean
 /// no fault layer at all; `--fault-seed`/`--max-retries` alone keep rates
 /// at zero, which the study treats the same way.
-fn parse_fault_config(flags: &[&str]) -> Result<Option<FaultConfig>, String> {
-    let seed = flag_value(flags, "--fault-seed");
-    let transient = flag_value(flags, "--fault-rate");
-    let permanent = flag_value(flags, "--fault-permanent");
+fn parse_fault_config(flags: &Flags) -> Result<Option<FaultConfig>, String> {
+    let seed = flags.value("--fault-seed");
+    let transient = flags.value("--fault-rate");
+    let permanent = flags.value("--fault-permanent");
     if seed.is_none() && transient.is_none() && permanent.is_none() {
         return Ok(None);
     }
@@ -106,8 +211,8 @@ fn parse_rate(raw: &str, flag: &str) -> Result<f64, String> {
 }
 
 /// Parse `--max-retries` into a retry-budget override.
-fn parse_max_retries(flags: &[&str]) -> Result<Option<u32>, String> {
-    match flag_value(flags, "--max-retries") {
+fn parse_max_retries(flags: &Flags) -> Result<Option<u32>, String> {
+    match flags.value("--max-retries") {
         None => Ok(None),
         Some(raw) => raw
             .parse::<u32>()
@@ -139,8 +244,8 @@ fn report_chaos(study: &Study) {
 }
 
 /// Parse `--workers`, defaulting to `default` when absent.
-fn parse_workers(flags: &[&str], default: usize) -> Result<usize, String> {
-    match flag_value(flags, "--workers") {
+fn parse_workers(flags: &Flags, default: usize) -> Result<usize, String> {
+    match flags.value("--workers") {
         None => Ok(default),
         Some(raw) => raw
             .parse::<usize>()
@@ -150,18 +255,34 @@ fn parse_workers(flags: &[&str], default: usize) -> Result<usize, String> {
     }
 }
 
-/// Parse `--scale`, defaulting to small.
-fn parse_scale(flags: &[&str]) -> Result<PopulationConfig, String> {
-    match flag_value(flags, "--scale") {
-        None | Some("small") => Ok(PopulationConfig::small()),
-        Some("tiny") => Ok(PopulationConfig::tiny()),
-        Some("paper") => Ok(PopulationConfig::paper()),
-        Some(other) => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+fn scale_config(name: &str) -> Result<PopulationConfig, String> {
+    match name {
+        "small" => Ok(PopulationConfig::small()),
+        "tiny" => Ok(PopulationConfig::tiny()),
+        "paper" => Ok(PopulationConfig::paper()),
+        other => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
     }
 }
 
-fn parse_region(flags: &[&str]) -> Result<Region, String> {
-    let name = flag_value(flags, "--region").unwrap_or("germany");
+/// Parse `--scale` and `--epoch` into a population config plus the scale
+/// name (recorded in store metadata so `--resume` can rebuild the study).
+fn parse_population(flags: &Flags) -> Result<(PopulationConfig, String, u64), String> {
+    let scale = flags.value("--scale").unwrap_or("small");
+    let epoch = match flags.value("--epoch") {
+        None => 0,
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("--epoch needs a non-negative integer, got {raw:?}"))?,
+    };
+    Ok((
+        scale_config(scale)?.with_epoch(epoch),
+        scale.to_string(),
+        epoch,
+    ))
+}
+
+fn parse_region(flags: &Flags) -> Result<Region, String> {
+    let name = flags.value("--region").unwrap_or("germany");
     match name.to_ascii_lowercase().as_str() {
         "germany" | "de" => Ok(Region::Germany),
         "sweden" | "se" => Ok(Region::Sweden),
@@ -175,36 +296,101 @@ fn parse_region(flags: &[&str]) -> Result<Region, String> {
     }
 }
 
-fn flag_value<'a>(flags: &[&'a str], name: &str) -> Option<&'a str> {
-    flags
-        .iter()
-        .position(|&f| f == name)
-        .and_then(|i| flags.get(i + 1))
-        .copied()
-}
+const RUN_VALUED: &[&str] = &[
+    "--scale",
+    "--workers",
+    "--json",
+    "--fault-rate",
+    "--fault-permanent",
+    "--fault-seed",
+    "--max-retries",
+    "--store",
+    "--resume",
+    "--checkpoint-every",
+    "--abort-after",
+    "--epoch",
+];
 
-fn cmd_run(flags: Vec<&str>) -> ExitCode {
-    let config = match parse_scale(&flags) {
-        Ok(c) => c,
-        Err(e) => return fail(&e),
-    };
-    let fault = match parse_fault_config(&flags) {
+/// Flags that configure the study itself — forbidden with `--resume`,
+/// which reads the configuration back from the store instead.
+const RESUME_CONFLICTS: &[&str] = &[
+    "--scale",
+    "--epoch",
+    "--fault-rate",
+    "--fault-permanent",
+    "--fault-seed",
+    "--max-retries",
+    "--store",
+];
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, RUN_VALUED, &["--no-cache"], 0) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
     let t0 = std::time::Instant::now();
-    eprintln!("building the synthetic web…");
-    let mut study = Study::with_fault_config(config, fault);
+
+    // Assemble the study: either from flags, or — on resume — from the
+    // configuration the store recorded when it was created.
+    let resume_dir = flags.value("--resume").map(String::from);
+    let (mut study, store) = if let Some(dir) = &resume_dir {
+        if let Some(conflict) = RESUME_CONFLICTS.iter().find(|f| flags.value(f).is_some()) {
+            return fail(&format!(
+                "{conflict} conflicts with --resume: the store already records the \
+                 study configuration"
+            ));
+        }
+        let store = match Store::open(Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("opening store {dir}: {e}")),
+        };
+        eprintln!("resuming from {dir} ({} cells restored)…", store.len());
+        match study_from_store(&store) {
+            Ok(study) => (study, Some(store)),
+            Err(e) => return fail(&e),
+        }
+    } else {
+        let (config, scale_name, epoch) = match parse_population(&flags) {
+            Ok(p) => p,
+            Err(e) => return fail(&e),
+        };
+        let fault = match parse_fault_config(&flags) {
+            Ok(f) => f,
+            Err(e) => return fail(&e),
+        };
+        eprintln!("building the synthetic web…");
+        let mut study = Study::with_fault_config(config, fault);
+        match parse_max_retries(&flags) {
+            Ok(Some(n)) => study.retry.max_retries = n,
+            Ok(None) => {}
+            Err(e) => return fail(&e),
+        }
+        let store = match flags.value("--store") {
+            None => None,
+            Some(dir) => {
+                let meta = store_meta(&study, &scale_name, epoch);
+                match Store::create(Path::new(dir), Region::ALL.len(), &meta) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        return fail(&format!(
+                            "creating store {dir}: {e} (use --resume for an existing store)"
+                        ))
+                    }
+                }
+            }
+        };
+        (study, store)
+    };
     match parse_workers(&flags, study.workers) {
         Ok(w) => study.workers = w,
         Err(e) => return fail(&e),
     }
-    match parse_max_retries(&flags) {
-        Ok(Some(n)) => study.retry.max_retries = n,
-        Ok(None) => {}
+    study.cache = !flags.has("--no-cache");
+
+    let policy = match parse_policy(&flags, store.is_some()) {
+        Ok(p) => p,
         Err(e) => return fail(&e),
-    }
-    study.cache = !flags.contains(&"--no-cache");
+    };
     eprintln!(
         "  {} sites, {} targets, {} ground-truth walls ({:?})",
         study.population.sites().len(),
@@ -213,11 +399,26 @@ fn cmd_run(flags: Vec<&str>) -> ExitCode {
         t0.elapsed()
     );
     eprintln!("running every experiment…");
-    let report = analysis::run_all(&study);
+    let report = match &store {
+        None => analysis::run_all(&study),
+        Some(store) => match analysis::run_all_persistent(&study, store, &policy) {
+            Err(e) => return fail(&e),
+            Ok(None) => {
+                let dir = store.dir().display();
+                eprintln!(
+                    "stopped after {} newly crawled cells; finished work is checkpointed.\n\
+                     resume with: cookiewall-study run --resume {dir}",
+                    policy.abort_after.unwrap_or(0),
+                );
+                return ExitCode::SUCCESS;
+            }
+            Ok(Some(report)) => report,
+        },
+    };
     println!("{}", report.render());
     eprint!("{}", report.crawl_metrics.render());
     report_chaos(&study);
-    if let Some(path) = flag_value(&flags, "--json") {
+    if let Some(path) = flags.value("--json") {
         match std::fs::write(path, report.to_json()) {
             Ok(()) => eprintln!("JSON results written to {path}"),
             Err(e) => return fail(&format!("writing {path}: {e}")),
@@ -227,9 +428,152 @@ fn cmd_run(flags: Vec<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_crawl(flags: Vec<&str>) -> ExitCode {
-    let config = match parse_scale(&flags) {
+/// Store metadata recorded at creation: everything `--resume` needs to
+/// rebuild an identical study, plus the target-list hash that guards
+/// against resuming across different universes.
+fn store_meta(study: &Study, scale_name: &str, epoch: u64) -> Vec<(String, String)> {
+    let mut meta = vec![
+        ("scale".to_string(), scale_name.to_string()),
+        ("epoch".to_string(), epoch.to_string()),
+        (
+            "targets_hash".to_string(),
+            targets_hash(&study.targets()).to_string(),
+        ),
+        (
+            "max_retries".to_string(),
+            study.retry.max_retries.to_string(),
+        ),
+    ];
+    if let Some(plan) = &study.fault_plan {
+        let config = plan.config();
+        meta.push(("fault_seed".to_string(), config.seed.to_string()));
+        meta.push(("fault_rate".to_string(), config.transient_rate.to_string()));
+        meta.push((
+            "fault_permanent".to_string(),
+            config.permanent_rate.to_string(),
+        ));
+    }
+    meta
+}
+
+/// Rebuild the study a store was created for, from its metadata.
+fn study_from_store(store: &Store) -> Result<Study, String> {
+    let scale = store
+        .meta_value("scale")
+        .ok_or("store has no scale metadata (not created by `run --store`?)")?;
+    let epoch = match store.meta_value("epoch") {
+        None => 0,
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("store has invalid epoch metadata {raw:?}"))?,
+    };
+    let config = scale_config(scale)?.with_epoch(epoch);
+    let fault = match store.meta_value("fault_seed") {
+        None => None,
+        Some(seed) => {
+            let mut f = FaultConfig::new(
+                seed.parse::<u64>()
+                    .map_err(|_| format!("store has invalid fault_seed metadata {seed:?}"))?,
+            );
+            if let Some(raw) = store.meta_value("fault_rate") {
+                f.transient_rate = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("store has invalid fault_rate metadata {raw:?}"))?;
+            }
+            if let Some(raw) = store.meta_value("fault_permanent") {
+                f.permanent_rate = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("store has invalid fault_permanent metadata {raw:?}"))?;
+            }
+            Some(f)
+        }
+    };
+    eprintln!("rebuilding the synthetic web (scale {scale}, epoch {epoch})…");
+    let mut study = Study::with_fault_config(config, fault);
+    if let Some(raw) = store.meta_value("max_retries") {
+        study.retry.max_retries = raw
+            .parse::<u32>()
+            .map_err(|_| format!("store has invalid max_retries metadata {raw:?}"))?;
+    }
+    Ok(study)
+}
+
+/// Parse `--checkpoint-every` / `--abort-after` into a checkpoint policy;
+/// both require a store to act on.
+fn parse_policy(flags: &Flags, has_store: bool) -> Result<CheckpointPolicy, String> {
+    let mut policy = CheckpointPolicy::default();
+    match flags.value("--checkpoint-every") {
+        None => {}
+        Some(_) if !has_store => {
+            return Err("--checkpoint-every needs --store or --resume".to_string())
+        }
+        Some(raw) => {
+            policy.every = raw.parse::<usize>().map_err(|_| {
+                format!("--checkpoint-every needs a non-negative integer, got {raw:?}")
+            })?;
+        }
+    }
+    match flags.value("--abort-after") {
+        None => {}
+        Some(_) if !has_store => return Err("--abort-after needs --store or --resume".to_string()),
+        Some(raw) => {
+            policy.abort_after =
+                Some(raw.parse::<usize>().map_err(|_| {
+                    format!("--abort-after needs a non-negative integer, got {raw:?}")
+                })?);
+        }
+    }
+    Ok(policy)
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, &["--json"], &[], 2) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let [a, b] = flags.positionals.as_slice() else {
+        return fail("diff needs two store directories: cookiewall-study diff <store-a> <store-b>");
+    };
+    let before = match Store::open(Path::new(a)) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("opening store {a}: {e}")),
+    };
+    let after = match Store::open(Path::new(b)) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("opening store {b}: {e}")),
+    };
+    let churn = match longitudinal::diff_stores(&before, &after) {
         Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    println!("{}", churn.render());
+    if let Some(path) = flags.value("--json") {
+        match std::fs::write(path, churn.to_json()) {
+            Ok(()) => eprintln!("JSON churn report written to {path}"),
+            Err(e) => return fail(&format!("writing {path}: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const CRAWL_VALUED: &[&str] = &[
+    "--scale",
+    "--workers",
+    "--region",
+    "--fault-rate",
+    "--fault-permanent",
+    "--fault-seed",
+    "--max-retries",
+    "--epoch",
+];
+
+fn cmd_crawl(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, CRAWL_VALUED, &[], 0) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let (config, _, _) = match parse_population(&flags) {
+        Ok(p) => p,
         Err(e) => return fail(&e),
     };
     let region = match parse_region(&flags) {
@@ -306,12 +650,16 @@ fn cmd_crawl(flags: Vec<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_detect(flags: Vec<&str>) -> ExitCode {
-    let Some(&domain) = flags.iter().find(|f| !f.starts_with("--")) else {
+fn cmd_detect(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, &["--scale", "--region"], &["--adblock"], 1) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(domain) = flags.positionals.first() else {
         return fail("detect needs a domain argument");
     };
-    let config = match parse_scale(&flags) {
-        Ok(c) => c,
+    let (config, _, _) = match parse_population(&flags) {
+        Ok(p) => p,
         Err(e) => return fail(&e),
     };
     let region = match parse_region(&flags) {
@@ -320,7 +668,7 @@ fn cmd_detect(flags: Vec<&str>) -> ExitCode {
     };
     let study = Study::new(config);
     let mut browser = Browser::new(study.net.clone(), region);
-    if flags.contains(&"--adblock") {
+    if flags.has("--adblock") {
         browser = browser.with_blocker(blocklist::FilterEngine::ublock_with_annoyances());
     }
     let tool = BannerClick::new();
@@ -376,9 +724,13 @@ fn cmd_detect(flags: Vec<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_walls(flags: Vec<&str>) -> ExitCode {
-    let config = match parse_scale(&flags) {
-        Ok(c) => c,
+fn cmd_walls(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, &["--scale", "--epoch"], &[], 0) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let (config, _, _) = match parse_population(&flags) {
+        Ok(p) => p,
         Err(e) => return fail(&e),
     };
     let study = Study::new(config);
@@ -405,4 +757,74 @@ fn cmd_walls(flags: Vec<&str>) -> ExitCode {
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        let err =
+            parse_flags(&argv(&["--scael", "paper"]), RUN_VALUED, &["--no-cache"], 0).unwrap_err();
+        assert!(err.contains("unknown flag --scael"), "{err}");
+        let err = parse_flags(&argv(&["--no-cach"]), RUN_VALUED, &["--no-cache"], 0).unwrap_err();
+        assert!(err.contains("unknown flag --no-cach"), "{err}");
+    }
+
+    #[test]
+    fn valued_flags_parse_space_and_equals_forms() {
+        let flags =
+            parse_flags(&argv(&["--scale", "paper"]), RUN_VALUED, &["--no-cache"], 0).unwrap();
+        assert_eq!(flags.value("--scale"), Some("paper"));
+        let flags = parse_flags(&argv(&["--scale=tiny"]), RUN_VALUED, &["--no-cache"], 0).unwrap();
+        assert_eq!(flags.value("--scale"), Some("tiny"));
+    }
+
+    #[test]
+    fn missing_values_and_duplicates_are_rejected() {
+        let err = parse_flags(&argv(&["--scale"]), RUN_VALUED, &["--no-cache"], 0).unwrap_err();
+        assert!(err.contains("--scale needs a value"), "{err}");
+        let err = parse_flags(
+            &argv(&["--scale", "--no-cache"]),
+            RUN_VALUED,
+            &["--no-cache"],
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("--scale needs a value"), "{err}");
+        let err = parse_flags(
+            &argv(&["--scale", "tiny", "--scale", "paper"]),
+            RUN_VALUED,
+            &["--no-cache"],
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn switches_reject_values_and_positionals_are_bounded() {
+        let err =
+            parse_flags(&argv(&["--no-cache=1"]), RUN_VALUED, &["--no-cache"], 0).unwrap_err();
+        assert!(err.contains("does not take a value"), "{err}");
+        let err = parse_flags(&argv(&["stray"]), RUN_VALUED, &["--no-cache"], 0).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+        let flags = parse_flags(&argv(&["a", "b"]), &["--json"], &[], 2).unwrap();
+        assert_eq!(flags.positionals, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn resume_conflicts_cover_every_study_shaping_flag() {
+        for conflict in RESUME_CONFLICTS {
+            assert!(
+                RUN_VALUED.contains(conflict),
+                "{conflict} must be a run flag"
+            );
+        }
+    }
 }
