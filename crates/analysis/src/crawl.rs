@@ -632,6 +632,7 @@ pub fn crawl_region_with(
     policy: &RetryPolicy,
 ) -> VantageCrawl {
     let workers = workers.max(1);
+    // lint:allow(determinism) — wall-clock here feeds CrawlMetrics only, which is serde-skipped and never serialized into reports
     let start = Instant::now();
     let next = AtomicUsize::new(0);
     let slots: Vec<parking_lot::Mutex<Option<CrawlRecord>>> = targets
@@ -730,6 +731,7 @@ pub fn crawl_all_regions_with(
     let workers = opts.workers.max(1);
     let n_regions = Region::ALL.len();
     let n_targets = targets.len();
+    // lint:allow(determinism) — wall-clock here feeds CrawlMetrics only, which is serde-skipped and never serialized into reports
     let start = Instant::now();
 
     // Per-region claim cursors and completion tracking.
@@ -781,6 +783,7 @@ pub fn crawl_all_regions_with(
                     }
                     let Some((r, i, stole)) = claimed else { break };
                     let region = Region::ALL[r];
+                    // lint:allow(determinism) — per-task wall time is diagnostic-only metrics, excluded from serialized output
                     let task_start = Instant::now();
                     let browser_slot = browsers.entry(region).or_insert(None);
                     let cache_ref = cache.enabled.then_some(cache);
@@ -896,6 +899,7 @@ pub fn crawl_all_regions_persistent(
     let workers = opts.workers.max(1);
     let n_regions = Region::ALL.len();
     let n_targets = targets.len();
+    // lint:allow(determinism) — wall-clock here feeds CrawlMetrics only, which is serde-skipped and never serialized into reports
     let start = Instant::now();
     store.set_checkpoint_every(policy.every);
 
@@ -969,6 +973,7 @@ pub fn crawl_all_regions_persistent(
                     }
                     let Some((r, i, stole)) = claimed else { break };
                     let region = Region::ALL[r];
+                    // lint:allow(determinism) — per-task wall time is diagnostic-only metrics, excluded from serialized output
                     let task_start = Instant::now();
                     let browser_slot = browsers.entry(region).or_insert(None);
                     let cache_ref = cache.enabled.then_some(cache);

@@ -52,11 +52,13 @@ pub struct StudyReport {
     /// report stays byte-identical to one produced before the fault layer
     /// existed.
     #[serde(skip_serializing_if = "Option::is_none")]
+    // lint:allow(persist-parity) — the report is recomputed from journal records on resume; the taxonomy is derived, never persisted
     pub failures: Option<FailureTaxonomy>,
     /// Scheduler/cache observations for the crawl phase. Machine- and
     /// configuration-dependent, so excluded from the serialized report
     /// (the golden-snapshot tests compare JSON across cache modes).
     #[serde(skip)]
+    // lint:allow(persist-parity) — machine-dependent diagnostics, intentionally absent from both the report and the journal
     pub crawl_metrics: CrawlMetrics,
 }
 

@@ -695,7 +695,11 @@ impl Browser {
     /// Store a first-party cookie on `site` (registrable domain), as a
     /// page's own JavaScript would via `document.cookie`.
     pub fn set_site_cookie(&mut self, site: &str, name: &str, value: &str) {
-        let origin = Url::parse(&format!("https://{site}/")).expect("valid site");
+        let Ok(origin) = Url::parse(&format!("https://{site}/")) else {
+            // An unparsable site name cannot hold a cookie; drop it rather
+            // than aborting the crawl mid-visit.
+            return;
+        };
         let header = format!("{name}={value}; Domain={site}; Path=/; Max-Age=31536000");
         self.jar.store_response_cookies([header.as_str()], &origin);
     }

@@ -7,7 +7,7 @@
 //! genuine out-of-sample prediction, not memorization.
 
 /// German training text.
-pub const DE: &str = "\
+pub(crate) const DE: &str = "\
 Die Bundesregierung hat am Mittwoch neue Maßnahmen beschlossen, die ab dem \
 kommenden Monat gelten sollen. Nach Angaben des Ministeriums werden die \
 Änderungen vor allem kleine und mittlere Unternehmen betreffen. Wir nutzen \
@@ -31,7 +31,7 @@ Ausbau der Radwege in der Innenstadt. Zustimmen und weiterlesen oder mit \
 einem Pur-Abo alle Inhalte ohne personalisierte Werbung genießen.";
 
 /// English training text.
-pub const EN: &str = "\
+pub(crate) const EN: &str = "\
 The government announced new measures on Wednesday that will take effect \
 next month. According to the ministry, the changes will mainly affect small \
 and medium-sized businesses. We use cookies and similar technologies to \
@@ -53,7 +53,7 @@ continue reading, or enjoy all content without personalised advertising \
 with a pure subscription.";
 
 /// Italian training text.
-pub const IT: &str = "\
+pub(crate) const IT: &str = "\
 Il governo ha annunciato mercoledì nuove misure che entreranno in vigore il \
 mese prossimo. Secondo il ministero, le modifiche riguarderanno soprattutto \
 le piccole e medie imprese. Utilizziamo i cookie e tecnologie simili per \
@@ -74,7 +74,7 @@ sviluppato un nuovo metodo per riciclare meglio la plastica. Il consiglio \
 comunale ha discusso l'ampliamento delle piste ciclabili in centro.";
 
 /// Swedish training text.
-pub const SV: &str = "\
+pub(crate) const SV: &str = "\
 Regeringen presenterade i onsdags nya åtgärder som träder i kraft nästa \
 månad. Enligt departementet kommer förändringarna framför allt att påverka \
 små och medelstora företag. Vi använder kakor och liknande tekniker för att \
@@ -94,7 +94,7 @@ ny metod för att återvinna plast bättre. Kommunfullmäktige diskuterade \
 utbyggnaden av cykelbanor i centrum.";
 
 /// French training text.
-pub const FR: &str = "\
+pub(crate) const FR: &str = "\
 Le gouvernement a annoncé mercredi de nouvelles mesures qui entreront en \
 vigueur le mois prochain. Selon le ministère, les changements concerneront \
 surtout les petites et moyennes entreprises. Nous utilisons des cookies et \
@@ -114,7 +114,7 @@ confidentialité. Les prix de l'électricité et du gaz ont encore augmenté \
 l'année dernière, a indiqué l'institut de statistique.";
 
 /// Portuguese training text.
-pub const PT: &str = "\
+pub(crate) const PT: &str = "\
 O governo anunciou na quarta-feira novas medidas que entrarão em vigor no \
 próximo mês. Segundo o ministério, as mudanças afetarão sobretudo as \
 pequenas e médias empresas. Utilizamos cookies e tecnologias semelhantes \
@@ -133,7 +133,7 @@ privacidade. Os preços da eletricidade e do gás voltaram a subir no ano \
 passado, informou o instituto de estatística.";
 
 /// Spanish training text.
-pub const ES: &str = "\
+pub(crate) const ES: &str = "\
 El gobierno anunció el miércoles nuevas medidas que entrarán en vigor el \
 próximo mes. Según el ministerio, los cambios afectarán sobre todo a las \
 pequeñas y medianas empresas. Utilizamos cookies y tecnologías similares \
@@ -152,7 +152,7 @@ Los precios de la electricidad y el gas volvieron a subir el año pasado, \
 informó el instituto de estadística.";
 
 /// Dutch training text.
-pub const NL: &str = "\
+pub(crate) const NL: &str = "\
 De regering kondigde woensdag nieuwe maatregelen aan die volgende maand van \
 kracht worden. Volgens het ministerie zullen de veranderingen vooral kleine \
 en middelgrote bedrijven treffen. Wij gebruiken cookies en vergelijkbare \

@@ -1,0 +1,235 @@
+//! The linter driver: scan a workspace root, run every rule, apply
+//! suppressions and the grandfathering baseline, and render the report.
+
+use crate::rules::{suppressible_names, Finding, Workspace, RULES};
+use crate::source::{self, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File (relative to the root) holding grandfathered findings.
+pub const BASELINE_FILE: &str = "lint.baseline";
+
+/// How one reported finding counts toward the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// A new violation: fails the run.
+    Failing,
+    /// Matched a baseline entry: reported, does not fail.
+    Grandfathered,
+}
+
+/// Result of one lint run.
+pub struct Report {
+    /// Findings with their status, sorted by (path, line, rule, message).
+    pub findings: Vec<(Finding, Status)>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings silenced by valid `lint:allow` directives.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Findings that fail the run (everything not grandfathered).
+    pub fn failing(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|(_, s)| *s == Status::Failing)
+            .count()
+    }
+
+    /// Findings matched against the baseline.
+    pub fn grandfathered(&self) -> usize {
+        self.findings.len() - self.failing()
+    }
+
+    /// Human-readable report: one line per finding plus a summary. The
+    /// format is pinned by the golden test — change it deliberately.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (f, status) in &self.findings {
+            let suffix = match status {
+                Status::Failing => "",
+                Status::Grandfathered => " (grandfathered)",
+            };
+            out.push_str(&format!(
+                "{}:{}: [{}] {}{}\n",
+                f.path, f.line, f.rule, f.message, suffix
+            ));
+        }
+        out.push_str(&format!(
+            "lint: {} failing, {} grandfathered, {} suppressed across {} files\n",
+            self.failing(),
+            self.grandfathered(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Run every rule over the workspace at `root`. `baseline` overrides the
+/// default `<root>/lint.baseline` (which applies only when it exists).
+pub fn run(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
+    let known = suppressible_names();
+    let mut files = Vec::new();
+    for path in source::collect_files(root)? {
+        let text = fs::read_to_string(&path)?;
+        let rel = source::relative_path(root, &path);
+        files.push(SourceFile::parse(rel, &text, &known));
+    }
+    let ws = Workspace {
+        files,
+        design: fs::read_to_string(root.join("DESIGN.md")).ok(),
+    };
+
+    let mut raw = Vec::new();
+    for rule in RULES {
+        rule.check(&ws, &mut raw);
+    }
+
+    // Suppressions: a valid `lint:allow(rule)` covering the finding's line
+    // silences it; malformed directives are findings themselves.
+    let mut suppressed = 0usize;
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let by_name = ws.file(&f.path).is_some_and(|file| {
+            let code = RULES
+                .iter()
+                .find(|r| r.name() == f.rule)
+                .map(|r| r.code())
+                .unwrap_or("");
+            file.suppressed(f.rule, f.line) || file.suppressed(code, f.line)
+        });
+        if by_name {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    for file in &ws.files {
+        for bad in &file.bad_suppressions {
+            findings.push(Finding {
+                rule: "suppression",
+                path: file.path.clone(),
+                line: bad.line,
+                message: bad.message.clone(),
+            });
+        }
+    }
+
+    // Baseline: grandfather matching findings, flag stale entries so the
+    // baseline can only ratchet down.
+    let baseline_path = baseline
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join(BASELINE_FILE));
+    let mut entries = load_baseline(&baseline_path)?;
+    let mut out: Vec<(Finding, Status)> = Vec::new();
+    for f in findings {
+        let matched = entries.iter().position(|e| {
+            !e.used && e.rule == f.rule && e.path == f.path && e.message == f.message
+        });
+        match matched {
+            Some(i) => {
+                entries[i].used = true;
+                out.push((f, Status::Grandfathered));
+            }
+            None => out.push((f, Status::Failing)),
+        }
+    }
+    let baseline_rel = source::relative_path(root, &baseline_path);
+    for e in entries.iter().filter(|e| !e.used) {
+        out.push((
+            Finding {
+                rule: "baseline",
+                path: baseline_rel.clone(),
+                line: e.line,
+                message: format!(
+                    "stale baseline entry `{}\t{}` matches no current finding — delete it \
+                     (the baseline only ratchets down)",
+                    e.rule, e.path
+                ),
+            },
+            Status::Failing,
+        ));
+    }
+
+    out.sort_by(|(a, _), (b, _)| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    Ok(Report {
+        findings: out,
+        files_scanned: ws.files.len(),
+        suppressed,
+    })
+}
+
+/// Rewrite the baseline to grandfather every currently-failing rule
+/// finding (engine findings about suppressions/baselines are never
+/// baselined — they must be fixed).
+pub fn update_baseline(root: &Path, baseline: Option<&Path>) -> io::Result<usize> {
+    let report = run(root, baseline)?;
+    let path = baseline
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join(BASELINE_FILE));
+    let mut lines = String::from(
+        "# lint baseline: grandfathered findings, one `rule<TAB>path<TAB>message` per line.\n\
+         # Regenerate with `cargo run -p lint -- --update-baseline`; only ever shrink it.\n",
+    );
+    let mut count = 0usize;
+    for (f, status) in &report.findings {
+        if *status == Status::Failing && f.rule != "suppression" && f.rule != "baseline" {
+            lines.push_str(&format!("{}\t{}\t{}\n", f.rule, f.path, f.message));
+            count += 1;
+        }
+    }
+    if count == 0 {
+        if path.exists() {
+            fs::remove_file(&path)?;
+        }
+        return Ok(0);
+    }
+    fs::write(&path, lines)?;
+    Ok(count)
+}
+
+struct BaselineEntry {
+    rule: String,
+    path: String,
+    message: String,
+    line: u32,
+    used: bool,
+}
+
+fn load_baseline(path: &PathBuf) -> io::Result<Vec<BaselineEntry>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut entries = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (Some(rule), Some(path), Some(message)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "malformed baseline line {}: expected rule\\tpath\\tmessage",
+                    n + 1
+                ),
+            ));
+        };
+        entries.push(BaselineEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            message: message.to_string(),
+            line: (n + 1) as u32,
+            used: false,
+        });
+    }
+    Ok(entries)
+}

@@ -1,0 +1,497 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The linter must never fire on text inside comments, string literals,
+//! raw strings, or char literals — `// call SystemTime::now() here?` is
+//! prose, not a violation — so the lexer's whole job is to separate code
+//! tokens from everything that merely looks like code. It understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string/byte-string literals with escapes, raw (byte) strings with an
+//!   arbitrary number of `#` guards, char and byte-char literals;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity;
+//! * raw identifiers (`r#type`);
+//! * enough numeric-literal shape to step over suffixes and floats.
+//!
+//! Comments are kept (with line spans) because suppression directives
+//! live in them; everything else becomes a flat [`Token`] stream that the
+//! rules pattern-match over.
+
+/// What a token is; the linter needs no finer grain than this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String, byte-string, raw-string, char, or numeric literal. The
+    /// token text preserves the source spelling, prefixes and quotes
+    /// included.
+    Literal,
+    /// A lifetime such as `'a` (without the tick).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (see [`TokenKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// One comment (line or block) with the lines it spans.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the `//` or `/* */` delimiters.
+    pub text: String,
+}
+
+/// The lexer's output: code tokens plus the comments they were cut from.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. Unterminated constructs (EOF inside a string or block
+/// comment) are tolerated: the open construct simply runs to EOF — the
+/// compiler, not the linter, owns rejecting malformed files.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        src,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    src: &'a str,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, pos: usize) -> usize {
+        self.chars.get(pos).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    /// Advance one char, tracking the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn slice(&self, from_pos: usize) -> String {
+        self.src[self.byte_at(from_pos)..self.byte_at(self.pos)].to_string()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start, line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start, line),
+                '"' => {
+                    self.bump();
+                    self.quoted_string(start, line, '"');
+                }
+                'r' | 'b' if self.literal_prefix(start, line) => {}
+                '\'' => self.tick(start, line),
+                c if is_ident_start(c) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    let text = self.slice(start);
+                    self.push(TokenKind::Ident, text, line);
+                }
+                c if c.is_ascii_digit() => self.number(start, line),
+                _ => {
+                    self.bump();
+                    let text = self.slice(start);
+                    self.push(TokenKind::Punct, text, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text: self.slice(start),
+        });
+    }
+
+    /// Block comments nest in Rust: `/* /* */ */` is one comment.
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text: self.slice(start),
+        });
+    }
+
+    /// Consume the rest of a `"`-quoted (byte) string; the opening quote
+    /// and any prefix were consumed by the caller.
+    fn quoted_string(&mut self, start: usize, line: u32, quote: char) {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // escaped char, never the closer
+                }
+                Some(c) if c == quote => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        let text = self.slice(start);
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// Handle the `r` / `b` family: raw strings `r"…"` / `r#"…"#`, byte
+    /// strings `b"…"`, raw byte strings `br#"…"#`, byte chars `b'x'`, and
+    /// raw identifiers `r#type`. Returns false when the `r`/`b` is just
+    /// the start of a plain identifier (the caller lexes it then).
+    fn literal_prefix(&mut self, start: usize, line: u32) -> bool {
+        let mut ahead = 1;
+        let raw = match self.peek(0) {
+            Some('b') if self.peek(1) == Some('r') => {
+                ahead = 2;
+                true
+            }
+            Some('r') => true,
+            _ => false,
+        };
+        // Count `#` guards after the prefix.
+        let mut hashes = 0usize;
+        while raw && self.peek(ahead) == Some('#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        match self.peek(ahead) {
+            Some('"') if raw => {
+                for _ in 0..=ahead {
+                    self.bump(); // prefix, guards, opening quote
+                }
+                self.raw_string_body(start, line, hashes);
+                true
+            }
+            // `b"…"` and `b'x'` (non-raw byte literals).
+            Some('"') if ahead == 1 && self.peek(0) == Some('b') => {
+                self.bump();
+                self.bump();
+                self.quoted_string(start, line, '"');
+                true
+            }
+            Some('\'') if ahead == 1 && self.peek(0) == Some('b') => {
+                self.bump();
+                self.bump();
+                self.char_literal_body(start, line);
+                true
+            }
+            // Raw identifier `r#type`: strip the `r#` so rules match the
+            // bare name.
+            Some(c) if hashes == 1 && self.peek(0) == Some('r') && is_ident_start(c) => {
+                self.bump();
+                self.bump();
+                let ident_start = self.pos;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                let text = self.slice(ident_start);
+                self.push(TokenKind::Ident, text, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Body of a raw string whose opener is consumed: ends at `"` followed
+    /// by `hashes` `#` characters. Quotes and `//` inside are plain text.
+    fn raw_string_body(&mut self, start: usize, line: u32, hashes: usize) {
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        let text = self.slice(start);
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// After a consumed opening `'` of a definite char literal: consume
+    /// through the closing `'`.
+    fn char_literal_body(&mut self, start: usize, line: u32) {
+        match self.bump() {
+            Some('\\') => {
+                self.bump();
+                // Escapes like `\u{1F600}` contain braces; skip to the tick.
+                while self.peek(0).is_some_and(|c| c != '\'') {
+                    self.bump();
+                }
+                self.bump();
+            }
+            Some(_) => {
+                self.bump(); // closing tick
+            }
+            None => {}
+        }
+        let text = self.slice(start);
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// A `'` is either a char literal or a lifetime. `'x'` (tick, one
+    /// char, tick) and `'\…'` are char literals; `'ident` without a
+    /// closing tick is a lifetime.
+    fn tick(&mut self, start: usize, line: u32) {
+        match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => {
+                self.bump();
+                self.char_literal_body(start, line);
+            }
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.char_literal_body(start, line);
+            }
+            (Some(c), _) if is_ident_start(c) => {
+                self.bump(); // tick
+                let ident_start = self.pos;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                let text = self.slice(ident_start);
+                self.push(TokenKind::Lifetime, text, line);
+            }
+            _ => {
+                self.bump();
+                self.push(TokenKind::Punct, "'".to_string(), line);
+            }
+        }
+    }
+
+    /// Numbers only need to be stepped over correctly; the one rule that
+    /// reads them ([`journal-format`](crate::rules::journal_format))
+    /// parses decimal integers from the token text. `0..5` must lex as
+    /// `0`, `.`, `.`, `5` — a `.` is part of the number only when a digit
+    /// follows it.
+    fn number(&mut self, start: usize, line: u32) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+        }
+        let text = self.slice(start);
+        self.push(TokenKind::Literal, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_with_embedded_comment_and_quotes_is_one_literal() {
+        let src = r####"let x = r#"quote " and // not a comment "#; call()"####;
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty(), "// inside a raw string is text");
+        let lit: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lit.len(), 1);
+        assert!(lit[0].text.contains("not a comment"));
+        assert_eq!(idents(src), ["let", "x", "call"]);
+    }
+
+    #[test]
+    fn raw_string_guard_counts_must_match() {
+        // The `"#` inside the body does not close an `r##"…"##` string.
+        let src = r####"r##"inner "# still inside"## tail"####;
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens.len(), 2);
+        assert!(lexed.tokens[0].text.ends_with(r####""##"####));
+        assert!(lexed.tokens[1].is_ident("tail"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "before /* outer /* inner */ still comment */ after";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("still comment"));
+        assert_eq!(idents(src), ["before", "after"]);
+    }
+
+    #[test]
+    fn block_comment_line_span_is_tracked() {
+        let src = "a\n/* one\ntwo\nthree */\nb";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[0].end_line, 4);
+        assert_eq!(lexed.tokens[1].line, 5);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let literals: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(literals, ["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_string() {
+        let src = r#"let s = "with \" escaped // quote"; next"#;
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty());
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text.contains("escaped")));
+        assert!(lexed.tokens.last().unwrap().is_ident("next"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let src = r##"let m = *b"CWJ1"; let t = r#type; let raw = br#"x"#;"##;
+        let lexed = lex(src);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "b\"CWJ1\""));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("type")));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "br#\"x\"#"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let src = "for i in 0..35 { let f = 1.5; let h = 0xFF_u32; }";
+        let lexed = lex(src);
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["0", "35", "1.5", "0xFF_u32"]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # lint — the workspace invariant linter
+//!
+//! A from-scratch, offline static-analysis gate (no `syn`, no `clippy`
+//! plumbing: a hand-rolled comment/string/raw-string-aware Rust lexer
+//! plus a small rule engine) that enforces the repo's correctness
+//! invariants at build time instead of test time:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R1 `determinism` | no wall-clock / ambient-RNG / env reads outside bench, `src/main.rs`, tests |
+//! | R2 `ordered-serialization` | no `HashMap`/`HashSet` fields in `Serialize` types |
+//! | R3 `persist-parity` | every serde-skipped field on report-reachable types round-trips through `analysis::persist` |
+//! | R4 `panic-hygiene` | no `unwrap`/`expect`/`panic!`/`todo!` in crawl/browser/store non-test code |
+//! | R5 `journal-format` | `crates/store` journal constants match DESIGN.md §8 |
+//!
+//! Each rule is suppressible inline with `// lint:allow(rule) — reason`
+//! (the reason is mandatory) and adoptable incrementally through a
+//! checked-in `lint.baseline` of grandfathered findings that can only
+//! ratchet down. See DESIGN.md §10 for the policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod items;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use engine::{run, update_baseline, Report, Status, BASELINE_FILE};
+pub use rules::{Finding, Rule, Workspace, RULES};

@@ -1,0 +1,95 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p lint --                      # lint this workspace
+//! cargo run -p lint -- --root DIR           # lint another tree (fixtures)
+//! cargo run -p lint -- --update-baseline    # grandfather current findings
+//! cargo run -p lint -- --list-rules         # what the rules enforce
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut update = false;
+    // lint:allow(determinism) — CLI flag parsing at the binary entry point
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(file) => baseline = Some(PathBuf::from(file)),
+                None => return usage("--baseline needs a file"),
+            },
+            "--update-baseline" => update = true,
+            "--list-rules" => {
+                for rule in lint::RULES {
+                    println!("{:<4} {}", rule.code(), rule.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+
+    if update {
+        return match lint::update_baseline(&root, baseline.as_deref()) {
+            Ok(0) => {
+                println!("lint: workspace clean, baseline removed");
+                ExitCode::SUCCESS
+            }
+            Ok(n) => {
+                println!("lint: baselined {n} findings");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("updating baseline: {e}")),
+        };
+    }
+
+    match lint::run(&root, baseline.as_deref()) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.failing() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(&format!("scanning {}: {e}", root.display())),
+    }
+}
+
+/// Default to the workspace this binary was built from: the linter runs
+/// from any cwd under `cargo run -p lint` because the manifest dir is
+/// baked in at compile time.
+fn find_workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("lint: {error}");
+    }
+    eprintln!(
+        "usage: cargo run -p lint -- [--root DIR] [--baseline FILE] \
+         [--update-baseline] [--list-rules]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("lint: {message}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,232 @@
+//! R5 `journal-format`: the on-disk journal is the store's compatibility
+//! contract — its magic, fixed record overhead, file name, and hash
+//! function are documented in DESIGN.md §8 and must match what
+//! `crates/store/src/lib.rs` actually compiles. A silent constant drift
+//! would make every existing store unreadable (or worse, misread), so the
+//! source and the documentation are checked against each other.
+//!
+//! DESIGN.md documents the values in a small machine-readable list:
+//!
+//! ```text
+//! - journal magic: "CWJ1"
+//! - journal file: "journal.wal"
+//! - journal record overhead: 35
+//! - journal hash function: content_hash
+//! ```
+
+use super::{Finding, Rule, Workspace};
+use crate::items::{fn_body, range_has_ident};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Workspace-relative path of the store implementation this rule audits.
+pub const STORE_PATH: &str = "crates/store/src/lib.rs";
+
+/// The documented journal-format keys, as spelled in DESIGN.md.
+const KEYS: [&str; 4] = [
+    "journal magic",
+    "journal file",
+    "journal record overhead",
+    "journal hash function",
+];
+
+/// R5: store constants must match their DESIGN.md documentation.
+pub struct JournalFormat;
+
+impl Rule for JournalFormat {
+    fn name(&self) -> &'static str {
+        "journal-format"
+    }
+
+    fn code(&self) -> &'static str {
+        "R5"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Without a store implementation there is no contract to check
+        // (rule-specific fixture trees rely on this).
+        let Some(store) = ws.file(STORE_PATH) else {
+            return;
+        };
+        let mut report = |line: u32, message: String| {
+            out.push(Finding {
+                rule: "journal-format",
+                path: STORE_PATH.to_string(),
+                line,
+                message,
+            });
+        };
+
+        let mut documented = std::collections::BTreeMap::new();
+        if let Some(design) = &ws.design {
+            for line in design.lines() {
+                let line = line.trim_start_matches(['-', '*', ' ', '\t']);
+                for key in KEYS {
+                    if let Some(rest) = line.strip_prefix(key).and_then(|r| r.strip_prefix(':')) {
+                        documented
+                            .entry(key)
+                            .or_insert_with(|| rest.trim().trim_matches(['`', '"']).to_string());
+                    }
+                }
+            }
+        }
+        for key in KEYS {
+            if !documented.contains_key(&key) {
+                report(
+                    1,
+                    format!(
+                        "DESIGN.md documents no `{key}:` value for the journal format — \
+                         the on-disk contract must be written down (see DESIGN.md §8)"
+                    ),
+                );
+            }
+        }
+
+        // MAGIC: `const MAGIC: [u8; 4] = *b"CWJ1";`
+        if let Some(want) = documented.get("journal magic") {
+            match const_tokens(store, "MAGIC")
+                .and_then(|(line, toks)| byte_string(toks).map(|s| (line, s)))
+            {
+                Some((line, got)) if &got != want => report(
+                    line,
+                    format!(
+                        "journal magic `{got}` does not match the documented `{want}` \
+                         (DESIGN.md §8) — bumping the magic is a format break"
+                    ),
+                ),
+                Some(_) => {}
+                None => report(
+                    1,
+                    "store defines no `MAGIC` byte-string constant for the journal".to_string(),
+                ),
+            }
+        }
+
+        // JOURNAL_FILE: `const JOURNAL_FILE: &str = "journal.wal";`
+        if let Some(want) = documented.get("journal file") {
+            match const_tokens(store, "JOURNAL_FILE")
+                .and_then(|(line, toks)| plain_string(toks).map(|s| (line, s)))
+            {
+                Some((line, got)) if &got != want => report(
+                    line,
+                    format!("journal file name `{got}` does not match the documented `{want}`"),
+                ),
+                Some(_) => {}
+                None => report(
+                    1,
+                    "store defines no `JOURNAL_FILE` string constant".to_string(),
+                ),
+            }
+        }
+
+        // RECORD_OVERHEAD: a sum of integer literals.
+        if let Some(want) = documented.get("journal record overhead") {
+            let want_n = want.trim_end_matches(" bytes").trim().parse::<u64>().ok();
+            match (
+                want_n,
+                const_tokens(store, "RECORD_OVERHEAD")
+                    .and_then(|(line, toks)| int_sum(toks).map(|n| (line, n))),
+            ) {
+                (Some(want_n), Some((line, got))) if got != want_n => report(
+                    line,
+                    format!(
+                        "journal record overhead is {got} bytes in the source but documented \
+                         as {want_n} (DESIGN.md §8)"
+                    ),
+                ),
+                (Some(_), Some(_)) => {}
+                (None, _) => report(
+                    1,
+                    format!("documented journal record overhead `{want}` is not an integer"),
+                ),
+                (_, None) => report(
+                    1,
+                    "store defines no integer `RECORD_OVERHEAD` constant".to_string(),
+                ),
+            }
+        }
+
+        // Hash function: both the record writer and the replay parser must
+        // use the documented function.
+        if let Some(want) = documented.get("journal hash function") {
+            for func in ["encode_record", "parse_record"] {
+                match fn_body(store, func) {
+                    Some(body) if !range_has_ident(store, body, want) => report(
+                        store.tokens[body.0].line,
+                        format!(
+                            "`{func}` does not call the documented journal hash function \
+                             `{want}` — journal hashes from other builds would not verify"
+                        ),
+                    ),
+                    Some(_) => {}
+                    None => report(
+                        1,
+                        format!("store defines no `{func}` function to audit the journal hash in"),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Tokens of `const NAME … = <tokens> ;` plus the line of `NAME`.
+fn const_tokens<'a>(file: &'a SourceFile, name: &str) -> Option<(u32, &'a [crate::lexer::Token])> {
+    let tokens = &file.tokens;
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident("const") && tokens[i + 1].is_ident(name) {
+            let line = tokens[i + 1].line;
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('=') {
+                j += 1;
+            }
+            let start = j + 1;
+            let mut k = start;
+            while k < tokens.len() && !tokens[k].is_punct(';') {
+                k += 1;
+            }
+            return Some((line, &tokens[start..k]));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Extract the inner text of the first (byte-)string literal, tolerating
+/// a leading `*` deref as in `*b"CWJ1"`.
+fn byte_string(tokens: &[crate::lexer::Token]) -> Option<String> {
+    tokens
+        .iter()
+        .find(|t| t.kind == TokenKind::Literal && t.text.contains('"'))
+        .map(|t| string_inner(&t.text))
+}
+
+fn plain_string(tokens: &[crate::lexer::Token]) -> Option<String> {
+    byte_string(tokens)
+}
+
+fn string_inner(text: &str) -> String {
+    let open = text.find('"').map_or(0, |i| i + 1);
+    let close = text.rfind('"').unwrap_or(text.len());
+    text[open..close.max(open)].to_string()
+}
+
+/// Evaluate a `a + b + …` chain of decimal integer literals.
+fn int_sum(tokens: &[crate::lexer::Token]) -> Option<u64> {
+    let mut sum = 0u64;
+    let mut expect_int = true;
+    let mut any = false;
+    for t in tokens {
+        if expect_int {
+            let n: u64 = t.text.parse().ok()?;
+            sum += n;
+            any = true;
+            expect_int = false;
+        } else if t.is_punct('+') {
+            expect_int = true;
+        } else {
+            return None;
+        }
+    }
+    (any && !expect_int).then_some(sum)
+}

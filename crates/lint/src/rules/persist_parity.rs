@@ -1,0 +1,137 @@
+//! R3 `persist-parity`: every `#[serde(skip…)]` field on a type the
+//! persisted report graph can reach must be round-tripped by the
+//! hand-rolled codec in `analysis::persist` — this is the exact bug class
+//! PR 3 hand-patched (serde-skipped diagnostics silently missing from
+//! resumed runs, making a resumed failure taxonomy diverge from an
+//! uninterrupted one).
+//!
+//! Reachability roots are `StudyReport` plus every `Serialize` type named
+//! in the signatures of `persist::encode_record` / `persist::decode_record`
+//! (today that adds `CrawlRecord`, the store payload type); edges follow
+//! field-type identifiers into other `Serialize` items in the scan set. A
+//! skip field on a reachable type passes only when its name appears in
+//! *both* codec function bodies.
+
+use super::{Finding, Rule, Workspace};
+use crate::items::{fn_body, range_has_ident, serialize_items, SerializeItem};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Workspace-relative path of the codec module this rule audits.
+pub const PERSIST_PATH: &str = "crates/analysis/src/persist.rs";
+/// Reachability root: the serialized study report.
+pub const ROOT_TYPE: &str = "StudyReport";
+
+/// R3: serde-skip fields must have a codec pair.
+pub struct PersistParity;
+
+impl Rule for PersistParity {
+    fn name(&self) -> &'static str {
+        "persist-parity"
+    }
+
+    fn code(&self) -> &'static str {
+        "R3"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Collect every Serialize item in the workspace, keyed by name.
+        let mut items: BTreeMap<String, (&SourceFile, SerializeItem)> = BTreeMap::new();
+        for file in &ws.files {
+            for item in serialize_items(file) {
+                items.entry(item.name.clone()).or_insert((file, item));
+            }
+        }
+
+        let persist = ws.file(PERSIST_PATH);
+        let encode = persist.and_then(|f| fn_body(f, "encode_record").map(|b| (f, b)));
+        let decode = persist.and_then(|f| fn_body(f, "decode_record").map(|b| (f, b)));
+
+        // Roots: StudyReport + types named in the codec signatures.
+        let mut queue: VecDeque<String> = VecDeque::new();
+        let mut reachable: BTreeSet<String> = BTreeSet::new();
+        let enqueue = |name: &str, queue: &mut VecDeque<String>, seen: &mut BTreeSet<String>| {
+            if items.contains_key(name) && seen.insert(name.to_string()) {
+                queue.push_back(name.to_string());
+            }
+        };
+        enqueue(ROOT_TYPE, &mut queue, &mut reachable);
+        if let Some(f) = persist {
+            for fn_name in ["encode_record", "decode_record"] {
+                for name in signature_idents(f, fn_name) {
+                    enqueue(&name, &mut queue, &mut reachable);
+                }
+            }
+        }
+        while let Some(name) = queue.pop_front() {
+            let Some((_, item)) = items.get(&name) else {
+                continue;
+            };
+            let field_types: Vec<String> = item
+                .fields
+                .iter()
+                .flat_map(|f| f.type_idents.iter().cloned())
+                .collect();
+            for t in field_types {
+                enqueue(&t, &mut queue, &mut reachable);
+            }
+        }
+
+        for name in &reachable {
+            let (file, item) = &items[name];
+            for field in item.fields.iter().filter(|f| f.serde_skip) {
+                if field.name.is_empty() {
+                    continue;
+                }
+                let in_encode = encode
+                    .as_ref()
+                    .is_some_and(|(f, body)| range_has_ident(f, *body, &field.name));
+                let in_decode = decode
+                    .as_ref()
+                    .is_some_and(|(f, body)| range_has_ident(f, *body, &field.name));
+                if in_encode && in_decode {
+                    continue;
+                }
+                let missing = match (in_encode, in_decode) {
+                    (false, false) => "neither encode_record nor decode_record".to_string(),
+                    (true, false) => "decode_record".to_string(),
+                    (false, true) => "encode_record".to_string(),
+                    _ => unreachable!("handled above"),
+                };
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: field.line,
+                    message: format!(
+                        "serde-skipped field `{}` of report-reachable type `{}` is not \
+                         round-tripped by {missing} in `{PERSIST_PATH}` — a resumed run \
+                         would silently drop it",
+                        field.name, item.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Identifier tokens in the signature of `fn name` (between the name and
+/// the body's opening brace), used to discover the persisted type(s).
+fn signature_idents(file: &SourceFile, name: &str) -> Vec<String> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                if tokens[j].kind == crate::lexer::TokenKind::Ident {
+                    out.push(tokens[j].text.clone());
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,154 @@
+//! Integration tests over the fixture trees under `tests/fixtures/`: each
+//! rule-class fixture makes its rule fire exactly once, the clean tree
+//! reports nothing, the baselined tree grandfathers its violation, and
+//! the CLI maps outcomes to exit codes (0 clean, 1 findings, 2 usage).
+
+use lint::{run, Status};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Run the linter over a fixture tree and return `(rule, status)` pairs.
+fn findings(name: &str) -> Vec<(String, Status)> {
+    let report = run(&fixture(name), None).expect("fixture tree scans");
+    report
+        .findings
+        .iter()
+        .map(|(f, s)| (f.rule.to_string(), *s))
+        .collect()
+}
+
+fn fires_exactly_once(tree: &str, rule: &str) {
+    let found = findings(tree);
+    assert_eq!(
+        found,
+        vec![(rule.to_string(), Status::Failing)],
+        "fixture `{tree}` must trip `{rule}` exactly once"
+    );
+}
+
+#[test]
+fn r1_determinism_fires_exactly_once() {
+    fires_exactly_once("r1", "determinism");
+}
+
+#[test]
+fn r2_ordered_serialization_fires_exactly_once() {
+    fires_exactly_once("r2", "ordered-serialization");
+}
+
+#[test]
+fn r3_persist_parity_fires_exactly_once() {
+    fires_exactly_once("r3", "persist-parity");
+}
+
+#[test]
+fn r4_panic_hygiene_fires_exactly_once() {
+    fires_exactly_once("r4", "panic-hygiene");
+}
+
+#[test]
+fn r5_journal_format_fires_exactly_once() {
+    fires_exactly_once("r5", "journal-format");
+}
+
+#[test]
+fn reasonless_suppression_is_itself_a_finding() {
+    fires_exactly_once("suppression", "suppression");
+}
+
+#[test]
+fn clean_tree_reports_nothing_and_honors_the_suppression() {
+    let report = run(&fixture("clean"), None).expect("clean tree scans");
+    assert!(report.findings.is_empty(), "clean fixture must not fire");
+    assert_eq!(report.suppressed, 1, "the reasoned lint:allow must count");
+}
+
+#[test]
+fn baselined_violation_is_grandfathered_not_failing() {
+    let found = findings("baselined");
+    assert_eq!(found, vec![("determinism".into(), Status::Grandfathered)]);
+    let report = run(&fixture("baselined"), None).unwrap();
+    assert_eq!(report.failing(), 0);
+    assert_eq!(report.grandfathered(), 1);
+}
+
+#[test]
+fn stale_baseline_entry_fails_the_run() {
+    // A baseline naming a finding that no longer exists must itself fail:
+    // the baseline only ratchets down.
+    let dir = std::env::temp_dir().join("lint-stale-baseline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stale = dir.join("stale.baseline");
+    let real = std::fs::read_to_string(fixture("baselined").join("lint.baseline")).unwrap();
+    std::fs::write(
+        &stale,
+        format!("{real}panic-hygiene\tsrc/gone.rs\told message\n"),
+    )
+    .unwrap();
+    let report = run(&fixture("baselined"), Some(&stale)).unwrap();
+    let rules: Vec<&str> = report.findings.iter().map(|(f, _)| f.rule).collect();
+    assert!(rules.contains(&"baseline"), "stale entry must be flagged");
+    assert_eq!(report.failing(), 1);
+}
+
+#[test]
+fn workspace_self_lint_is_clean() {
+    // The repo itself must pass its own gate — same invariant check.sh
+    // enforces, kept here so `cargo test` alone catches a regression.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(&root, None).expect("workspace scans");
+    let failing: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|(_, s)| *s == Status::Failing)
+        .map(|(f, _)| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        failing.is_empty(),
+        "workspace lint failures:\n{}",
+        failing.join("\n")
+    );
+}
+
+// ------------------------------------------------------------- CLI exits
+
+fn cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(args)
+        .output()
+        .expect("lint binary runs")
+}
+
+#[test]
+fn cli_exit_codes_map_outcomes() {
+    let violation = cli(&["--root", fixture("r1").to_str().unwrap()]);
+    assert_eq!(violation.status.code(), Some(1), "findings must exit 1");
+
+    let clean = cli(&["--root", fixture("clean").to_str().unwrap()]);
+    assert_eq!(clean.status.code(), Some(0), "clean tree must exit 0");
+
+    let usage = cli(&["--no-such-flag"]);
+    assert_eq!(usage.status.code(), Some(2), "unknown flag must exit 2");
+}
+
+#[test]
+fn cli_lists_all_five_rules() {
+    let out = cli(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "determinism",
+        "ordered-serialization",
+        "persist-parity",
+        "panic-hygiene",
+        "journal-format",
+    ] {
+        assert!(text.contains(rule), "--list-rules must name {rule}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Baselined fixture: a real violation grandfathered by the checked-in
+//! `lint.baseline` — reported as grandfathered, exit status clean.
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

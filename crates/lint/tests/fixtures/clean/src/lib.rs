@@ -1,0 +1,35 @@
+//! Clean fixture: every construct here *looks* like a violation but is
+//! legitimately exempt — the linter must report nothing.
+
+use std::time::Instant;
+
+/// A suppressed wall-clock read, with the mandatory reason.
+pub fn timed<F: FnOnce()>(f: F) -> u128 {
+    // lint:allow(determinism) — fixture demonstrating a well-formed suppression
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}
+
+/// Banned names inside string literals are text, not calls.
+pub fn docs() -> &'static str {
+    r#"Call SystemTime::now() or thread_rng() and the linter will // object"#
+}
+
+/// `HashMap` outside a `Serialize` derive is fine.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pub seen: std::collections::HashMap<String, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let t = std::time::SystemTime::now();
+        let dir = std::env::temp_dir();
+        assert!(t.elapsed().is_ok() || dir.as_os_str().is_empty());
+    }
+}

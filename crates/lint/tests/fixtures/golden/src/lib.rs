@@ -1,0 +1,16 @@
+//! Golden fixture: one failing rule finding, one grandfathered finding,
+//! one malformed suppression — pins every branch of the report format.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+#[derive(Serialize)]
+pub struct Tally {
+    pub hits: HashMap<String, u64>,
+}
+
+// lint:allow(determinism)
+pub fn started() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,8 @@
+//! R1 fixture: a wall-clock read in library code — fires `determinism`
+//! exactly once (the `use` line names `SystemTime` but not the call).
+
+use std::time::SystemTime;
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,17 @@
+//! R2 fixture: a `HashMap` field on a `Serialize` type — fires
+//! `ordered-serialization` exactly once. The non-serialized struct below
+//! proves the rule keys on the derive, not the container type alone.
+
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Snapshot {
+    pub name: String,
+    pub counts: HashMap<String, u32>,
+}
+
+#[derive(Debug, Default)]
+pub struct ScratchIndex {
+    pub by_host: HashMap<String, usize>,
+}

@@ -1,0 +1,16 @@
+//! R3 fixture: `StudyReport` carries two serde-skipped fields; the codec
+//! in `persist.rs` round-trips `attempts` but never mentions
+//! `cache_stats` — `persist-parity` fires exactly once, on `cache_stats`.
+
+use serde::Serialize;
+
+pub mod persist;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct StudyReport {
+    pub total: u32,
+    #[serde(skip)]
+    pub attempts: u32,
+    #[serde(skip)]
+    pub cache_stats: u64,
+}

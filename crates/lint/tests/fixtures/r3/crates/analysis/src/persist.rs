@@ -1,0 +1,21 @@
+//! Codec for the r3 fixture: round-trips `attempts`, forgets
+//! `cache_stats`.
+
+use crate::StudyReport;
+
+pub fn encode_record(report: &StudyReport) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&report.total.to_le_bytes());
+    out.extend_from_slice(&report.attempts.to_le_bytes());
+    out
+}
+
+pub fn decode_record(bytes: &[u8]) -> Option<StudyReport> {
+    let total = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?);
+    let attempts = u32::from_le_bytes(bytes.get(4..8)?.try_into().ok()?);
+    Some(StudyReport {
+        total,
+        attempts,
+        ..Default::default()
+    })
+}

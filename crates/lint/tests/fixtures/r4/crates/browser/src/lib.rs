@@ -1,0 +1,10 @@
+//! R4 fixture: a `.unwrap()` in browser non-test code — fires
+//! `panic-hygiene` exactly once. `unwrap_or` below must NOT fire.
+
+pub fn parse_port(raw: &str) -> u16 {
+    raw.parse().unwrap()
+}
+
+pub fn parse_port_or(raw: &str, fallback: u16) -> u16 {
+    raw.parse().unwrap_or(fallback)
+}

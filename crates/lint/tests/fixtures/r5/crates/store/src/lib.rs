@@ -1,0 +1,30 @@
+//! R5 fixture: the store's magic drifted to `CWJ0` while DESIGN.md still
+//! documents `CWJ1` — fires `journal-format` exactly once. Every other
+//! documented value (file name, record overhead, hash function) matches.
+
+const MAGIC: [u8; 4] = *b"CWJ0";
+const JOURNAL_FILE: &str = "journal.wal";
+const RECORD_OVERHEAD: usize = 4 + 1 + 2 + 8 + 4 + 8 + 8;
+
+fn content_hash(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+pub fn encode_record(domain: &str, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD + domain.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&content_hash(payload).to_le_bytes());
+    out
+}
+
+pub fn parse_record(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    let hash = u64::from_le_bytes(bytes.get(4..12)?.try_into().ok()?);
+    let payload = bytes.get(12..)?;
+    (content_hash(payload) == hash).then_some((hash, payload))
+}
+
+pub fn journal_file() -> &'static str {
+    JOURNAL_FILE
+}

@@ -33,7 +33,7 @@ pub const BENIGN_THIRD_PARTIES: &[&str] = &[
 
 /// The listed tracker pool (re-exported from the blocklist data so the
 /// generator and the classifier can never disagree).
-pub fn tracker_pool() -> &'static [&'static str] {
+pub(crate) fn tracker_pool() -> &'static [&'static str] {
     blocklist::data::JUSTDOMAINS
 }
 

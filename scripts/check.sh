@@ -1,15 +1,32 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, release build, the whole test suite,
-# lint-clean clippy, and an end-to-end resume/diff smoke test through the
-# CLI binary. Everything runs offline — external dependencies are
+# Full local gate: formatting, release build, lint-clean clippy, the
+# invariant linter (plus its fixture self-test), the whole test suite,
+# and an end-to-end resume/diff smoke test through the CLI binary. Everything runs offline — external dependencies are
 # vendored under vendor/, so no registry access is needed (or attempted).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo build --release --workspace --offline
-cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Invariant linter gate (crates/lint): the workspace must be clean, and
+# each rule-class fixture must still trip its rule — if a fixture exits 0
+# the gate itself has rotted and the run fails.
+LINT=target/release/lint
+"$LINT" || { echo "check.sh: workspace lint failed" >&2; exit 1; }
+for fixture in r1 r2 r3 r4 r5 suppression; do
+    if "$LINT" --root "crates/lint/tests/fixtures/$fixture" >/dev/null; then
+        echo "check.sh: lint fixture $fixture no longer trips its rule" >&2
+        exit 1
+    fi
+done
+"$LINT" --root crates/lint/tests/fixtures/clean >/dev/null \
+    || { echo "check.sh: lint flags the clean fixture" >&2; exit 1; }
+"$LINT" --root crates/lint/tests/fixtures/baselined >/dev/null \
+    || { echo "check.sh: lint baseline grandfathering broke" >&2; exit 1; }
+
+cargo test -q --workspace --offline
 
 # Resume smoke test: run the tiny sweep to completion, then again with a
 # simulated kill plus a resume, and require byte-identical JSON reports.
@@ -35,4 +52,4 @@ if "$BIN" run --scael tiny >/dev/null 2>&1; then
     echo "check.sh: unknown flag was silently accepted" >&2; exit 1
 fi
 
-echo "check.sh: fmt + build + tests + clippy + resume/diff smoke all green"
+echo "check.sh: fmt + build + clippy + lint + tests + resume/diff smoke all green"
