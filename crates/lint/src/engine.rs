@@ -66,6 +66,74 @@ impl Report {
         ));
         out
     }
+
+    /// Machine-readable report. The schema is stable (CI and editors
+    /// depend on it): a top-level object with `findings` (each carrying
+    /// `rule`, `code`, `path`, `line`, `span.col`, `message`, `status`)
+    /// and `summary` counts. Suppressed findings never appear — only
+    /// `failing` and `grandfathered` statuses exist.
+    pub fn render_json(&self) -> String {
+        let code_of = |rule: &str| {
+            crate::rules::RULES
+                .iter()
+                .find(|r| r.name() == rule)
+                .map(|r| r.code())
+                .unwrap_or("")
+        };
+        let mut out = String::from("{\n  \"findings\": [");
+        for (n, (f, status)) in self.findings.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let status = match status {
+                Status::Failing => "failing",
+                Status::Grandfathered => "grandfathered",
+            };
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"code\": {}, \"path\": {}, \"line\": {}, \
+                 \"span\": {{\"col\": {}}}, \"message\": {}, \"status\": {}}}",
+                json_str(f.rule),
+                json_str(code_of(f.rule)),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.message),
+                json_str(status),
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"summary\": {{\"failing\": {}, \"grandfathered\": {}, \
+             \"suppressed\": {}, \"files_scanned\": {}}}\n}}",
+            self.failing(),
+            self.grandfathered(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// the linter is zero-dependency by design, so no serde here.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Run every rule over the workspace at `root`. `baseline` overrides the
@@ -78,9 +146,11 @@ pub fn run(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
         let rel = source::relative_path(root, &path);
         files.push(SourceFile::parse(rel, &text, &known));
     }
+    let model = crate::callgraph::Model::build(&files);
     let ws = Workspace {
         files,
         design: fs::read_to_string(root.join("DESIGN.md")).ok(),
+        model,
     };
 
     let mut raw = Vec::new();
@@ -113,6 +183,7 @@ pub fn run(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
                 rule: "suppression",
                 path: file.path.clone(),
                 line: bad.line,
+                col: 0,
                 message: bad.message.clone(),
             });
         }
@@ -144,6 +215,7 @@ pub fn run(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
                 rule: "baseline",
                 path: baseline_rel.clone(),
                 line: e.line,
+                col: 0,
                 message: format!(
                     "stale baseline entry `{}\t{}` matches no current finding — delete it \
                      (the baseline only ratchets down)",

@@ -31,7 +31,7 @@ pub enum TokenKind {
     Lifetime,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source position.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Token class.
@@ -40,6 +40,8 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based column (in chars) the token starts at.
+    pub col: u32,
 }
 
 impl Token {
@@ -84,6 +86,7 @@ pub fn lex(src: &str) -> Lexed {
         chars: src.char_indices().collect(),
         pos: 0,
         line: 1,
+        col: 1,
         out: Lexed::default(),
         src,
     }
@@ -94,6 +97,7 @@ struct Lexer<'a> {
     chars: Vec<(usize, char)>,
     pos: usize,
     line: u32,
+    col: u32,
     out: Lexed,
     src: &'a str,
 }
@@ -107,12 +111,15 @@ impl Lexer<'_> {
         self.chars.get(pos).map_or(self.src.len(), |&(b, _)| b)
     }
 
-    /// Advance one char, tracking the line counter.
+    /// Advance one char, tracking the line/column counters.
     fn bump(&mut self) -> Option<char> {
         let c = self.peek(0)?;
         self.pos += 1;
         if c == '\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
     }
@@ -121,14 +128,20 @@ impl Lexer<'_> {
         self.src[self.byte_at(from_pos)..self.byte_at(self.pos)].to_string()
     }
 
-    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.tokens.push(Token { kind, text, line });
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
     }
 
     fn run(mut self) -> Lexed {
         while let Some(c) = self.peek(0) {
             let start = self.pos;
             let line = self.line;
+            let col = self.col;
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
@@ -137,22 +150,22 @@ impl Lexer<'_> {
                 '/' if self.peek(1) == Some('*') => self.block_comment(start, line),
                 '"' => {
                     self.bump();
-                    self.quoted_string(start, line, '"');
+                    self.quoted_string(start, line, col, '"');
                 }
-                'r' | 'b' if self.literal_prefix(start, line) => {}
-                '\'' => self.tick(start, line),
+                'r' | 'b' if self.literal_prefix(start, line, col) => {}
+                '\'' => self.tick(start, line, col),
                 c if is_ident_start(c) => {
                     while self.peek(0).is_some_and(is_ident_continue) {
                         self.bump();
                     }
                     let text = self.slice(start);
-                    self.push(TokenKind::Ident, text, line);
+                    self.push(TokenKind::Ident, text, line, col);
                 }
-                c if c.is_ascii_digit() => self.number(start, line),
+                c if c.is_ascii_digit() => self.number(start, line, col),
                 _ => {
                     self.bump();
                     let text = self.slice(start);
-                    self.push(TokenKind::Punct, text, line);
+                    self.push(TokenKind::Punct, text, line, col);
                 }
             }
         }
@@ -202,7 +215,7 @@ impl Lexer<'_> {
 
     /// Consume the rest of a `"`-quoted (byte) string; the opening quote
     /// and any prefix were consumed by the caller.
-    fn quoted_string(&mut self, start: usize, line: u32, quote: char) {
+    fn quoted_string(&mut self, start: usize, line: u32, col: u32, quote: char) {
         loop {
             match self.bump() {
                 Some('\\') => {
@@ -214,14 +227,14 @@ impl Lexer<'_> {
             }
         }
         let text = self.slice(start);
-        self.push(TokenKind::Literal, text, line);
+        self.push(TokenKind::Literal, text, line, col);
     }
 
     /// Handle the `r` / `b` family: raw strings `r"…"` / `r#"…"#`, byte
     /// strings `b"…"`, raw byte strings `br#"…"#`, byte chars `b'x'`, and
     /// raw identifiers `r#type`. Returns false when the `r`/`b` is just
     /// the start of a plain identifier (the caller lexes it then).
-    fn literal_prefix(&mut self, start: usize, line: u32) -> bool {
+    fn literal_prefix(&mut self, start: usize, line: u32, col: u32) -> bool {
         let mut ahead = 1;
         let raw = match self.peek(0) {
             Some('b') if self.peek(1) == Some('r') => {
@@ -242,20 +255,20 @@ impl Lexer<'_> {
                 for _ in 0..=ahead {
                     self.bump(); // prefix, guards, opening quote
                 }
-                self.raw_string_body(start, line, hashes);
+                self.raw_string_body(start, line, col, hashes);
                 true
             }
             // `b"…"` and `b'x'` (non-raw byte literals).
             Some('"') if ahead == 1 && self.peek(0) == Some('b') => {
                 self.bump();
                 self.bump();
-                self.quoted_string(start, line, '"');
+                self.quoted_string(start, line, col, '"');
                 true
             }
             Some('\'') if ahead == 1 && self.peek(0) == Some('b') => {
                 self.bump();
                 self.bump();
-                self.char_literal_body(start, line);
+                self.char_literal_body(start, line, col);
                 true
             }
             // Raw identifier `r#type`: strip the `r#` so rules match the
@@ -268,7 +281,7 @@ impl Lexer<'_> {
                     self.bump();
                 }
                 let text = self.slice(ident_start);
-                self.push(TokenKind::Ident, text, line);
+                self.push(TokenKind::Ident, text, line, col);
                 true
             }
             _ => false,
@@ -277,7 +290,7 @@ impl Lexer<'_> {
 
     /// Body of a raw string whose opener is consumed: ends at `"` followed
     /// by `hashes` `#` characters. Quotes and `//` inside are plain text.
-    fn raw_string_body(&mut self, start: usize, line: u32, hashes: usize) {
+    fn raw_string_body(&mut self, start: usize, line: u32, col: u32, hashes: usize) {
         'scan: while let Some(c) = self.bump() {
             if c == '"' {
                 for k in 0..hashes {
@@ -292,12 +305,12 @@ impl Lexer<'_> {
             }
         }
         let text = self.slice(start);
-        self.push(TokenKind::Literal, text, line);
+        self.push(TokenKind::Literal, text, line, col);
     }
 
     /// After a consumed opening `'` of a definite char literal: consume
     /// through the closing `'`.
-    fn char_literal_body(&mut self, start: usize, line: u32) {
+    fn char_literal_body(&mut self, start: usize, line: u32, col: u32) {
         match self.bump() {
             Some('\\') => {
                 self.bump();
@@ -313,21 +326,21 @@ impl Lexer<'_> {
             None => {}
         }
         let text = self.slice(start);
-        self.push(TokenKind::Literal, text, line);
+        self.push(TokenKind::Literal, text, line, col);
     }
 
     /// A `'` is either a char literal or a lifetime. `'x'` (tick, one
     /// char, tick) and `'\…'` are char literals; `'ident` without a
     /// closing tick is a lifetime.
-    fn tick(&mut self, start: usize, line: u32) {
+    fn tick(&mut self, start: usize, line: u32, col: u32) {
         match (self.peek(1), self.peek(2)) {
             (Some('\\'), _) => {
                 self.bump();
-                self.char_literal_body(start, line);
+                self.char_literal_body(start, line, col);
             }
             (Some(_), Some('\'')) => {
                 self.bump();
-                self.char_literal_body(start, line);
+                self.char_literal_body(start, line, col);
             }
             (Some(c), _) if is_ident_start(c) => {
                 self.bump(); // tick
@@ -336,11 +349,11 @@ impl Lexer<'_> {
                     self.bump();
                 }
                 let text = self.slice(ident_start);
-                self.push(TokenKind::Lifetime, text, line);
+                self.push(TokenKind::Lifetime, text, line, col);
             }
             _ => {
                 self.bump();
-                self.push(TokenKind::Punct, "'".to_string(), line);
+                self.push(TokenKind::Punct, "'".to_string(), line, col);
             }
         }
     }
@@ -350,7 +363,7 @@ impl Lexer<'_> {
     /// parses decimal integers from the token text. `0..5` must lex as
     /// `0`, `.`, `.`, `5` — a `.` is part of the number only when a digit
     /// follows it.
-    fn number(&mut self, start: usize, line: u32) {
+    fn number(&mut self, start: usize, line: u32, col: u32) {
         while self
             .peek(0)
             .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
@@ -367,7 +380,7 @@ impl Lexer<'_> {
             }
         }
         let text = self.slice(start);
-        self.push(TokenKind::Literal, text, line);
+        self.push(TokenKind::Literal, text, line, col);
     }
 }
 

@@ -12,6 +12,9 @@
 //! | R3 `persist-parity` | every serde-skipped field on report-reachable types round-trips through `analysis::persist` |
 //! | R4 `panic-hygiene` | no `unwrap`/`expect`/`panic!`/`todo!` in crawl/browser/store non-test code |
 //! | R5 `journal-format` | `crates/store` journal constants match DESIGN.md §8 |
+//! | R6 `lock-order` | no cycles in the may-hold-while-acquiring graph (interprocedural) |
+//! | R7 `blocking-under-lock` | no guard live across a transitively blocking call |
+//! | R8 `seed-taint` | RNG seed state flows only from the CLI seed / `PopulationConfig` |
 //!
 //! Each rule is suppressible inline with `// lint:allow(rule) — reason`
 //! (the reason is mandatory) and adoptable incrementally through a
@@ -21,9 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod items;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
 pub mod rules;
 pub mod source;
 

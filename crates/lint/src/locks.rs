@@ -1,0 +1,355 @@
+//! The lock-site model: find guard-producing acquisitions (`.lock()`,
+//! `.read()`, `.write()` with empty argument lists) in a function body,
+//! give each a canonical *lock class* derived from its receiver, and
+//! compute the guard's live token range.
+//!
+//! Live ranges are over-approximated from token structure, not borrowck:
+//!
+//! * a **let-bound** guard lives from its acquisition to `drop(g)` at the
+//!   binding's nesting depth, to a call that takes `g` by value (guard
+//!   ownership transfers to the callee, which becomes responsible), or to
+//!   the end of the enclosing block;
+//! * a **temporary** guard lives to the end of its statement — including
+//!   an attached `if let` / `match` block, whose scrutinee temporaries
+//!   really do live that long — except on the left side of a plain
+//!   assignment, where Rust evaluates the right operand *first*, so the
+//!   guard is acquired only after the RHS ran.
+//!
+//! Known imprecision (documented in DESIGN.md §10): a conditional
+//! `drop(g)` inside a nested block does not end the range, shadowed
+//! rebindings of the same name are treated as one guard, and two locals
+//! with the same name in different functions share a lock class.
+
+use crate::callgraph::receiver_chain;
+use crate::lexer::{Token, TokenKind};
+use crate::parser::FnDef;
+use crate::source::SourceFile;
+
+/// Method names that produce a guard when called with no arguments.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One guard with its lock class and live range.
+#[derive(Debug)]
+pub struct Guard {
+    /// Canonical lock identity (see [`lock_class`]).
+    pub class: String,
+    /// Token index of the acquiring method name.
+    pub acquire_idx: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// 1-based column of the acquisition.
+    pub col: u32,
+    /// Token-index range (in the file's token stream) the guard is live
+    /// for, starting just after the acquisition call.
+    pub range: (usize, usize),
+}
+
+/// Every guard acquired in `def`'s body.
+pub fn guards_in(file: &SourceFile, def: &FnDef) -> Vec<Guard> {
+    let tokens = &file.tokens;
+    let (start, end) = (def.body.0, def.body.1.min(tokens.len()));
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        let is_acquire = t.kind == TokenKind::Ident
+            && ACQUIRE_METHODS.contains(&t.text.as_str())
+            && i > start
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'));
+        if !is_acquire {
+            i += 1;
+            continue;
+        }
+        let chain = receiver_chain(tokens, start, i - 1);
+        let class = lock_class(&chain, def);
+        let after = i + 3; // past `name ( )`
+        let range = match let_binding(tokens, start, i) {
+            Some(name) => let_guard_range(tokens, after, end, &name),
+            None => temp_guard_range(tokens, start, after, end, i),
+        };
+        out.push(Guard {
+            class,
+            acquire_idx: i,
+            line: t.line,
+            col: t.col,
+            range: (after, range),
+        });
+        i = after;
+    }
+    out
+}
+
+/// Canonical lock identity from a receiver chain:
+///
+/// * `self.field` → `Owner::field` (the impl type owns the lock);
+/// * `param.field` where the parameter's declared type names `T` →
+///   `T::field`;
+/// * a bare local/param (`slots[i].lock()`) → `local:name` — name-based,
+///   shared across functions (over-approximation, see module docs);
+/// * an unknown receiver (call-chain) → `local:?`.
+pub fn lock_class(chain: &[String], def: &FnDef) -> String {
+    match chain {
+        [] => "local:?".to_string(),
+        [only] => format!("local:{only}"),
+        [first, rest @ ..] => {
+            let owner: Option<String> = if first == "self" {
+                def.owner.clone()
+            } else {
+                def.params
+                    .iter()
+                    .find(|p| &p.name == first)
+                    .and_then(|p| p.type_idents.last().cloned())
+            };
+            match owner {
+                Some(ty) => format!("{ty}::{}", rest.join(".")),
+                None => format!("local:{first}.{}", rest.join(".")),
+            }
+        }
+    }
+}
+
+/// Is the acquisition at `idx` the RHS of `let [mut] name = …`? The
+/// receiver chain may sit between: `let g = self.inner.lock()`.
+fn let_binding(tokens: &[Token], start: usize, idx: usize) -> Option<String> {
+    // Walk back over the receiver chain to its head.
+    let mut k = idx; // the method name; tokens[k-1] is `.`
+    loop {
+        if k <= start + 1 {
+            return None;
+        }
+        let prev = &tokens[k - 1];
+        if prev.is_punct('.') || prev.is_punct(':') || prev.kind == TokenKind::Ident {
+            k -= 1;
+            continue;
+        }
+        if prev.is_punct(']') {
+            let mut depth = 0i32;
+            while k > start {
+                k -= 1;
+                if tokens[k].is_punct(']') {
+                    depth += 1;
+                } else if tokens[k].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    // Now expect `= name [mut] let` walking backwards.
+    if !(k > start && tokens[k - 1].is_punct('=')) {
+        return None;
+    }
+    // Reject `==`, `+=`, `<=` … compound forms.
+    if k >= 2 && tokens[k - 2].is_punct('=') {
+        return None;
+    }
+    let mut b = k - 1;
+    let name = tokens.get(b.checked_sub(1)?)?;
+    if name.kind != TokenKind::Ident {
+        return None;
+    }
+    b -= 1;
+    let mut intro = b.checked_sub(1)?;
+    if tokens[intro].is_ident("mut") {
+        intro = intro.checked_sub(1)?;
+    }
+    if tokens[intro].is_ident("let") {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Live range of a let-bound guard `name`, from `after` (just past the
+/// acquisition): ends at `drop(name)` at relative depth 0, at a call
+/// that takes `name` by value, or at the end of the enclosing block.
+fn let_guard_range(tokens: &[Token], after: usize, end: usize, name: &str) -> usize {
+    let mut depth = 0i32;
+    let mut k = after;
+    while k < end {
+        let t = &tokens[k];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                return k; // enclosing block closed
+            }
+        } else if depth == 0
+            && t.is_ident("drop")
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(k + 2).is_some_and(|t| t.is_ident(name))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            return k;
+        } else if t.is_ident(name)
+            && tokens
+                .get(k.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct('(') || p.is_punct(','))
+            && tokens
+                .get(k + 1)
+                .is_some_and(|n| n.is_punct(')') || n.is_punct(','))
+            && !tokens
+                .get(k.wrapping_sub(2))
+                .is_some_and(|p| p.is_punct('&'))
+        {
+            // A bare `name` argument (not `&name`): the guard moves into
+            // the callee, which becomes responsible for it. End before
+            // the callee name so the transferring call itself does not
+            // count as running under the guard.
+            return k.saturating_sub(2);
+        }
+        k += 1;
+    }
+    end
+}
+
+/// Live range of a temporary guard: to the end of its statement. The
+/// statement ends at a `;` at the acquisition's nesting depth, at the
+/// close of an attached block opened at that depth (`if let` / `match`
+/// bodies — unless an `else` continues the statement), at the close of
+/// the *enclosing* block, or — when the guard sits on the left of a
+/// plain `=` assignment — already at the `=`, because Rust evaluates the
+/// right operand first.
+fn temp_guard_range(
+    tokens: &[Token],
+    start: usize,
+    after: usize,
+    end: usize,
+    acquire_idx: usize,
+) -> usize {
+    let _ = start;
+    let _ = acquire_idx;
+    let mut depth = 0i32;
+    let mut k = after;
+    while k < end {
+        let t = &tokens[k];
+        if t.is_punct('{') {
+            // An attached block at depth 0: the temporary lives through
+            // it (if-let / match scrutinee semantics) but not past it.
+            if depth == 0 {
+                let close = crate::parser::match_delim(tokens, k);
+                if tokens.get(close + 1).is_some_and(|t| t.is_ident("else")) {
+                    k = close + 1;
+                    continue;
+                }
+                return close.min(end);
+            }
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return k;
+            }
+        } else if depth == 0 && t.is_punct(';') {
+            return k;
+        } else if depth == 0
+            && t.is_punct('=')
+            && !tokens.get(k + 1).is_some_and(|n| n.is_punct('='))
+            && !tokens.get(k.wrapping_sub(1)).is_some_and(|p| {
+                p.is_punct('=') || p.is_punct('!') || p.is_punct('<') || p.is_punct('>')
+            })
+        {
+            // `*x.lock() = rhs` — the RHS ran before the lock was taken.
+            return k;
+        }
+        k += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::Model;
+    use crate::source::SourceFile;
+
+    fn guards(src: &str) -> (Vec<Guard>, SourceFile) {
+        let file = SourceFile::parse("test.rs".to_string(), src, &[]);
+        let model = Model::build(std::slice::from_ref(&file));
+        let def = model.fns[0].clone();
+        let file = SourceFile::parse("test.rs".to_string(), src, &[]);
+        (guards_in(&file, &def), file)
+    }
+
+    fn covers(file: &SourceFile, g: &Guard, ident: &str) -> bool {
+        file.tokens[g.range.0..g.range.1.min(file.tokens.len())]
+            .iter()
+            .any(|t| t.is_ident(ident))
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_drop() {
+        let src = "impl S { fn f(&self) { let g = self.a.lock(); one(); drop(g); two(); } }";
+        let (gs, file) = guards(src);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].class, "S::a");
+        assert!(covers(&file, &gs[0], "one"));
+        assert!(!covers(&file, &gs[0], "two"));
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end_without_drop() {
+        let src = "fn f(m: &Holder) { { let g = m.inner.lock(); one(); } two(); }";
+        let (gs, file) = guards(src);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].class, "Holder::inner");
+        assert!(covers(&file, &gs[0], "one"));
+        assert!(!covers(&file, &gs[0], "two"));
+    }
+
+    #[test]
+    fn moved_guard_ends_at_the_transferring_call() {
+        let src = "impl S { fn f(&self) { let g = self.a.lock(); self.finish(g); after(); } }";
+        let (gs, file) = guards(src);
+        assert!(!covers(&file, &gs[0], "after"));
+        // …but a borrow keeps it live.
+        let src2 = "impl S { fn f(&self) { let g = self.a.lock(); look(&g); after(); } }";
+        let (gs2, file2) = guards(src2);
+        assert!(covers(&file2, &gs2[0], "after"));
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement_semicolon() {
+        let src = "fn f(c: &Cache) { c.map.lock().insert(k, v); later(); }";
+        let (gs, file) = guards(src);
+        assert_eq!(gs[0].class, "Cache::map");
+        assert!(covers(&file, &gs[0], "insert"));
+        assert!(!covers(&file, &gs[0], "later"));
+    }
+
+    #[test]
+    fn assignment_lhs_guard_does_not_cover_the_rhs() {
+        let src = "fn f() { *slots[i].lock() = compute(x); later(); }";
+        let (gs, file) = guards(src);
+        assert_eq!(gs[0].class, "local:slots");
+        assert!(!covers(&file, &gs[0], "compute"));
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_lives_through_the_body_not_past_it() {
+        let src = "fn f(c: &Cache) { if let Some(r) = c.map.lock().get(k) { body(); } past(); }";
+        let (gs, file) = guards(src);
+        assert!(covers(&file, &gs[0], "body"));
+        assert!(!covers(&file, &gs[0], "past"));
+    }
+
+    #[test]
+    fn rwlock_read_write_and_bare_locals_classify() {
+        let src = "fn f(l: &Shared) { let r = l.table.read(); use_it(&r); }";
+        let (gs, _) = guards(src);
+        assert_eq!(gs[0].class, "Shared::table");
+        // read()/write() with arguments are IO, not lock acquisitions.
+        let src2 = "fn g(mut f: File) { f.read(buf); f.write(buf); }";
+        let (gs2, _) = guards(src2);
+        assert!(gs2.is_empty());
+    }
+}

@@ -5,6 +5,7 @@
 //! cargo run -p lint -- --root DIR           # lint another tree (fixtures)
 //! cargo run -p lint -- --update-baseline    # grandfather current findings
 //! cargo run -p lint -- --list-rules         # what the rules enforce
+//! cargo run -p lint -- --format json        # machine-readable findings
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings, 2 usage/IO error.
@@ -16,6 +17,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut update = false;
+    let mut json = false;
     // lint:allow(determinism) — CLI flag parsing at the binary entry point
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,6 +31,12 @@ fn main() -> ExitCode {
                 None => return usage("--baseline needs a file"),
             },
             "--update-baseline" => update = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => return usage(&format!("unknown format `{other}`")),
+                None => return usage("--format needs `text` or `json`"),
+            },
             "--list-rules" => {
                 for rule in lint::RULES {
                     println!("{:<4} {}", rule.code(), rule.name());
@@ -57,7 +65,11 @@ fn main() -> ExitCode {
 
     match lint::run(&root, baseline.as_deref()) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.failing() == 0 {
                 ExitCode::SUCCESS
             } else {
@@ -84,7 +96,7 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: cargo run -p lint -- [--root DIR] [--baseline FILE] \
-         [--update-baseline] [--list-rules]"
+         [--update-baseline] [--list-rules] [--format text|json]"
     );
     ExitCode::from(2)
 }

@@ -65,6 +65,7 @@ impl Rule for Determinism {
                             rule: self.name(),
                             path: file.path.clone(),
                             line: tokens[i].line,
+                            col: tokens[i].col,
                             message: format!(
                                 "call to `{what}` — wall-clock, ambient RNG, and process-environment \
                                  reads are banned outside `crates/bench`, `src/main.rs`, and \

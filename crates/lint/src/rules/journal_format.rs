@@ -53,6 +53,7 @@ impl Rule for JournalFormat {
                 rule: "journal-format",
                 path: STORE_PATH.to_string(),
                 line,
+                col: 0,
                 message,
             });
         };

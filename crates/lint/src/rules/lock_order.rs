@@ -1,0 +1,212 @@
+//! R6 `lock-order`: no cycles in the may-hold-while-acquiring graph.
+//!
+//! For every guard live range (see [`crate::locks`]) the rule records an
+//! edge `held → acquired` for each lock acquired while the guard is
+//! live — directly in the same body, or transitively through any
+//! resolved call in the range (lock acquisitions propagate up the call
+//! graph to a fixpoint). A cycle in that graph is a potential deadlock:
+//! two sweeps taking the same locks in opposite orders hang a 45k-site
+//! crawl with no error. Each distinct cycle is reported exactly once,
+//! with the full multi-function witness chain of spans for every edge.
+
+use crate::callgraph::{witness_chain, CallTarget, Origin};
+use crate::locks;
+use crate::rules::{Finding, Rule, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// R6: deadlock-free lock ordering.
+pub struct LockOrder;
+
+/// One `held → acquired` edge with its report location and witness.
+struct EdgeInfo {
+    path: String,
+    line: u32,
+    col: u32,
+    witness: String,
+}
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn code(&self) -> &'static str {
+        "R6"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let model = &ws.model;
+
+        // Per-function direct acquisitions, as facts keyed by lock class.
+        let mut direct: Vec<Vec<(String, Origin)>> = vec![Vec::new(); model.fns.len()];
+        let mut guards_by_fn = Vec::with_capacity(model.fns.len());
+        for (id, def) in model.fns.iter().enumerate() {
+            if def.is_test {
+                guards_by_fn.push(Vec::new());
+                continue;
+            }
+            let file = &ws.files[def.file];
+            let guards = locks::guards_in(file, def);
+            for g in &guards {
+                direct[id].push((
+                    g.class.clone(),
+                    Origin::Direct {
+                        line: g.line,
+                        what: format!("`{}` acquired", g.class),
+                    },
+                ));
+            }
+            guards_by_fn.push(guards);
+        }
+        let acquires = crate::callgraph::propagate_facts(model, &direct);
+
+        // Build the lock graph: held-class → acquired-class.
+        let mut edges: BTreeMap<(String, String), EdgeInfo> = BTreeMap::new();
+        for (id, def) in model.fns.iter().enumerate() {
+            if def.is_test {
+                continue;
+            }
+            let file = &ws.files[def.file];
+            for g in &guards_by_fn[id] {
+                let held = format!(
+                    "`{}` held in `{}` ({}:{})",
+                    g.class,
+                    model.display(id),
+                    file.path,
+                    g.line
+                );
+                // Direct nested acquisitions inside the live range.
+                for other in &guards_by_fn[id] {
+                    if other.class != g.class && (g.range.0..g.range.1).contains(&other.acquire_idx)
+                    {
+                        edges
+                            .entry((g.class.clone(), other.class.clone()))
+                            .or_insert_with(|| EdgeInfo {
+                                path: file.path.clone(),
+                                line: g.line,
+                                col: g.col,
+                                witness: format!(
+                                    "{held} → `{}` acquired ({}:{})",
+                                    other.class, file.path, other.line
+                                ),
+                            });
+                    }
+                }
+                // Transitive acquisitions through calls in the range.
+                for site in &model.calls[id] {
+                    if !(g.range.0..g.range.1).contains(&site.idx) {
+                        continue;
+                    }
+                    let CallTarget::Resolved(callees) = &site.target else {
+                        continue;
+                    };
+                    for &callee in callees {
+                        for class in acquires[callee].keys() {
+                            if *class == g.class {
+                                continue;
+                            }
+                            let chain = witness_chain(model, &ws.files, &acquires, callee, class);
+                            edges
+                                .entry((g.class.clone(), class.clone()))
+                                .or_insert_with(|| EdgeInfo {
+                                    path: file.path.clone(),
+                                    line: g.line,
+                                    col: g.col,
+                                    witness: format!(
+                                        "{held} → via `{}()` ({}:{}) → {chain}",
+                                        site.name, file.path, site.line
+                                    ),
+                                });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle detection over the lock graph; each distinct cycle is
+        // reported once, canonicalized by its sorted lock set.
+        let mut adjacency: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (held, acquired) in edges.keys() {
+            adjacency
+                .entry(held.as_str())
+                .or_default()
+                .push(acquired.as_str());
+        }
+        let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+        for start in adjacency.keys().copied().collect::<Vec<_>>() {
+            let mut stack = vec![start];
+            find_cycles(
+                start,
+                start,
+                &adjacency,
+                &mut stack,
+                &mut reported,
+                &edges,
+                out,
+                self.name(),
+            );
+        }
+    }
+}
+
+/// Depth-first enumeration of simple cycles through `start`; every cycle
+/// whose canonical (sorted) lock set is new becomes one finding.
+#[allow(clippy::too_many_arguments)]
+fn find_cycles<'a>(
+    start: &'a str,
+    at: &'a str,
+    adjacency: &BTreeMap<&'a str, Vec<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    reported: &mut BTreeSet<Vec<String>>,
+    edges: &BTreeMap<(String, String), EdgeInfo>,
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+) {
+    if stack.len() > 16 {
+        return; // cycles longer than any plausible lock chain
+    }
+    let Some(nexts) = adjacency.get(at) else {
+        return;
+    };
+    for &next in nexts {
+        if next == start {
+            let mut canon: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            canon.sort();
+            if !reported.insert(canon) {
+                continue;
+            }
+            // Assemble the cycle's witness: every edge, in order.
+            let mut cycle_edges = Vec::new();
+            for w in 0..stack.len() {
+                let held = stack[w].to_string();
+                let acquired = stack.get(w + 1).copied().unwrap_or(start).to_string();
+                if let Some(info) = edges.get(&(held, acquired)) {
+                    cycle_edges.push(info);
+                }
+            }
+            let Some(first) = cycle_edges.first() else {
+                continue;
+            };
+            let order: Vec<&str> = stack.iter().copied().chain([start]).collect();
+            let witness: Vec<String> = cycle_edges
+                .iter()
+                .map(|e| format!("[{}]", e.witness))
+                .collect();
+            out.push(Finding {
+                rule,
+                path: first.path.clone(),
+                line: first.line,
+                col: first.col,
+                message: format!(
+                    "lock-order cycle `{}`: opposite acquisition orders can deadlock — {}",
+                    order.join("` → `"),
+                    witness.join(" and ")
+                ),
+            });
+        } else if !stack.contains(&next) {
+            stack.push(next);
+            find_cycles(start, next, adjacency, stack, reported, edges, out, rule);
+            stack.pop();
+        }
+    }
+}

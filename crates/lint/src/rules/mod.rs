@@ -3,23 +3,30 @@
 //! §10) and reports [`Finding`]s; suppression and baseline handling live
 //! in [`crate::engine`], so rules always report what they see.
 
+pub mod blocking_under_lock;
 pub mod determinism;
 pub mod journal_format;
+pub mod lock_order;
 pub mod ordered_serialization;
 pub mod panic_hygiene;
 pub mod persist_parity;
+pub mod seed_taint;
 
+use crate::callgraph::Model;
 use crate::lexer::Token;
 use crate::source::SourceFile;
 
-/// The five invariant rules, in report order. `R1`–`R5` aliases match the
-/// issue/DESIGN numbering; either name works in `lint:allow(...)`.
+/// The eight invariant rules, in report order. `R1`–`R8` aliases match
+/// the issue/DESIGN numbering; either name works in `lint:allow(...)`.
 pub const RULES: &[&dyn Rule] = &[
     &determinism::Determinism,
     &ordered_serialization::OrderedSerialization,
     &persist_parity::PersistParity,
     &panic_hygiene::PanicHygiene,
     &journal_format::JournalFormat,
+    &lock_order::LockOrder,
+    &blocking_under_lock::BlockingUnderLock,
+    &seed_taint::SeedTaint,
 ];
 
 /// Names accepted in `lint:allow(...)`: every rule name plus its R-code.
@@ -39,6 +46,9 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// Contents of `DESIGN.md` at the workspace root, when present.
     pub design: Option<String>,
+    /// The interprocedural model (call graph) over `files`, used by the
+    /// cross-function rules R6–R8.
+    pub model: Model,
 }
 
 impl Workspace {
@@ -58,6 +68,8 @@ pub struct Finding {
     pub path: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column (0 when the finding has no precise span).
+    pub col: u32,
     /// Human-readable description of the violation.
     pub message: String,
 }

@@ -44,6 +44,7 @@ impl Rule for OrderedSerialization {
                         rule: self.name(),
                         path: file.path.clone(),
                         line: field.line,
+                        col: 0,
                         message: format!(
                             "{place} uses `{bad}` — serialized collections must iterate \
                              deterministically; use `{ordered}`"

@@ -54,6 +54,7 @@ impl Rule for PanicHygiene {
                     rule: self.name(),
                     path: file.path.clone(),
                     line: tok.line,
+                    col: tok.col,
                     message: format!(
                         "`{what}` in crawl/browser/store non-test code — these modules must \
                          degrade instead of panicking (catch_unwind is a backstop, not a \

@@ -102,6 +102,7 @@ impl Rule for PersistParity {
                     rule: self.name(),
                     path: file.path.clone(),
                     line: field.line,
+                    col: 0,
                     message: format!(
                         "serde-skipped field `{}` of report-reachable type `{}` is not \
                          round-tripped by {missing} in `{PERSIST_PATH}` — a resumed run \

@@ -1,0 +1,33 @@
+//! R6 fixture: a deliberate lock-order inversion split across four
+//! functions — `forward` holds `a` while `tail` takes `b`, `backward`
+//! holds `b` while `head` takes `a`. Fires `lock-order` exactly once
+//! (one cycle, reported with the multi-function witness chain).
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl S {
+    pub fn forward(&self) {
+        let g = self.a.lock();
+        self.tail();
+        drop(g);
+    }
+
+    fn tail(&self) {
+        let h = self.b.lock();
+        drop(h);
+    }
+
+    pub fn backward(&self) {
+        let g = self.b.lock();
+        self.head();
+        drop(g);
+    }
+
+    fn head(&self) {
+        let h = self.a.lock();
+        drop(h);
+    }
+}

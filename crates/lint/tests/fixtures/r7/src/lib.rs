@@ -1,0 +1,21 @@
+//! R7 fixture: a guard held across a call that transitively blocks on a
+//! channel `recv` — fires `blocking-under-lock` exactly once, at the
+//! forwarding call site, with the witness chain into `wait_for_signal`.
+
+pub struct Hub {
+    jobs: Mutex<Vec<u64>>,
+}
+
+impl Hub {
+    pub fn drain(&self, rx: &Receiver) {
+        let guard = self.jobs.lock();
+        wait_for_signal(rx);
+        report(guard.len());
+    }
+}
+
+fn wait_for_signal(rx: &Receiver) {
+    let _ = rx.recv();
+}
+
+fn report(_n: usize) {}

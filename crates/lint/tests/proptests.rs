@@ -1,0 +1,111 @@
+//! Robustness properties for the lexer, the item parser, and the whole
+//! analysis pipeline: arbitrary byte soup and mutated real-source
+//! snippets must never panic or hang any layer. The recursive-descent
+//! parser additionally has a nesting-depth budget
+//! ([`lint::parser::MAX_DELIM_DEPTH`]) pinned by the pathological-input
+//! property: deeply nested delimiters degrade to "no items", never to a
+//! stack overflow.
+
+use lint::callgraph::Model;
+use lint::parser::parse_file;
+use lint::rules::{Workspace, RULES};
+use lint::source::SourceFile;
+use proptest::prelude::*;
+
+/// Real-looking source the mutation properties start from: exercises
+/// strings, impls, guards, generics, and nested delimiters at once.
+const SNIPPETS: &[&str] = &[
+    "impl S { fn f(&self) { let g = self.a.lock(); self.tail(); drop(g); } }",
+    "fn g<T: Ord>(x: Vec<T>) -> Option<(T, T)> where T: Clone { inner(x) }",
+    "use a::b as c;\nfn top() { c(); let s = \"str \\\" eof\"; }",
+    "fn r#match(r#type: u8) { let r = r\"raw\"; slots[i].lock().push(r); }",
+    "mod m { struct A; impl A { fn go(&self) -> u8 { 'x' as u8 } } }",
+    "fn w(rx: &Receiver) { while let Ok(v) = rx.recv() { h(v); } }",
+];
+
+/// Run every layer on one input; any panic or hang fails the property.
+fn full_pipeline(src: &str) {
+    let file = SourceFile::parse("fuzz.rs".to_string(), src, &["determinism"]);
+    let parsed = parse_file(&file, 0);
+    let files = vec![file];
+    let model = Model::build(&files);
+    for (id, def) in model.fns.iter().enumerate() {
+        let _ = lint::locks::guards_in(&files[def.file], def);
+        let _ = model.calls[id].len();
+    }
+    let ws = Workspace {
+        files,
+        design: None,
+        model,
+    };
+    let mut findings = Vec::new();
+    for rule in RULES {
+        rule.check(&ws, &mut findings);
+    }
+    let _ = (parsed.fns.len(), findings.len());
+}
+
+proptest! {
+    /// Arbitrary printable soup never panics any layer.
+    #[test]
+    fn arbitrary_input_never_panics(s in "\\PC{0,300}") {
+        full_pipeline(&s);
+    }
+
+    /// Arbitrary soup with Rust-ish punctuation density (delimiters,
+    /// quotes, colons) — far more likely to reach deep parser paths.
+    #[test]
+    fn punctuation_soup_never_panics(s in "[(){}\\[\\]<>:;.,'\"#!&=a-z0-9 \n]{0,300}") {
+        full_pipeline(&s);
+    }
+
+    /// Mutated real source (splice junk into a snippet) never panics.
+    #[test]
+    fn mutated_snippets_never_panic(
+        which in 0usize..6,
+        at in 0usize..80,
+        junk in "[(){}\"'\\\\a-z ]{0,12}",
+    ) {
+        let base = SNIPPETS[which % SNIPPETS.len()];
+        let cut = base
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(at.min(base.chars().count().saturating_sub(1)))
+            .unwrap_or(0);
+        let mut s = String::with_capacity(base.len() + junk.len());
+        s.push_str(&base[..cut]);
+        s.push_str(&junk);
+        s.push_str(&base[cut..]);
+        full_pipeline(&s);
+    }
+
+    /// Truncating real source at any char boundary never panics (models
+    /// half-written files mid-save).
+    #[test]
+    fn truncated_snippets_never_panic(which in 0usize..6, keep in 0usize..80) {
+        let base = SNIPPETS[which % SNIPPETS.len()];
+        let cut = base
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(keep)
+            .unwrap_or(base.len());
+        full_pipeline(&base[..cut]);
+    }
+
+    /// Delimiter nesting far past the parser's depth budget stays
+    /// bounded: no stack overflow, no loop, and the item is dropped
+    /// rather than misparsed.
+    #[test]
+    fn pathological_nesting_is_bounded(depth in 1usize..2000, open in 0usize..3) {
+        let pair = [('(', ')'), ('[', ']'), ('{', '}')][open % 3];
+        let mut s = String::from("fn deep() { ");
+        for _ in 0..depth {
+            s.push(pair.0);
+        }
+        for _ in 0..depth {
+            s.push(pair.1);
+        }
+        s.push('}');
+        full_pipeline(&s);
+    }
+}

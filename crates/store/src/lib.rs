@@ -38,7 +38,7 @@
 #![warn(missing_docs)]
 
 use httpsim::content_hash;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write};
@@ -65,6 +65,11 @@ pub struct Store {
     meta: Vec<(String, String)>,
     checkpoint_every: AtomicUsize,
     inner: Mutex<Inner>,
+    /// Orders disk appends across concurrent flushes. Acquired *before*
+    /// `inner` is released (lock order: `inner` → `io`, never reversed)
+    /// so appends land in the same order as their journal offsets, while
+    /// `put`/`get` on other threads proceed under `inner` during the IO.
+    io: Mutex<()>,
 }
 
 struct Inner {
@@ -121,6 +126,7 @@ impl Store {
                 buf_journal: Vec::new(),
                 pending: 0,
             }),
+            io: Mutex::new(()),
         })
     }
 
@@ -202,6 +208,7 @@ impl Store {
                 buf_journal: Vec::new(),
                 pending: 0,
             }),
+            io: Mutex::new(()),
         })
     }
 
@@ -255,7 +262,7 @@ impl Store {
         inner.index.insert(key, payload.to_vec());
         inner.pending += 1;
         if inner.pending >= self.checkpoint_every.load(Ordering::Relaxed).max(1) {
-            self.flush(&mut inner)?;
+            self.flush_owned(inner)?;
         }
         Ok(true)
     }
@@ -303,23 +310,33 @@ impl Store {
     /// leaves orphan shard bytes (reclaimed on open), never a journal
     /// record pointing past its shard.
     pub fn checkpoint(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock();
-        self.flush(&mut inner)
+        let inner = self.inner.lock();
+        self.flush_owned(inner)
     }
 
-    fn flush(&self, inner: &mut Inner) -> io::Result<()> {
-        for r in 0..self.regions {
-            if inner.buf_shards[r].is_empty() {
+    /// Flush without holding `inner` across disk IO: swap the buffers
+    /// out under `inner`, take `io` *before* releasing `inner` so
+    /// concurrent flushes append in offset order, then write with only
+    /// `io` held — `put`/`get`/`contains` on other threads proceed
+    /// during the appends instead of queueing behind the disk.
+    fn flush_owned(&self, mut inner: MutexGuard<'_, Inner>) -> io::Result<()> {
+        let shards = std::mem::replace(&mut inner.buf_shards, vec![Vec::new(); self.regions]);
+        let journal = std::mem::take(&mut inner.buf_journal);
+        inner.pending = 0;
+        let io = self.io.lock();
+        drop(inner);
+        for (r, bytes) in shards.iter().enumerate() {
+            if bytes.is_empty() {
                 continue;
             }
-            append(&shard_path(&self.dir, r as u8), &inner.buf_shards[r])?;
-            inner.buf_shards[r].clear();
+            // lint:allow(blocking-under-lock) — `io` exists solely to order these appends
+            append(&shard_path(&self.dir, r as u8), bytes)?;
         }
-        if !inner.buf_journal.is_empty() {
-            append(&self.dir.join(JOURNAL_FILE), &inner.buf_journal)?;
-            inner.buf_journal.clear();
+        if !journal.is_empty() {
+            // lint:allow(blocking-under-lock) — `io` exists solely to order these appends
+            append(&self.dir.join(JOURNAL_FILE), &journal)?;
         }
-        inner.pending = 0;
+        drop(io);
         Ok(())
     }
 

@@ -15,7 +15,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # the gate itself has rotted and the run fails.
 LINT=target/release/lint
 "$LINT" || { echo "check.sh: workspace lint failed" >&2; exit 1; }
-for fixture in r1 r2 r3 r4 r5 suppression; do
+for fixture in r1 r2 r3 r4 r5 r6 r7 r8 suppression; do
     if "$LINT" --root "crates/lint/tests/fixtures/$fixture" >/dev/null; then
         echo "check.sh: lint fixture $fixture no longer trips its rule" >&2
         exit 1
@@ -25,6 +25,14 @@ done
     || { echo "check.sh: lint flags the clean fixture" >&2; exit 1; }
 "$LINT" --root crates/lint/tests/fixtures/baselined >/dev/null \
     || { echo "check.sh: lint baseline grandfathering broke" >&2; exit 1; }
+
+# JSON output smoke test: the machine-readable schema must carry the rule
+# and summary keys CI consumers grep for (exit 1 is expected — findings).
+JSON_OUT=$("$LINT" --root crates/lint/tests/fixtures/r6 --format json || true)
+echo "$JSON_OUT" | grep -q '"rule": "lock-order"' \
+    || { echo "check.sh: lint JSON output lost its finding schema" >&2; exit 1; }
+echo "$JSON_OUT" | grep -q '"summary": {"failing": 1' \
+    || { echo "check.sh: lint JSON output lost its summary schema" >&2; exit 1; }
 
 cargo test -q --workspace --offline
 
