@@ -70,8 +70,10 @@ impl Report {
     /// Machine-readable report. The schema is stable (CI and editors
     /// depend on it): a top-level object with `findings` (each carrying
     /// `rule`, `code`, `path`, `line`, `span.col`, `message`, `status`)
-    /// and `summary` counts. Suppressed findings never appear — only
-    /// `failing` and `grandfathered` statuses exist.
+    /// and `summary` counts. `line` and `span.col` are 1-based;
+    /// synthetic findings (malformed suppressions, stale baseline
+    /// entries) anchor at column 1. Suppressed findings never appear —
+    /// only `failing` and `grandfathered` statuses exist.
     pub fn render_json(&self) -> String {
         let code_of = |rule: &str| {
             crate::rules::RULES
@@ -183,7 +185,7 @@ pub fn run(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
                 rule: "suppression",
                 path: file.path.clone(),
                 line: bad.line,
-                col: 0,
+                col: 1, // synthetic: anchor at line start, col is 1-based
                 message: bad.message.clone(),
             });
         }
@@ -215,7 +217,7 @@ pub fn run(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
                 rule: "baseline",
                 path: baseline_rel.clone(),
                 line: e.line,
-                col: 0,
+                col: 1, // synthetic: anchor at line start, col is 1-based
                 message: format!(
                     "stale baseline entry `{}\t{}` matches no current finding — delete it \
                      (the baseline only ratchets down)",

@@ -33,6 +33,14 @@
 //! `Ctrl-C` or a crash does — and the exactly-once property tests pin that
 //! a reopened store holds precisely the checkpointed puts, no more, no
 //! fewer, no duplicates.
+//!
+//! A flush that fails midway (disk full, permission error) does not lose
+//! the buffered tail either: the unwritten bytes stay queued on the disk
+//! side, the error is returned to the caller, and the next checkpoint
+//! first truncates any partially-appended file back to its last durable
+//! byte, then retries the queued bytes ahead of newer buffers — so the
+//! shard offsets `put` already encoded into journal records stay valid
+//! across a transient IO error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,7 +51,7 @@ use std::collections::BTreeMap;
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Journal record magic: "CookieWall Journal v1".
 const MAGIC: [u8; 4] = *b"CWJ1";
@@ -65,11 +73,15 @@ pub struct Store {
     meta: Vec<(String, String)>,
     checkpoint_every: AtomicUsize,
     inner: Mutex<Inner>,
-    /// Orders disk appends across concurrent flushes. Acquired *before*
-    /// `inner` is released (lock order: `inner` → `io`, never reversed)
-    /// so appends land in the same order as their journal offsets, while
-    /// `put`/`get` on other threads proceed under `inner` during the IO.
-    io: Mutex<()>,
+    /// True while bytes sit in the [`DiskState`] retry queue after a
+    /// failed flush — lets a checkpoint with nothing buffered return
+    /// without touching `io` when there is also nothing to retry.
+    flush_pending: AtomicBool,
+    /// Disk-side flush state. Acquired *before* `inner` is released
+    /// (lock order: `inner` → `io`, never reversed) so appends land in
+    /// the same order as their journal offsets, while `put`/`get` on
+    /// other threads proceed under `inner` during the IO.
+    io: Mutex<DiskState>,
 }
 
 struct Inner {
@@ -83,6 +95,38 @@ struct Inner {
     buf_journal: Vec<u8>,
     /// Puts since the last checkpoint.
     pending: usize,
+}
+
+/// What is durably on disk and what a failed flush left queued, guarded
+/// by [`Store::io`].
+struct DiskState {
+    /// Bytes of each shard file known durably appended.
+    durable_shard: Vec<u64>,
+    /// Bytes of the journal known durably appended.
+    durable_journal: u64,
+    /// Shard bytes not yet durable: what the current flush moved out of
+    /// [`Inner`], plus anything an earlier failed flush left behind —
+    /// always retried in original put order so offsets stay contiguous.
+    retry_shards: Vec<Vec<u8>>,
+    /// Journal records not yet durable (same retry discipline).
+    retry_journal: Vec<u8>,
+    /// A failed append may have left a partial tail on some file:
+    /// truncate every file back to its durable length before appending
+    /// more.
+    dirty: bool,
+}
+
+impl DiskState {
+    fn new(durable_shard: Vec<u64>, durable_journal: u64) -> DiskState {
+        let regions = durable_shard.len();
+        DiskState {
+            durable_shard,
+            durable_journal,
+            retry_shards: vec![Vec::new(); regions],
+            retry_journal: Vec::new(),
+            dirty: false,
+        }
+    }
 }
 
 impl Store {
@@ -126,7 +170,8 @@ impl Store {
                 buf_journal: Vec::new(),
                 pending: 0,
             }),
-            io: Mutex::new(()),
+            flush_pending: AtomicBool::new(false),
+            io: Mutex::new(DiskState::new(vec![0; regions], 0)),
         })
     }
 
@@ -203,12 +248,13 @@ impl Store {
             checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
             inner: Mutex::new(Inner {
                 index,
-                shard_len: high_water,
+                shard_len: high_water.clone(),
                 buf_shards: vec![Vec::new(); regions],
                 buf_journal: Vec::new(),
                 pending: 0,
             }),
-            io: Mutex::new(()),
+            flush_pending: AtomicBool::new(false),
+            io: Mutex::new(DiskState::new(high_water, pos as u64)),
         })
     }
 
@@ -308,35 +354,82 @@ impl Store {
     /// Flush every buffered put to disk. Shard bytes land before the
     /// journal records that reference them, so a crash between the two
     /// leaves orphan shard bytes (reclaimed on open), never a journal
-    /// record pointing past its shard.
+    /// record pointing past its shard. On failure nothing is lost: the
+    /// unwritten bytes stay queued and the next checkpoint retries them
+    /// (see the module docs on the durability model).
     pub fn checkpoint(&self) -> io::Result<()> {
         let inner = self.inner.lock();
         self.flush_owned(inner)
     }
 
-    /// Flush without holding `inner` across disk IO: swap the buffers
-    /// out under `inner`, take `io` *before* releasing `inner` so
-    /// concurrent flushes append in offset order, then write with only
-    /// `io` held — `put`/`get`/`contains` on other threads proceed
-    /// during the appends instead of queueing behind the disk.
+    /// Flush without holding `inner` across disk IO: move the buffers
+    /// into the disk-side retry queue, taking `io` *before* releasing
+    /// `inner` so concurrent flushes append in offset order, then write
+    /// with only `io` held. `put`/`get`/`contains` on other threads
+    /// proceed during the appends — until the next flush-triggering
+    /// `put`, which queues on `io` behind the in-flight writes while
+    /// still holding `inner`, briefly serializing writers again. When
+    /// nothing is buffered and no failed flush needs retrying, returns
+    /// without touching `io` at all.
     fn flush_owned(&self, mut inner: MutexGuard<'_, Inner>) -> io::Result<()> {
-        let shards = std::mem::replace(&mut inner.buf_shards, vec![Vec::new(); self.regions]);
-        let journal = std::mem::take(&mut inner.buf_journal);
+        let buffered = inner.pending > 0
+            || !inner.buf_journal.is_empty()
+            || inner.buf_shards.iter().any(|b| !b.is_empty());
+        if !buffered && !self.flush_pending.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut disk = self.io.lock();
+        for (r, buf) in inner.buf_shards.iter_mut().enumerate() {
+            disk.retry_shards[r].append(buf);
+        }
+        disk.retry_journal.append(&mut inner.buf_journal);
         inner.pending = 0;
-        let io = self.io.lock();
         drop(inner);
-        for (r, bytes) in shards.iter().enumerate() {
-            if bytes.is_empty() {
+        // lint:allow(blocking-under-lock) — `io` exists solely to order these appends
+        self.write_out(&mut disk)
+    }
+
+    /// Drain the disk-side queue under `io`: repair any partial tail a
+    /// previous failed append left behind, then append queued shard
+    /// bytes and journal records (shards first — see
+    /// [`Store::checkpoint`]). On error the unwritten bytes stay queued
+    /// for the next attempt, so shard offsets already encoded into
+    /// journal records remain valid across the failure.
+    fn write_out(&self, disk: &mut DiskState) -> io::Result<()> {
+        let queued =
+            !disk.retry_journal.is_empty() || disk.retry_shards.iter().any(|b| !b.is_empty());
+        if !queued && !disk.dirty {
+            self.flush_pending.store(false, Ordering::Release);
+            return Ok(());
+        }
+        self.flush_pending.store(true, Ordering::Release);
+        self.drain(disk)?;
+        self.flush_pending.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    fn drain(&self, disk: &mut DiskState) -> io::Result<()> {
+        if disk.dirty {
+            for r in 0..self.regions {
+                truncate_back(&shard_path(&self.dir, r as u8), disk.durable_shard[r])?;
+            }
+            truncate_back(&self.dir.join(JOURNAL_FILE), disk.durable_journal)?;
+        }
+        disk.dirty = true; // an append interrupted below leaves a partial tail
+        for r in 0..self.regions {
+            if disk.retry_shards[r].is_empty() {
                 continue;
             }
-            // lint:allow(blocking-under-lock) — `io` exists solely to order these appends
-            append(&shard_path(&self.dir, r as u8), bytes)?;
+            append(&shard_path(&self.dir, r as u8), &disk.retry_shards[r])?;
+            disk.durable_shard[r] += disk.retry_shards[r].len() as u64;
+            disk.retry_shards[r].clear();
         }
-        if !journal.is_empty() {
-            // lint:allow(blocking-under-lock) — `io` exists solely to order these appends
-            append(&self.dir.join(JOURNAL_FILE), &journal)?;
+        if !disk.retry_journal.is_empty() {
+            append(&self.dir.join(JOURNAL_FILE), &disk.retry_journal)?;
+            disk.durable_journal += disk.retry_journal.len() as u64;
+            disk.retry_journal.clear();
         }
-        drop(io);
+        disk.dirty = false;
         Ok(())
     }
 
@@ -381,6 +474,15 @@ fn append(path: &Path, bytes: &[u8]) -> io::Result<()> {
 
 fn truncate_file(path: &Path, len: u64) -> io::Result<()> {
     OpenOptions::new().write(true).open(path)?.set_len(len)
+}
+
+/// Truncate a file that may not exist yet: a missing file already has
+/// nothing past any durable length, so `NotFound` is success.
+fn truncate_back(path: &Path, len: u64) -> io::Result<()> {
+    match truncate_file(path, len) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        other => other,
+    }
 }
 
 fn parse_meta(text: &str) -> io::Result<Vec<(String, String)>> {
@@ -547,6 +649,64 @@ mod tests {
         drop(store);
         let store = Store::open(&dir).unwrap();
         assert!(store.contains(0, "a.example"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_checkpoint_is_a_no_op() {
+        let dir = tempdir("emptyflush");
+        let store = Store::create(&dir, 2, &[]).unwrap();
+        store.checkpoint().unwrap();
+        store.checkpoint().unwrap();
+        // Nothing was buffered, so no journal or shard file was created.
+        assert!(!dir.join(JOURNAL_FILE).exists());
+        assert!(!shard_path(&dir, 0).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_journal_flush_keeps_bytes_queued_for_retry() {
+        let dir = tempdir("retry-journal");
+        let store = Store::create(&dir, 1, &[]).unwrap();
+        store.put(0, "a.example", &payload(0, "a.example")).unwrap();
+        // Sabotage: a directory at the journal path makes the append fail
+        // *after* the shard bytes already landed.
+        fs::create_dir(dir.join(JOURNAL_FILE)).unwrap();
+        assert!(store.checkpoint().is_err());
+        // Keep writing through the outage: these offsets must stay valid.
+        store.put(0, "b.example", &payload(0, "b.example")).unwrap();
+        assert!(store.checkpoint().is_err(), "outage persists");
+        fs::remove_dir(dir.join(JOURNAL_FILE)).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 2, "no record lost across the failed flush");
+        assert_eq!(store.get(0, "a.example"), Some(payload(0, "a.example")));
+        assert_eq!(store.get(0, "b.example"), Some(payload(0, "b.example")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_shard_flush_preserves_journal_offsets() {
+        let dir = tempdir("retry-shard");
+        let store = Store::create(&dir, 1, &[]).unwrap();
+        store.put(0, "a.example", &payload(0, "a.example")).unwrap();
+        // Sabotage the shard file itself: nothing reaches disk at all.
+        fs::create_dir(shard_path(&dir, 0)).unwrap();
+        assert!(store.checkpoint().is_err());
+        store.put(0, "b.example", &payload(0, "b.example")).unwrap();
+        fs::remove_dir(shard_path(&dir, 0)).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(0, "b.example"), Some(payload(0, "b.example")));
+        // The retried bytes landed in original put order, exactly once.
+        let mut want = payload(0, "a.example");
+        want.extend(payload(0, "b.example"));
+        assert_eq!(fs::read(shard_path(&dir, 0)).unwrap(), want);
         fs::remove_dir_all(&dir).unwrap();
     }
 
