@@ -188,7 +188,18 @@ impl RetryPolicy {
     }
 }
 
-/// Per-host failure memory shared by all workers of a sweep.
+/// Stripes for the domain-hash sharded shared state (fetch cache and
+/// breaker give-up map): two workers on domains in different stripes
+/// never contend on a common mutex.
+const STRIPES: usize = 16;
+
+/// Which stripe a domain's (or host's) shared state lives in.
+fn stripe_of(domain: &str) -> usize {
+    (content_hash(domain.as_bytes()) % STRIPES as u64) as usize
+}
+
+/// Per-host failure memory shared by all workers of a sweep, sharded by
+/// host hash so concurrent give-ups on unrelated hosts never serialize.
 ///
 /// The breaker only opens on *unresolved-host* exhaustion: name resolution
 /// in the simulated network is region-independent, so one region proving a
@@ -199,36 +210,93 @@ impl RetryPolicy {
 struct CircuitBreaker {
     /// Give-ups needed to open; 0 disables the breaker entirely.
     threshold: u32,
-    giveups: parking_lot::Mutex<HashMap<String, u32>>,
-    opened: AtomicUsize,
-    skips: AtomicUsize,
+    /// Give-up counts, keyed by registrable host within the host's stripe.
+    giveups: Vec<parking_lot::Mutex<HashMap<String, u32>>>,
 }
 
 impl CircuitBreaker {
     fn new(threshold: u32) -> Self {
         CircuitBreaker {
             threshold,
-            giveups: parking_lot::Mutex::new(HashMap::new()),
-            opened: AtomicUsize::new(0),
-            skips: AtomicUsize::new(0),
+            giveups: (0..STRIPES)
+                .map(|_| parking_lot::Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
     fn is_open(&self, host_key: &str) -> bool {
         self.threshold > 0
-            && self.giveups.lock().get(host_key).copied().unwrap_or(0) >= self.threshold
+            && self.giveups[stripe_of(host_key)]
+                .lock()
+                .get(host_key)
+                .copied()
+                .unwrap_or(0)
+                >= self.threshold
     }
 
-    fn record_unresolved_giveup(&self, host_key: &str) {
+    /// Record one unresolved-host give-up; true when this give-up is the
+    /// one that opened the breaker (the caller counts opened hosts in its
+    /// private [`WorkerCounters`]).
+    fn record_unresolved_giveup(&self, host_key: &str) -> bool {
         if self.threshold == 0 {
-            return;
+            return false;
         }
-        let mut giveups = self.giveups.lock();
+        let mut giveups = self.giveups[stripe_of(host_key)].lock();
         let count = giveups.entry(host_key.to_string()).or_insert(0);
         *count += 1;
-        if *count == self.threshold {
-            self.opened.fetch_add(1, Ordering::Relaxed);
+        *count == self.threshold
+    }
+}
+
+/// Hot-path observations a worker keeps in plain private fields and the
+/// scheduler merges exactly once at join — no shared atomic is bumped per
+/// task. Merging is commutative and associative: any merge order yields
+/// the same totals, which the metrics tests pin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Tasks completed (crawled or restored) by this worker.
+    pub tasks: usize,
+    /// Summed per-task busy time, microseconds.
+    pub busy_us: u64,
+    /// Tasks executed for a region other than the worker's home, indexed
+    /// by [`Region::ALL`] position.
+    pub stolen: Vec<usize>,
+    /// Navigation retries spent.
+    pub retries: u64,
+    /// Exponential backoff charged across retries, virtual ms.
+    pub backoff_virtual_ms: u64,
+    /// Panics converted to failure records.
+    pub panics: usize,
+    /// Hosts whose circuit breaker this worker's give-up opened.
+    pub breaker_opened: usize,
+    /// `(region, host)` attempts skipped because a breaker was open.
+    pub breaker_skips: usize,
+}
+
+impl WorkerCounters {
+    /// Zeroed counters for a sweep over `n_regions` vantage points.
+    pub fn new(n_regions: usize) -> Self {
+        WorkerCounters {
+            stolen: vec![0; n_regions],
+            ..WorkerCounters::default()
         }
+    }
+
+    /// Fold another worker's counters into this one.
+    pub fn merge(&mut self, other: &WorkerCounters) {
+        self.tasks += other.tasks;
+        self.busy_us += other.busy_us;
+        if self.stolen.len() < other.stolen.len() {
+            self.stolen.resize(other.stolen.len(), 0);
+        }
+        for (r, s) in other.stolen.iter().enumerate() {
+            self.stolen[r] += s;
+        }
+        self.retries += other.retries;
+        self.backoff_virtual_ms += other.backoff_virtual_ms;
+        self.panics += other.panics;
+        self.breaker_opened += other.breaker_opened;
+        self.breaker_skips += other.breaker_skips;
     }
 }
 
@@ -521,14 +589,12 @@ impl VantageCrawl {
     }
 }
 
-/// Sweep-wide resilience state: the policy, the shared breaker, and the
-/// counters every worker feeds.
+/// Sweep-wide resilience state: the policy and the shared breaker.
+/// Resilience *counters* (retries, backoff, panics) live in each worker's
+/// private [`WorkerCounters`], off the hot path.
 struct Resilience<'a> {
     policy: &'a RetryPolicy,
     breaker: CircuitBreaker,
-    retries: AtomicU64,
-    backoff_ms: AtomicU64,
-    panics: AtomicUsize,
 }
 
 impl<'a> Resilience<'a> {
@@ -544,9 +610,6 @@ impl<'a> Resilience<'a> {
         Resilience {
             policy,
             breaker: CircuitBreaker::new(threshold),
-            retries: AtomicU64::new(0),
-            backoff_ms: AtomicU64::new(0),
-            panics: AtomicUsize::new(0),
         }
     }
 }
@@ -557,6 +620,7 @@ impl<'a> Resilience<'a> {
 /// `browser_slot` is the worker's reusable profile for this region; it is
 /// discarded after a panic (the pipeline may have left it in an arbitrary
 /// half-updated state) and lazily rebuilt on the next task.
+#[allow(clippy::too_many_arguments)]
 fn crawl_one(
     res: &Resilience<'_>,
     net: &Network,
@@ -565,10 +629,11 @@ fn crawl_one(
     browser_slot: &mut Option<Browser>,
     domain: &str,
     cache: Option<&FetchCache>,
+    counters: &mut WorkerCounters,
 ) -> CrawlRecord {
     let host_key = httpsim::registrable_domain(domain).unwrap_or(domain);
     if res.breaker.is_open(host_key) {
-        res.breaker.skips.fetch_add(1, Ordering::Relaxed);
+        counters.breaker_skips += 1;
         return failure_record(domain, FailureKind::Unreachable, 0);
     }
     let mut attempts: u32 = 0;
@@ -583,7 +648,7 @@ fn crawl_one(
         match outcome {
             Err(_) => {
                 *browser_slot = None;
-                res.panics.fetch_add(1, Ordering::Relaxed);
+                counters.panics += 1;
                 return failure_record(domain, FailureKind::Panic, attempts);
             }
             Ok(Ok(mut record)) => {
@@ -592,14 +657,15 @@ fn crawl_one(
             }
             Ok(Err(err)) => {
                 if err.is_transient() && attempts <= res.policy.max_retries {
-                    res.retries.fetch_add(1, Ordering::Relaxed);
-                    res.backoff_ms
-                        .fetch_add(res.policy.backoff_ms(attempts), Ordering::Relaxed);
+                    counters.retries += 1;
+                    counters.backoff_virtual_ms += res.policy.backoff_ms(attempts);
                     continue;
                 }
                 let kind = FailureKind::from_error(&err);
-                if kind == FailureKind::Unreachable {
-                    res.breaker.record_unresolved_giveup(host_key);
+                if kind == FailureKind::Unreachable
+                    && res.breaker.record_unresolved_giveup(host_key)
+                {
+                    counters.breaker_opened += 1;
                 }
                 return failure_record(domain, kind, attempts);
             }
@@ -651,13 +717,22 @@ pub fn crawl_region_with(
             let slots = &slots;
             scope.spawn(move |_| {
                 let mut browser_slot: Option<Browser> = None;
+                let mut counters = WorkerCounters::new(1);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= targets.len() {
                         break;
                     }
-                    let record =
-                        crawl_one(res, net, tool, region, &mut browser_slot, &targets[i], None);
+                    let record = crawl_one(
+                        res,
+                        net,
+                        tool,
+                        region,
+                        &mut browser_slot,
+                        &targets[i],
+                        None,
+                        &mut counters,
+                    );
                     *slots[i].lock() = Some(record);
                 }
             });
@@ -740,8 +815,11 @@ pub fn crawl_all_regions_with(
         .map(|_| AtomicUsize::new(n_targets))
         .collect();
     let region_wall_ms: Vec<AtomicU64> = (0..n_regions).map(|_| AtomicU64::new(0)).collect();
-    let stolen: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(0)).collect();
-    let busy_us = AtomicU64::new(0);
+    // One private counter block per worker, written back exactly once when
+    // the worker runs out of tasks — nothing shared is bumped per task.
+    let worker_counters: Vec<parking_lot::Mutex<WorkerCounters>> = (0..workers)
+        .map(|_| parking_lot::Mutex::new(WorkerCounters::new(n_regions)))
+        .collect();
     let slots: Vec<Vec<parking_lot::Mutex<Option<CrawlRecord>>>> = (0..n_regions)
         .map(|_| {
             targets
@@ -762,14 +840,14 @@ pub fn crawl_all_regions_with(
             let cursors = &cursors;
             let remaining = &remaining;
             let region_wall_ms = &region_wall_ms;
-            let stolen = &stolen;
-            let busy_us = &busy_us;
+            let worker_counters = &worker_counters;
             let slots = &slots;
             let cache = &cache;
             let res = &res;
             scope.spawn(move |_| {
                 let home = w % n_regions;
                 let mut browsers: HashMap<Region, Option<Browser>> = HashMap::new();
+                let mut counters = WorkerCounters::new(n_regions);
                 loop {
                     // Claim: home region first, then steal round-robin.
                     let mut claimed = None;
@@ -787,21 +865,38 @@ pub fn crawl_all_regions_with(
                     let task_start = Instant::now();
                     let browser_slot = browsers.entry(region).or_insert(None);
                     let cache_ref = cache.enabled.then_some(cache);
-                    let record =
-                        crawl_one(res, net, tool, region, browser_slot, &targets[i], cache_ref);
+                    let record = crawl_one(
+                        res,
+                        net,
+                        tool,
+                        region,
+                        browser_slot,
+                        &targets[i],
+                        cache_ref,
+                        &mut counters,
+                    );
                     *slots[r][i].lock() = Some(record);
-                    busy_us.fetch_add(task_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    counters.tasks += 1;
+                    counters.busy_us += task_start.elapsed().as_micros() as u64;
                     if stole {
-                        stolen[r].fetch_add(1, Ordering::Relaxed);
+                        counters.stolen[r] += 1;
                     }
                     if remaining[r].fetch_sub(1, Ordering::Relaxed) == 1 {
                         region_wall_ms[r]
                             .store(start.elapsed().as_millis() as u64, Ordering::Relaxed);
                     }
                 }
+                *worker_counters[w].lock() = counters;
             });
         }
     });
+
+    // Single merge point: fold every worker's private counters, in worker
+    // order (though any order yields the same totals — merge commutes).
+    let mut merged = WorkerCounters::new(n_regions);
+    for wc in worker_counters {
+        merged.merge(&wc.into_inner());
+    }
 
     let mut crawls = Vec::with_capacity(n_regions);
     let mut per_region = Vec::with_capacity(n_regions);
@@ -816,7 +911,7 @@ pub fn crawl_all_regions_with(
             .collect();
         let metrics = RegionMetrics {
             tasks: n_targets,
-            stolen: stolen[r].load(Ordering::Relaxed),
+            stolen: merged.stolen[r],
             wall_ms: region_wall_ms[r].load(Ordering::Relaxed),
         };
         per_region.push((Region::ALL[r], metrics.clone()));
@@ -831,16 +926,16 @@ pub fn crawl_all_regions_with(
         workers,
         cache_enabled: opts.cache,
         tasks_completed: n_regions * n_targets,
-        cache_hits: cache.hits.load(Ordering::Relaxed),
-        cache_misses: cache.misses.load(Ordering::Relaxed),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
         wall_ms: start.elapsed().as_millis() as u64,
-        busy_us: busy_us.load(Ordering::Relaxed),
+        busy_us: merged.busy_us,
         per_region,
-        retries: res.retries.load(Ordering::Relaxed),
-        backoff_virtual_ms: res.backoff_ms.load(Ordering::Relaxed),
-        panics: res.panics.load(Ordering::Relaxed),
-        breaker_open_hosts: res.breaker.opened.load(Ordering::Relaxed),
-        breaker_skips: res.breaker.skips.load(Ordering::Relaxed),
+        retries: merged.retries,
+        backoff_virtual_ms: merged.backoff_virtual_ms,
+        panics: merged.panics,
+        breaker_open_hosts: merged.breaker_opened,
+        breaker_skips: merged.breaker_skips,
         unresolved_requests: net.stats().unresolved().saturating_sub(unresolved_before),
         failures,
     };
@@ -924,9 +1019,9 @@ pub fn crawl_all_regions_persistent(
         .map(|_| AtomicUsize::new(n_targets))
         .collect();
     let region_wall_ms: Vec<AtomicU64> = (0..n_regions).map(|_| AtomicU64::new(0)).collect();
-    let stolen: Vec<AtomicUsize> = (0..n_regions).map(|_| AtomicUsize::new(0)).collect();
-    let busy_us = AtomicU64::new(0);
-    let tasks_done = AtomicUsize::new(0);
+    let worker_counters: Vec<parking_lot::Mutex<WorkerCounters>> = (0..workers)
+        .map(|_| parking_lot::Mutex::new(WorkerCounters::new(n_regions)))
+        .collect();
     let new_done = AtomicUsize::new(0);
     let aborted = AtomicBool::new(policy.abort_after == Some(0));
     let slots: Vec<Vec<parking_lot::Mutex<Option<CrawlRecord>>>> = (0..n_regions)
@@ -946,9 +1041,7 @@ pub fn crawl_all_regions_persistent(
             let cursors = &cursors;
             let remaining = &remaining;
             let region_wall_ms = &region_wall_ms;
-            let stolen = &stolen;
-            let busy_us = &busy_us;
-            let tasks_done = &tasks_done;
+            let worker_counters = &worker_counters;
             let new_done = &new_done;
             let aborted = &aborted;
             let slots = &slots;
@@ -958,6 +1051,7 @@ pub fn crawl_all_regions_persistent(
             scope.spawn(move |_| {
                 let home = w % n_regions;
                 let mut browsers: HashMap<Region, Option<Browser>> = HashMap::new();
+                let mut counters = WorkerCounters::new(n_regions);
                 loop {
                     if aborted.load(Ordering::Relaxed) {
                         break;
@@ -987,6 +1081,7 @@ pub fn crawl_all_regions_persistent(
                                 &targets[i],
                                 rec,
                                 cache_ref,
+                                &mut counters,
                             );
                             rec.clone()
                         }
@@ -999,6 +1094,7 @@ pub fn crawl_all_regions_persistent(
                                 browser_slot,
                                 &targets[i],
                                 cache_ref,
+                                &mut counters,
                             );
                             // A failed put is a durability loss, not a
                             // correctness loss: the journal stays valid
@@ -1017,19 +1113,25 @@ pub fn crawl_all_regions_persistent(
                         }
                     };
                     *slots[r][i].lock() = Some(record);
-                    tasks_done.fetch_add(1, Ordering::Relaxed);
-                    busy_us.fetch_add(task_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    counters.tasks += 1;
+                    counters.busy_us += task_start.elapsed().as_micros() as u64;
                     if stole {
-                        stolen[r].fetch_add(1, Ordering::Relaxed);
+                        counters.stolen[r] += 1;
                     }
                     if remaining[r].fetch_sub(1, Ordering::Relaxed) == 1 {
                         region_wall_ms[r]
                             .store(start.elapsed().as_millis() as u64, Ordering::Relaxed);
                     }
                 }
+                *worker_counters[w].lock() = counters;
             });
         }
     });
+
+    let mut merged = WorkerCounters::new(n_regions);
+    for wc in worker_counters {
+        merged.merge(&wc.into_inner());
+    }
 
     let aborted = aborted.load(Ordering::Relaxed);
     let mut crawls = Vec::with_capacity(n_regions);
@@ -1048,7 +1150,7 @@ pub fn crawl_all_regions_persistent(
                 .collect();
             let metrics = RegionMetrics {
                 tasks: n_targets,
-                stolen: stolen[r].load(Ordering::Relaxed),
+                stolen: merged.stolen[r],
                 wall_ms: region_wall_ms[r].load(Ordering::Relaxed),
             };
             per_region.push((Region::ALL[r], metrics.clone()));
@@ -1063,17 +1165,17 @@ pub fn crawl_all_regions_persistent(
     let metrics = CrawlMetrics {
         workers,
         cache_enabled: opts.cache,
-        tasks_completed: tasks_done.load(Ordering::Relaxed),
-        cache_hits: cache.hits.load(Ordering::Relaxed),
-        cache_misses: cache.misses.load(Ordering::Relaxed),
+        tasks_completed: merged.tasks,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
         wall_ms: start.elapsed().as_millis() as u64,
-        busy_us: busy_us.load(Ordering::Relaxed),
+        busy_us: merged.busy_us,
         per_region,
-        retries: res.retries.load(Ordering::Relaxed),
-        backoff_virtual_ms: res.backoff_ms.load(Ordering::Relaxed),
-        panics: res.panics.load(Ordering::Relaxed),
-        breaker_open_hosts: res.breaker.opened.load(Ordering::Relaxed),
-        breaker_skips: res.breaker.skips.load(Ordering::Relaxed),
+        retries: merged.retries,
+        backoff_virtual_ms: merged.backoff_virtual_ms,
+        panics: merged.panics,
+        breaker_open_hosts: merged.breaker_opened,
+        breaker_skips: merged.breaker_skips,
         unresolved_requests: net.stats().unresolved().saturating_sub(unresolved_before),
         failures,
     };
@@ -1086,6 +1188,7 @@ pub fn crawl_all_regions_persistent(
 /// With the cache on, the restored record is seeded under the fetched
 /// document's key so later vantage points hit it exactly as they would
 /// have hit the computed record.
+#[allow(clippy::too_many_arguments)]
 fn replay_restored(
     res: &Resilience<'_>,
     net: &Network,
@@ -1094,6 +1197,7 @@ fn replay_restored(
     domain: &str,
     record: &CrawlRecord,
     cache: Option<&FetchCache>,
+    counters: &mut WorkerCounters,
 ) {
     if !record.reachable {
         // Failure cells never completed a fetch: the origin saw no visit,
@@ -1109,18 +1213,17 @@ fn replay_restored(
             Ok(fetched) => {
                 if let Some(cache) = cache {
                     let key = (domain.to_string(), content_hash(fetched.body().as_bytes()));
-                    cache
-                        .map
+                    cache.stripes[stripe_of(domain)]
                         .lock()
+                        .map
                         .entry(key)
                         .or_insert_with(|| record.clone());
                 }
                 return;
             }
             Err(err) if err.is_transient() && attempts <= res.policy.max_retries => {
-                res.retries.fetch_add(1, Ordering::Relaxed);
-                res.backoff_ms
-                    .fetch_add(res.policy.backoff_ms(attempts), Ordering::Relaxed);
+                counters.retries += 1;
+                counters.backoff_virtual_ms += res.policy.backoff_ms(attempts);
             }
             Err(_) => {
                 // The original run fetched this cell successfully, so under
@@ -1132,22 +1235,41 @@ fn replay_restored(
     }
 }
 
-/// Shared-fetch cache: `(domain, document hash)` → finished record.
+/// Shared-fetch cache: `(domain, document hash)` → finished record, split
+/// into [`STRIPES`] domain-hash stripes. The hit/miss tallies live inside
+/// each stripe — bumped under the stripe lock the lookup already holds —
+/// and are summed only at read-out.
 struct FetchCache {
     enabled: bool,
-    map: parking_lot::Mutex<HashMap<(String, u64), CrawlRecord>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    stripes: Vec<parking_lot::Mutex<CacheStripe>>,
+}
+
+/// One stripe of the shared-fetch cache.
+#[derive(Default)]
+struct CacheStripe {
+    map: HashMap<(String, u64), CrawlRecord>,
+    hits: usize,
+    misses: usize,
 }
 
 impl FetchCache {
     fn new(enabled: bool) -> Self {
         FetchCache {
             enabled,
-            map: parking_lot::Mutex::new(HashMap::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            stripes: (0..STRIPES)
+                .map(|_| parking_lot::Mutex::new(CacheStripe::default()))
+                .collect(),
         }
+    }
+
+    /// Cache hits across all stripes.
+    fn hits(&self) -> usize {
+        (0..STRIPES).map(|i| self.stripes[i].lock().hits).sum()
+    }
+
+    /// Cache misses across all stripes.
+    fn misses(&self) -> usize {
+        (0..STRIPES).map(|i| self.stripes[i].lock().misses).sum()
     }
 }
 
@@ -1182,16 +1304,23 @@ fn try_analyze_domain_cached(
 ) -> Result<CrawlRecord, FetchError> {
     let fetched = browser.fetch_domain_document(domain)?;
     let key = (domain.to_string(), content_hash(fetched.body().as_bytes()));
-    if let Some(record) = cache.map.lock().get(&key) {
-        cache.hits.fetch_add(1, Ordering::Relaxed);
-        return Ok(record.clone());
+    {
+        let mut stripe = cache.stripes[stripe_of(domain)].lock();
+        if let Some(record) = stripe.map.get(&key) {
+            let record = record.clone();
+            stripe.hits += 1;
+            return Ok(record);
+        }
+        stripe.misses += 1;
     }
     // Concurrent misses on the same key may both do the work; the results
     // are identical by construction, so the second insert is harmless.
-    cache.misses.fetch_add(1, Ordering::Relaxed);
     let mut page = browser.load_fetched(&fetched)?;
     let record = record_from_page(tool, domain, &mut page);
-    cache.map.lock().insert(key, record.clone());
+    cache.stripes[stripe_of(domain)]
+        .lock()
+        .map
+        .insert(key, record.clone());
     Ok(record)
 }
 

@@ -40,7 +40,7 @@ pub use crawl::{
     analyze_domain, crawl_all_regions, crawl_all_regions_persistent, crawl_all_regions_serial,
     crawl_all_regions_with, crawl_region, crawl_region_with, CheckpointPolicy, CrawlMetrics,
     CrawlOptions, CrawlRecord, FailureKind, FailureTaxonomy, RegionFailures, RegionMetrics,
-    RetryPolicy, VantageCrawl,
+    RetryPolicy, VantageCrawl, WorkerCounters,
 };
 pub use measure::{
     measure_site, measure_sites, InteractionMode, SiteCookieMeasurement, REPETITIONS,

@@ -7,7 +7,7 @@ use analysis::{
     crawl_all_regions_persistent, crawl_all_regions_with, CheckpointPolicy, CrawlOptions,
 };
 use bannerclick::BannerClick;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use httpsim::{Network, Region};
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -102,6 +102,81 @@ fn bench_store(c: &mut Criterion) {
             BatchSize::PerIteration,
         )
     });
+    g.finish();
+
+    // Journaled sweep at high worker counts: 64 crawl workers funnel puts
+    // into the sharded buffers while auto-checkpoints pipeline through the
+    // single `io` appender — writers must not stall behind the disk.
+    let mut g = c.benchmark_group("store/journaled_worker_scaling");
+    g.sample_size(10);
+    for workers in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let opts = CrawlOptions {
+                workers: w,
+                ..CrawlOptions::default()
+            };
+            b.iter_batched(
+                || {
+                    let dir = fresh_store_dir();
+                    let store = Store::create(&dir, Region::ALL.len(), &[]).expect("store creates");
+                    (world(&pop), store, dir)
+                },
+                |(net, store, dir)| {
+                    let policy = CheckpointPolicy::default();
+                    let (crawls, _) =
+                        crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                    let n = black_box(crawls.expect("sweep completes").len());
+                    drop(store);
+                    let _ = std::fs::remove_dir_all(&dir);
+                    n
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+
+    // Raw put throughput: N threads race distinct cells into the sharded
+    // buffers under a tight auto-checkpoint cadence. Pure store-side
+    // contention, no crawl work in the way.
+    let mut g = c.benchmark_group("store/concurrent_puts");
+    g.sample_size(10);
+    let put_targets: Vec<String> = (0..96).map(|i| format!("bench-{i}.example")).collect();
+    for threads in [1usize, 8, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter_batched(
+                || {
+                    let dir = fresh_store_dir();
+                    let store = Store::create(&dir, Region::ALL.len(), &[]).expect("store creates");
+                    store.set_checkpoint_every(16);
+                    (store, dir)
+                },
+                |(store, dir)| {
+                    std::thread::scope(|scope| {
+                        for k in 0..t {
+                            let store = &store;
+                            let put_targets = &put_targets;
+                            scope.spawn(move || {
+                                for (i, domain) in put_targets.iter().enumerate().skip(k).step_by(t)
+                                {
+                                    let region = (i % Region::ALL.len()) as u8;
+                                    store
+                                        .put(region, domain, domain.as_bytes())
+                                        .expect("put succeeds");
+                                }
+                            });
+                        }
+                    });
+                    store.checkpoint().expect("final checkpoint");
+                    let n = black_box(store.len());
+                    drop(store);
+                    let _ = std::fs::remove_dir_all(&dir);
+                    n
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
     g.finish();
 }
 

@@ -83,14 +83,40 @@ fn bench_crawl(c: &mut Criterion) {
     });
     g.finish();
 
-    // Ablation: crawl parallelism 1 / 2 / 4 / 8 workers.
+    // Ablation: crawl parallelism 1 … 64 workers. The high counts
+    // oversubscribe the machine on purpose: with the striped cache and
+    // per-worker counters the extra workers should cost contention-free
+    // queue churn, not lock convoys on shared metrics.
     let mut g = c.benchmark_group("table1/worker_scaling");
     g.sample_size(10);
-    for workers in [1usize, 2, 4, 8] {
+    for workers in [1usize, 2, 4, 8, 16, 32, 64] {
         g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
             b.iter(|| {
                 let crawl = crawl_region(&tiny.net, Region::Germany, &targets, &tool, w);
                 black_box(crawl.records.len())
+            })
+        });
+    }
+    g.finish();
+
+    // The full eight-region scheduler sweep at high worker counts — the
+    // path the sharded lock topology is for: 64 workers share one striped
+    // fetch cache and one global queue.
+    let mut g = c.benchmark_group("table1/sweep_worker_scaling");
+    g.sample_size(10);
+    for workers in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let opts = CrawlOptions {
+                    workers: w,
+                    cache: true,
+                    ..CrawlOptions::default()
+                };
+                black_box(
+                    crawl_all_regions_with(&tiny.net, &targets, &tool, &opts)
+                        .0
+                        .len(),
+                )
             })
         });
     }

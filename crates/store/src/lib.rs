@@ -23,6 +23,20 @@
 //! the highest offset the surviving records reference, so a crash mid-write
 //! costs at most the unflushed tail — never the whole shard.
 //!
+//! ## Sharded write path
+//!
+//! The in-memory side is split into [`STRIPES`] stripes keyed by
+//! `fnv1a(domain) % STRIPES`: concurrent `put`s on domains that hash to
+//! different stripes never contend on a common mutex, so a 64-worker
+//! sweep does not serialize on one `Mutex<Inner>`. Each stripe owns the
+//! index slice for its domains plus the list of puts accepted since the
+//! last flush. Flushing drains the stripes in deterministic stripe order
+//! (then arrival order within a stripe), allocates shard offsets and
+//! encodes journal records under a single small `queue` mutex, and hands
+//! the bytes to the disk side — so for any fixed sequence of stripe
+//! states the journal bytes are a pure function of that sequence, and
+//! per-region shard offsets stay monotone in journal order.
+//!
 //! ## Durability model
 //!
 //! Puts are buffered in memory and flushed by [`Store::checkpoint`], which
@@ -34,19 +48,27 @@
 //! a reopened store holds precisely the checkpointed puts, no more, no
 //! fewer, no duplicates.
 //!
+//! Checkpointing is pipelined: an auto-checkpoint triggered by `put`
+//! stages its bytes and only *tries* to take the disk-writer lock. If
+//! another thread is already appending, the staged bytes are left for
+//! that writer (which re-drains the queue before releasing the lock) and
+//! the putting worker returns immediately — writers never wait on disk.
+//! An explicit [`Store::checkpoint`] still blocks until everything
+//! staged is durable, which is what its callers rely on.
+//!
 //! A flush that fails midway (disk full, permission error) does not lose
 //! the buffered tail either: the unwritten bytes stay queued on the disk
 //! side, the error is returned to the caller, and the next checkpoint
 //! first truncates any partially-appended file back to its last durable
 //! byte, then retries the queued bytes ahead of newer buffers — so the
-//! shard offsets `put` already encoded into journal records stay valid
+//! shard offsets already encoded into journal records stay valid
 //! across a transient IO error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use httpsim::content_hash;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write};
@@ -66,35 +88,80 @@ const SHARD_DIR: &str = "shards";
 /// Default auto-checkpoint cadence (puts between flushes).
 pub const DEFAULT_CHECKPOINT_EVERY: usize = 64;
 
+/// Number of domain-hash stripes the in-memory buffers are split into.
+/// Concurrent `put`s on domains in different stripes share no mutex.
+pub const STRIPES: usize = 16;
+
+/// Which stripe a domain's buffers live in: `fnv1a(domain) % STRIPES`.
+fn stripe_of(domain: &str) -> usize {
+    (content_hash(domain.as_bytes()) % STRIPES as u64) as usize
+}
+
 /// The persistent crawl store. Thread-safe: workers `put` concurrently.
+///
+/// Lock order (see DESIGN.md §8): a stripe mutex is never held while
+/// taking `queue`, `queue` is never held while taking `io`, and the
+/// reverse orders never occur — the may-hold-while-acquiring graph is
+/// `io → queue` only (the disk writer re-drains the staging queue), so
+/// the topology is trivially cycle-free.
 pub struct Store {
     dir: PathBuf,
     regions: usize,
     meta: Vec<(String, String)>,
     checkpoint_every: AtomicUsize,
-    inner: Mutex<Inner>,
-    /// True while bytes sit in the [`DiskState`] retry queue after a
-    /// failed flush — lets a checkpoint with nothing buffered return
-    /// without touching `io` when there is also nothing to retry.
+    /// In-memory side, sharded by [`stripe_of`] so `put`/`get` on
+    /// different domains never serialize on a common mutex.
+    stripes: Vec<Mutex<Stripe>>,
+    /// Puts accepted since a flush was last triggered (across stripes);
+    /// drives the auto-checkpoint cadence without a shared buffer lock.
+    pending: AtomicUsize,
+    /// Offset allocator and staging area between the stripes and the
+    /// disk side: flushes drain stripes in stripe order, then assign
+    /// shard offsets and encode journal records under this one small
+    /// mutex, so journal bytes are a pure function of the drained
+    /// sequence and per-region offsets stay monotone in journal order.
+    queue: Mutex<FlushQueue>,
+    /// True while any bytes sit staged in `queue` or queued for retry in
+    /// [`DiskState`] — lets a checkpoint with nothing buffered return
+    /// without touching `io`. Set under the `queue` lock when staging;
+    /// cleared under the `queue` lock only after the writer confirms
+    /// both sides empty, so staged bytes can never be stranded behind a
+    /// checkpoint that thinks it has nothing to do.
     flush_pending: AtomicBool,
-    /// Disk-side flush state. Acquired *before* `inner` is released
-    /// (lock order: `inner` → `io`, never reversed) so appends land in
-    /// the same order as their journal offsets, while `put`/`get` on
-    /// other threads proceed under `inner` during the IO.
+    /// Disk-side flush state. Single on purpose: one appender at a time
+    /// keeps file appends in the same order as their journal offsets.
+    /// Writers never *wait* here — an auto-checkpoint only `try_lock`s,
+    /// leaving its staged bytes to the in-flight writer, which re-drains
+    /// the queue before releasing the lock.
     io: Mutex<DiskState>,
 }
 
-struct Inner {
-    /// Every stored payload (flushed and buffered), keyed by task.
+/// One domain-hash stripe of the in-memory side.
+struct Stripe {
+    /// Every stored payload (flushed and buffered) whose domain hashes
+    /// here, keyed by task.
     index: BTreeMap<(u8, String), Vec<u8>>,
-    /// Current logical length of each region shard (flushed + buffered).
+    /// Puts accepted since this stripe was last drained, in put order.
+    fresh: Vec<(u8, String, Vec<u8>)>,
+}
+
+impl Stripe {
+    fn new() -> Stripe {
+        Stripe {
+            index: BTreeMap::new(),
+            fresh: Vec::new(),
+        }
+    }
+}
+
+/// Staged flush state, guarded by [`Store::queue`].
+struct FlushQueue {
+    /// Logical length of each region shard (durable + staged).
     shard_len: Vec<u64>,
-    /// Payload bytes appended since the last checkpoint, per region.
-    buf_shards: Vec<Vec<u8>>,
-    /// Journal records appended since the last checkpoint.
-    buf_journal: Vec<u8>,
-    /// Puts since the last checkpoint.
-    pending: usize,
+    /// Staged payload bytes per region, not yet handed to the disk side.
+    staged_shards: Vec<Vec<u8>>,
+    /// Staged journal records, same discipline.
+    staged_journal: Vec<u8>,
 }
 
 /// What is durably on disk and what a failed flush left queued, guarded
@@ -163,12 +230,12 @@ impl Store {
             regions,
             meta: pairs,
             checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
-            inner: Mutex::new(Inner {
-                index: BTreeMap::new(),
+            stripes: (0..STRIPES).map(|_| Mutex::new(Stripe::new())).collect(),
+            pending: AtomicUsize::new(0),
+            queue: Mutex::new(FlushQueue {
                 shard_len: vec![0; regions],
-                buf_shards: vec![Vec::new(); regions],
-                buf_journal: Vec::new(),
-                pending: 0,
+                staged_shards: vec![Vec::new(); regions],
+                staged_journal: Vec::new(),
             }),
             flush_pending: AtomicBool::new(false),
             io: Mutex::new(DiskState::new(vec![0; regions], 0)),
@@ -241,17 +308,24 @@ impl Store {
             }
         }
 
+        // Distribute the replayed index across the domain-hash stripes.
+        let mut stripes: Vec<Stripe> = (0..STRIPES).map(|_| Stripe::new()).collect();
+        for ((region, domain), payload) in index {
+            let s = stripe_of(&domain);
+            stripes[s].index.insert((region, domain), payload);
+        }
+
         Ok(Store {
             dir: dir.to_path_buf(),
             regions,
             meta,
             checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
-            inner: Mutex::new(Inner {
-                index,
+            stripes: stripes.into_iter().map(Mutex::new).collect(),
+            pending: AtomicUsize::new(0),
+            queue: Mutex::new(FlushQueue {
                 shard_len: high_water.clone(),
-                buf_shards: vec![Vec::new(); regions],
-                buf_journal: Vec::new(),
-                pending: 0,
+                staged_shards: vec![Vec::new(); regions],
+                staged_journal: Vec::new(),
             }),
             flush_pending: AtomicBool::new(false),
             io: Mutex::new(DiskState::new(high_water, pos as u64)),
@@ -286,7 +360,10 @@ impl Store {
 
     /// Store one completed task result. Returns `Ok(false)` without
     /// writing anything when the key is already present (exactly-once:
-    /// a result is never duplicated or overwritten).
+    /// a result is never duplicated or overwritten). Only the domain's
+    /// own stripe is locked, so concurrent puts on different domains
+    /// never serialize; when the auto-checkpoint cadence is reached the
+    /// flush is pipelined and does not wait on an in-flight disk write.
     pub fn put(&self, region: u8, domain: &str, payload: &[u8]) -> io::Result<bool> {
         if (region as usize) >= self.regions {
             return Err(invalid("region index out of range"));
@@ -294,28 +371,28 @@ impl Store {
         if domain.len() > u16::MAX as usize {
             return Err(invalid("domain too long for a journal record"));
         }
-        let mut inner = self.inner.lock();
-        let key = (region, domain.to_string());
-        if inner.index.contains_key(&key) {
-            return Ok(false);
+        {
+            let mut stripe = self.stripes[stripe_of(domain)].lock();
+            let key = (region, domain.to_string());
+            if stripe.index.contains_key(&key) {
+                return Ok(false);
+            }
+            stripe
+                .fresh
+                .push((region, domain.to_string(), payload.to_vec()));
+            stripe.index.insert(key, payload.to_vec());
         }
-        let r = region as usize;
-        let offset = inner.shard_len[r];
-        inner.buf_shards[r].extend_from_slice(payload);
-        inner.shard_len[r] += payload.len() as u64;
-        let record = encode_record(region, domain, offset, payload);
-        inner.buf_journal.extend_from_slice(&record);
-        inner.index.insert(key, payload.to_vec());
-        inner.pending += 1;
-        if inner.pending >= self.checkpoint_every.load(Ordering::Relaxed).max(1) {
-            self.flush_owned(inner)?;
+        let pending = self.pending.fetch_add(1, Ordering::AcqRel) + 1;
+        if pending >= self.checkpoint_every.load(Ordering::Relaxed).max(1) {
+            self.pending.store(0, Ordering::Release);
+            self.flush(false)?;
         }
         Ok(true)
     }
 
     /// Fetch a stored payload.
     pub fn get(&self, region: u8, domain: &str) -> Option<Vec<u8>> {
-        self.inner
+        self.stripes[stripe_of(domain)]
             .lock()
             .index
             .get(&(region, domain.to_string()))
@@ -324,7 +401,7 @@ impl Store {
 
     /// Is this task already stored?
     pub fn contains(&self, region: u8, domain: &str) -> bool {
-        self.inner
+        self.stripes[stripe_of(domain)]
             .lock()
             .index
             .contains_key(&(region, domain.to_string()))
@@ -332,7 +409,9 @@ impl Store {
 
     /// Total stored task results across all regions.
     pub fn len(&self) -> usize {
-        self.inner.lock().index.len()
+        (0..STRIPES)
+            .map(|i| self.stripes[i].lock().index.len())
+            .sum()
     }
 
     /// True when nothing is stored.
@@ -342,70 +421,109 @@ impl Store {
 
     /// All `(domain, payload)` entries of one region, in domain order.
     pub fn region_entries(&self, region: u8) -> Vec<(String, Vec<u8>)> {
-        self.inner
-            .lock()
-            .index
-            .iter()
-            .filter(|((r, _), _)| *r == region)
-            .map(|((_, d), p)| (d.clone(), p.clone()))
-            .collect()
+        let mut entries: Vec<(String, Vec<u8>)> = Vec::new();
+        for i in 0..STRIPES {
+            let stripe = self.stripes[i].lock();
+            entries.extend(
+                stripe
+                    .index
+                    .iter()
+                    .filter(|((r, _), _)| *r == region)
+                    .map(|((_, d), p)| (d.clone(), p.clone())),
+            );
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
     }
 
-    /// Flush every buffered put to disk. Shard bytes land before the
-    /// journal records that reference them, so a crash between the two
-    /// leaves orphan shard bytes (reclaimed on open), never a journal
-    /// record pointing past its shard. On failure nothing is lost: the
-    /// unwritten bytes stay queued and the next checkpoint retries them
-    /// (see the module docs on the durability model).
+    /// Flush every buffered put to disk and wait until it is durable.
+    /// Shard bytes land before the journal records that reference them,
+    /// so a crash between the two leaves orphan shard bytes (reclaimed
+    /// on open), never a journal record pointing past its shard. On
+    /// failure nothing is lost: the unwritten bytes stay queued and the
+    /// next checkpoint retries them (see the module docs on the
+    /// durability model).
     pub fn checkpoint(&self) -> io::Result<()> {
-        let inner = self.inner.lock();
-        self.flush_owned(inner)
+        self.pending.store(0, Ordering::Release);
+        self.flush(true)
     }
 
-    /// Flush without holding `inner` across disk IO: move the buffers
-    /// into the disk-side retry queue, taking `io` *before* releasing
-    /// `inner` so concurrent flushes append in offset order, then write
-    /// with only `io` held. `put`/`get`/`contains` on other threads
-    /// proceed during the appends — until the next flush-triggering
-    /// `put`, which queues on `io` behind the in-flight writes while
-    /// still holding `inner`, briefly serializing writers again. When
-    /// nothing is buffered and no failed flush needs retrying, returns
-    /// without touching `io` at all.
-    fn flush_owned(&self, mut inner: MutexGuard<'_, Inner>) -> io::Result<()> {
-        let buffered = inner.pending > 0
-            || !inner.buf_journal.is_empty()
-            || inner.buf_shards.iter().any(|b| !b.is_empty());
-        if !buffered && !self.flush_pending.load(Ordering::Acquire) {
+    /// Drain every stripe's fresh puts in deterministic stripe order,
+    /// stage them (offset allocation + journal encoding) under `queue`,
+    /// and hand them to the disk writer. With `wait` the caller blocks
+    /// until the staged bytes are durable; without it the disk lock is
+    /// only tried — when another thread is mid-append the staged bytes
+    /// are left for that writer, which re-drains the queue before
+    /// releasing `io`, and this thread returns immediately. When nothing
+    /// is buffered, staged, or queued for retry, returns without
+    /// touching `io` at all.
+    fn flush(&self, wait: bool) -> io::Result<()> {
+        let mut entries: Vec<(u8, String, Vec<u8>)> = Vec::new();
+        for i in 0..STRIPES {
+            let mut stripe = self.stripes[i].lock();
+            entries.append(&mut stripe.fresh);
+        }
+        if entries.is_empty() && !self.flush_pending.load(Ordering::Acquire) {
             return Ok(());
         }
-        let mut disk = self.io.lock();
-        for (r, buf) in inner.buf_shards.iter_mut().enumerate() {
-            disk.retry_shards[r].append(buf);
+        if !entries.is_empty() {
+            let mut q = self.queue.lock();
+            for (region, domain, payload) in &entries {
+                let r = *region as usize;
+                let offset = q.shard_len[r];
+                q.staged_shards[r].extend_from_slice(payload);
+                q.shard_len[r] += payload.len() as u64;
+                let record = encode_record(*region, domain, offset, payload);
+                q.staged_journal.extend_from_slice(&record);
+            }
+            // Set while still holding `queue` so the writer's
+            // confirm-empty check can never miss these bytes.
+            self.flush_pending.store(true, Ordering::Release);
         }
-        disk.retry_journal.append(&mut inner.buf_journal);
-        inner.pending = 0;
-        drop(inner);
-        // lint:allow(blocking-under-lock) — `io` exists solely to order these appends
-        self.write_out(&mut disk)
+        if wait {
+            let mut disk = self.io.lock();
+            // lint:allow(blocking-under-lock) — `io` exists solely to order these appends
+            self.write_out(&mut disk)
+        } else {
+            match self.io.try_lock() {
+                Some(mut disk) => self.write_out(&mut disk),
+                // An in-flight writer holds `io`; it re-drains the queue
+                // before releasing, so our staged bytes are its problem.
+                None => Ok(()),
+            }
+        }
     }
 
-    /// Drain the disk-side queue under `io`: repair any partial tail a
-    /// previous failed append left behind, then append queued shard
-    /// bytes and journal records (shards first — see
-    /// [`Store::checkpoint`]). On error the unwritten bytes stay queued
+    /// The disk writer, run with `io` held: move staged bytes into the
+    /// retry queue, append them (repairing any partial tail a previous
+    /// failed append left behind), and repeat until a pass finds the
+    /// staging queue empty — picking up anything other threads staged
+    /// while we were appending. On error the unwritten bytes stay queued
     /// for the next attempt, so shard offsets already encoded into
     /// journal records remain valid across the failure.
     fn write_out(&self, disk: &mut DiskState) -> io::Result<()> {
-        let queued =
-            !disk.retry_journal.is_empty() || disk.retry_shards.iter().any(|b| !b.is_empty());
-        if !queued && !disk.dirty {
-            self.flush_pending.store(false, Ordering::Release);
-            return Ok(());
+        loop {
+            {
+                let mut q = self.queue.lock();
+                for (r, buf) in q.staged_shards.iter_mut().enumerate() {
+                    disk.retry_shards[r].append(buf);
+                }
+                disk.retry_journal.append(&mut q.staged_journal);
+            }
+            let queued =
+                !disk.retry_journal.is_empty() || disk.retry_shards.iter().any(|b| !b.is_empty());
+            if queued || disk.dirty {
+                self.drain(disk)?;
+            }
+            let q = self.queue.lock();
+            if q.staged_journal.is_empty() && q.staged_shards.iter().all(|b| b.is_empty()) {
+                // Cleared under `queue`: a concurrent flush that stages
+                // after this check will set the flag again itself.
+                self.flush_pending.store(false, Ordering::Release);
+                return Ok(());
+            }
+            // More bytes were staged while we were appending — go again.
         }
-        self.flush_pending.store(true, Ordering::Release);
-        self.drain(disk)?;
-        self.flush_pending.store(false, Ordering::Release);
-        Ok(())
     }
 
     fn drain(&self, disk: &mut DiskState) -> io::Result<()> {
@@ -749,16 +867,22 @@ mod tests {
         store.checkpoint().unwrap();
         drop(store);
 
-        // Flip a byte inside the second payload.
+        // Flip a byte inside the payload flushed second. Flush order is
+        // stripe order (then put order within a stripe), not put order.
+        let (first, second) = if stripe_of("a.example") <= stripe_of("b.example") {
+            ("a.example", "b.example")
+        } else {
+            ("b.example", "a.example")
+        };
         let shard = shard_path(&dir, 0);
         let mut bytes = fs::read(&shard).unwrap();
-        let first_len = payload(0, "a.example").len();
+        let first_len = payload(0, first).len();
         bytes[first_len + 2] ^= 0xFF;
         fs::write(&shard, &bytes).unwrap();
 
         let store = Store::open(&dir).unwrap();
-        assert!(store.contains(0, "a.example"), "clean prefix survives");
-        assert!(!store.contains(0, "b.example"), "corrupt record dropped");
+        assert!(store.contains(0, first), "clean prefix survives");
+        assert!(!store.contains(0, second), "corrupt record dropped");
         fs::remove_dir_all(&dir).unwrap();
     }
 

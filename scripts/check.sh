@@ -36,6 +36,11 @@ echo "$JSON_OUT" | grep -q '"summary": {"failing": 1' \
 
 cargo test -q --workspace --offline
 
+# High-concurrency smoke: the stress battery in release mode hammers the
+# sharded lock topology at 1/4/64 workers (fault on and off, plus a
+# 64-worker abort+resume) and requires byte-identical reports throughout.
+cargo test -q -p analysis --test stress --release --offline
+
 # Resume smoke test: run the tiny sweep to completion, then again with a
 # simulated kill plus a resume, and require byte-identical JSON reports.
 BIN=target/release/cookiewall-study
@@ -60,4 +65,10 @@ if "$BIN" run --scael tiny >/dev/null 2>&1; then
     echo "check.sh: unknown flag was silently accepted" >&2; exit 1
 fi
 
-echo "check.sh: fmt + build + clippy + lint + tests + resume/diff smoke all green"
+# Worker-scaling benches (table1/worker_scaling up to 64 workers,
+# store/journaled_worker_scaling + store/concurrent_puts): record the
+# high-worker numbers in the PR description when the lock topology moves.
+cargo bench -p bench --bench table1 --offline -- --noplot
+cargo bench -p bench --bench store --offline -- --noplot
+
+echo "check.sh: fmt + build + clippy + lint + tests + stress + benches + resume/diff smoke all green"
