@@ -13,7 +13,7 @@ use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use store::Store;
+use store::{DiskFaultConfig, FaultyBackend, FsBackend, Store};
 use webgen::{Population, PopulationConfig};
 
 const WORKERS: usize = 4;
@@ -58,6 +58,33 @@ fn bench_store(c: &mut Criterion) {
             || {
                 let dir = fresh_store_dir();
                 let store = Store::create(&dir, Region::ALL.len(), &[]).expect("store creates");
+                (world(&pop), store, dir)
+            },
+            |(net, store, dir)| {
+                let policy = CheckpointPolicy::default();
+                let (crawls, _) =
+                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                let n = black_box(crawls.expect("sweep completes").len());
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+                n
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    // Same journaled sweep through a `FaultyBackend` at rate 0: the fault
+    // layer's hash/branch bookkeeping must vanish into the noise against
+    // `cached_sweep_journaled` — the chaos VFS is free when unused.
+    g.bench_function("cached_sweep_journaled_faulty_noop", |b| {
+        b.iter_batched(
+            || {
+                let dir = fresh_store_dir();
+                let backend = Arc::new(FaultyBackend::new(
+                    Arc::new(FsBackend),
+                    DiskFaultConfig::noop(),
+                ));
+                let store = Store::create_with(&dir, Region::ALL.len(), &[], backend)
+                    .expect("store creates");
                 (world(&pop), store, dir)
             },
             |(net, store, dir)| {

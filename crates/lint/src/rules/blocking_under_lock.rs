@@ -3,9 +3,12 @@
 //! A blocking root is a call that can park the thread or wait on IO:
 //! `Condvar::wait`/`wait_timeout`/`wait_while`, channel `recv`/
 //! `recv_timeout`, `JoinHandle::join`, the browser fetch entry points
-//! (`fetch_document`, `fetch_domain_document`, `load_fetched`), and
+//! (`fetch_document`, `fetch_domain_document`, `load_fetched`),
 //! store/journal disk writes (`write_all`, `sync_all`, `fs::write`,
-//! `fs::read`, `read_to_string`). Blocking-ness propagates up the call
+//! `fs::read`, `read_to_string`), and every `StorageBackend` IO method
+//! (`read_file`, `write_file`, `append_file`, `truncate_file`,
+//! `sync_file`) — a backend may be the real disk no matter what is
+//! plugged in during tests. Blocking-ness propagates up the call
 //! graph through resolved edges; a guard whose live range covers a
 //! blocking call — directly or transitively — serializes every other
 //! holder of that lock behind the wait, which is how a 45k-site sweep
@@ -30,6 +33,13 @@ const BLOCKING_METHODS: &[&str] = &[
     "write_all",
     "sync_all",
     "read_to_string",
+    // StorageBackend IO: whatever backend is plugged in, callers must
+    // assume the real disk.
+    "read_file",
+    "write_file",
+    "append_file",
+    "truncate_file",
+    "sync_file",
 ];
 
 /// Free `fs::…` calls that hit the disk.

@@ -1,7 +1,7 @@
 //! R5 `journal-format`: the on-disk journal is the store's compatibility
 //! contract — its magic, fixed record overhead, file name, and hash
 //! function are documented in DESIGN.md §8 and must match what
-//! `crates/store/src/lib.rs` actually compiles. A silent constant drift
+//! `crates/store/src/journal.rs` actually compiles. A silent constant drift
 //! would make every existing store unreadable (or worse, misread), so the
 //! source and the documentation are checked against each other.
 //!
@@ -19,8 +19,10 @@ use crate::items::{fn_body, range_has_ident};
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 
-/// Workspace-relative path of the store implementation this rule audits.
-pub const STORE_PATH: &str = "crates/store/src/lib.rs";
+/// Workspace-relative path of the journal codec this rule audits (the
+/// store's format contract lives in its own module since the backend
+/// split).
+pub const STORE_PATH: &str = "crates/store/src/journal.rs";
 
 /// The documented journal-format keys, as spelled in DESIGN.md.
 const KEYS: [&str; 4] = [

@@ -68,6 +68,13 @@ fn r7_blocking_under_lock_fires_exactly_once() {
 }
 
 #[test]
+fn r7_backend_io_under_lock_fires_exactly_once() {
+    // StorageBackend IO methods are blocking roots too: a guard held
+    // across `sync_file` must fire no matter which backend is plugged in.
+    fires_exactly_once("r7-backend", "blocking-under-lock");
+}
+
+#[test]
 fn r8_seed_taint_fires_exactly_once() {
     fires_exactly_once("r8", "seed-taint");
 }

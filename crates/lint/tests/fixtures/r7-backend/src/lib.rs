@@ -1,0 +1,17 @@
+//! R7 fixture (backend variant): a guard held across a `StorageBackend`
+//! IO method — fires `blocking-under-lock` exactly once. The backend may
+//! be the real disk, so `sync_file` under a lock serializes every other
+//! holder behind a potential fsync stall.
+
+pub struct Flusher {
+    state: Mutex<Vec<u8>>,
+    backend: FsBackend,
+}
+
+impl Flusher {
+    pub fn flush(&self, path: &Path) {
+        let guard = self.state.lock();
+        self.backend.sync_file(path);
+        drop(guard);
+    }
+}

@@ -1,0 +1,84 @@
+//! The on-disk journal format: record layout, codec, and the store's
+//! file-name constants. This is the compatibility contract audited by
+//! lint rule R5 (`journal-format`) against DESIGN.md §8 — the constants
+//! and the hash function used here must match their documentation, or
+//! every existing store becomes unreadable.
+
+use httpsim::content_hash;
+use std::path::{Path, PathBuf};
+
+/// Journal record magic: "CookieWall Journal v1".
+pub(crate) const MAGIC: [u8; 4] = *b"CWJ1";
+/// Fixed journal record overhead around the domain bytes:
+/// magic(4) + region(1) + domain_len(2) + offset(8) + payload_len(4) +
+/// payload_hash(8) + record_hash(8).
+pub(crate) const RECORD_OVERHEAD: usize = 4 + 1 + 2 + 8 + 4 + 8 + 8;
+pub(crate) const META_FILE: &str = "meta";
+pub(crate) const JOURNAL_FILE: &str = "journal.wal";
+pub(crate) const SHARD_DIR: &str = "shards";
+/// Sidecar file `fsck` appends quarantined cells to (see `recovery`).
+pub(crate) const QUARANTINE_FILE: &str = "quarantine";
+
+pub(crate) fn shard_path(dir: &Path, region: u8) -> PathBuf {
+    dir.join(SHARD_DIR).join(format!("shard-{region}.bin"))
+}
+
+/// One decoded journal record.
+pub(crate) struct JournalRecord {
+    pub region: u8,
+    pub domain: String,
+    pub offset: u64,
+    pub len: u32,
+    pub payload_hash: u64,
+}
+
+pub(crate) fn encode_record(region: u8, domain: &str, offset: u64, payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(RECORD_OVERHEAD + domain.len());
+    rec.extend_from_slice(&MAGIC);
+    rec.push(region);
+    rec.extend_from_slice(&(domain.len() as u16).to_le_bytes());
+    rec.extend_from_slice(domain.as_bytes());
+    rec.extend_from_slice(&offset.to_le_bytes());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&content_hash(payload).to_le_bytes());
+    let record_hash = content_hash(&rec);
+    rec.extend_from_slice(&record_hash.to_le_bytes());
+    rec
+}
+
+/// Decode the record starting at `pos`, or `None` when the bytes there are
+/// torn (too short) or corrupt (bad magic / bad record hash / bad UTF-8).
+pub(crate) fn parse_record(buf: &[u8], pos: usize) -> Option<(JournalRecord, usize)> {
+    let header_end = pos.checked_add(7)?;
+    if header_end > buf.len() || buf[pos..pos + 4] != MAGIC {
+        return None;
+    }
+    let region = buf[pos + 4];
+    let domain_len = u16::from_le_bytes([buf[pos + 5], buf[pos + 6]]) as usize;
+    let end = pos.checked_add(RECORD_OVERHEAD + domain_len)?;
+    if end > buf.len() {
+        return None;
+    }
+    let body_end = end - 8; // record hash covers everything before itself
+    let stored_hash = u64::from_le_bytes(buf[body_end..end].try_into().ok()?);
+    if content_hash(&buf[pos..body_end]) != stored_hash {
+        return None;
+    }
+    let domain = std::str::from_utf8(&buf[pos + 7..pos + 7 + domain_len])
+        .ok()?
+        .to_string();
+    let tail = &buf[pos + 7 + domain_len..body_end];
+    let offset = u64::from_le_bytes(tail[0..8].try_into().ok()?);
+    let len = u32::from_le_bytes(tail[8..12].try_into().ok()?);
+    let payload_hash = u64::from_le_bytes(tail[12..20].try_into().ok()?);
+    Some((
+        JournalRecord {
+            region,
+            domain,
+            offset,
+            len,
+            payload_hash,
+        },
+        end,
+    ))
+}

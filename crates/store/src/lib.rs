@@ -12,16 +12,33 @@
 //! <dir>/journal.wal        append-only journal, one record per stored task
 //! <dir>/shards/shard-N.bin raw payload bytes for region index N
 //! <dir>/note-<name>        free-form text attachments (epoch summaries)
+//! <dir>/quarantine         fsck's sidecar of damaged cells (see below)
 //! ```
 //!
 //! Each journal record carries the task key (region index + domain), the
 //! payload's byte offset and length in its region shard, the payload's
-//! [`content_hash`], and a trailing hash of the record bytes themselves.
-//! [`Store::open`] replays the journal sequentially and stops at the first
-//! record that is torn (truncated mid-write) or fails either hash check:
-//! the journal is truncated back to the last good record and the shards to
-//! the highest offset the surviving records reference, so a crash mid-write
-//! costs at most the unflushed tail — never the whole shard.
+//! [`content_hash`], and a trailing hash of the record bytes themselves
+//! (see [`journal`]). [`Store::open`] replays the journal tolerantly:
+//! every record is verified against the shard bytes actually on disk —
+//! a payload is never handed back (let alone decoded) unless its hash
+//! matches — and a record that is torn (its shard bytes never landed) or
+//! corrupt (bit rot) is *skipped*, not fatal to the records after it. An
+//! unparseable journal tail is truncated away; unparseable runs in the
+//! middle are skipped when a later record resyncs. Partial recovery is
+//! reported on stderr, and `cookiewall-study fsck` ([`fsck`]) turns the
+//! same classification into repair: damaged cells are quarantined into a
+//! sidecar file and dropped from the journal, so a resumed crawl
+//! re-fetches exactly those cells.
+//!
+//! ## Storage backends
+//!
+//! Every byte of store IO flows through a [`StorageBackend`]
+//! ([`FsBackend`] by default — the real filesystem). [`MemBackend`]
+//! models the page-cache/platter split with an explicit
+//! [`MemBackend::crash`], and [`FaultyBackend`] injects deterministic
+//! disk chaos (torn writes, short reads, ENOSPC, lying fsyncs, bit rot,
+//! byte-level crash points) for the crash-point fuzzer and the CLI's
+//! `--disk-fault-*` flags.
 //!
 //! ## Sharded write path
 //!
@@ -42,8 +59,9 @@
 //! Puts are buffered in memory and flushed by [`Store::checkpoint`], which
 //! runs automatically every [`Store::set_checkpoint_every`] puts (shard
 //! bytes are written before the journal records that reference them, so the
-//! journal never points past a shard's end on a clean flush). Dropping the
-//! store without a checkpoint abandons the buffered tail — exactly what a
+//! journal never points past a shard's end on a clean flush; each file is
+//! synced through the backend after its append). Dropping the store
+//! without a checkpoint abandons the buffered tail — exactly what a
 //! `Ctrl-C` or a crash does — and the exactly-once property tests pin that
 //! a reopened store holds precisely the checkpointed puts, no more, no
 //! fewer, no duplicates.
@@ -67,35 +85,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use httpsim::content_hash;
+mod backend;
+mod journal;
+mod recovery;
+mod stripe;
+
+pub use backend::{DiskFaultConfig, FaultyBackend, FsBackend, MemBackend, StorageBackend};
+pub use recovery::{fsck, quarantine_ledger, FsckReport, QuarantinedCell};
+pub use stripe::STRIPES;
+
+use journal::{encode_record, shard_path, JOURNAL_FILE, META_FILE, SHARD_DIR};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::fs::{self, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use stripe::{stripe_of, DiskState, FlushQueue, Stripe};
 
-/// Journal record magic: "CookieWall Journal v1".
-const MAGIC: [u8; 4] = *b"CWJ1";
-/// Fixed journal record overhead around the domain bytes:
-/// magic(4) + region(1) + domain_len(2) + offset(8) + payload_len(4) +
-/// payload_hash(8) + record_hash(8).
-const RECORD_OVERHEAD: usize = 4 + 1 + 2 + 8 + 4 + 8 + 8;
-const META_FILE: &str = "meta";
-const JOURNAL_FILE: &str = "journal.wal";
-const SHARD_DIR: &str = "shards";
+#[cfg(doc)]
+use httpsim::content_hash;
 
 /// Default auto-checkpoint cadence (puts between flushes).
 pub const DEFAULT_CHECKPOINT_EVERY: usize = 64;
-
-/// Number of domain-hash stripes the in-memory buffers are split into.
-/// Concurrent `put`s on domains in different stripes share no mutex.
-pub const STRIPES: usize = 16;
-
-/// Which stripe a domain's buffers live in: `fnv1a(domain) % STRIPES`.
-fn stripe_of(domain: &str) -> usize {
-    (content_hash(domain.as_bytes()) % STRIPES as u64) as usize
-}
 
 /// The persistent crawl store. Thread-safe: workers `put` concurrently.
 ///
@@ -108,8 +119,10 @@ pub struct Store {
     dir: PathBuf,
     regions: usize,
     meta: Vec<(String, String)>,
+    /// Every byte of disk IO goes through here; [`FsBackend`] by default.
+    backend: Arc<dyn StorageBackend>,
     checkpoint_every: AtomicUsize,
-    /// In-memory side, sharded by [`stripe_of`] so `put`/`get` on
+    /// In-memory side, sharded by `stripe_of` so `put`/`get` on
     /// different domains never serialize on a common mutex.
     stripes: Vec<Mutex<Stripe>>,
     /// Puts accepted since a flush was last triggered (across stripes);
@@ -136,80 +149,30 @@ pub struct Store {
     io: Mutex<DiskState>,
 }
 
-/// One domain-hash stripe of the in-memory side.
-struct Stripe {
-    /// Every stored payload (flushed and buffered) whose domain hashes
-    /// here, keyed by task.
-    index: BTreeMap<(u8, String), Vec<u8>>,
-    /// Puts accepted since this stripe was last drained, in put order.
-    fresh: Vec<(u8, String, Vec<u8>)>,
-}
-
-impl Stripe {
-    fn new() -> Stripe {
-        Stripe {
-            index: BTreeMap::new(),
-            fresh: Vec::new(),
-        }
-    }
-}
-
-/// Staged flush state, guarded by [`Store::queue`].
-struct FlushQueue {
-    /// Logical length of each region shard (durable + staged).
-    shard_len: Vec<u64>,
-    /// Staged payload bytes per region, not yet handed to the disk side.
-    staged_shards: Vec<Vec<u8>>,
-    /// Staged journal records, same discipline.
-    staged_journal: Vec<u8>,
-}
-
-/// What is durably on disk and what a failed flush left queued, guarded
-/// by [`Store::io`].
-struct DiskState {
-    /// Bytes of each shard file known durably appended.
-    durable_shard: Vec<u64>,
-    /// Bytes of the journal known durably appended.
-    durable_journal: u64,
-    /// Shard bytes not yet durable: what the current flush moved out of
-    /// [`Inner`], plus anything an earlier failed flush left behind —
-    /// always retried in original put order so offsets stay contiguous.
-    retry_shards: Vec<Vec<u8>>,
-    /// Journal records not yet durable (same retry discipline).
-    retry_journal: Vec<u8>,
-    /// A failed append may have left a partial tail on some file:
-    /// truncate every file back to its durable length before appending
-    /// more.
-    dirty: bool,
-}
-
-impl DiskState {
-    fn new(durable_shard: Vec<u64>, durable_journal: u64) -> DiskState {
-        let regions = durable_shard.len();
-        DiskState {
-            durable_shard,
-            durable_journal,
-            retry_shards: vec![Vec::new(); regions],
-            retry_journal: Vec::new(),
-            dirty: false,
-        }
-    }
-}
-
 impl Store {
     /// Create a fresh store at `dir` for `regions` shards, recording the
     /// caller's `meta` pairs. Fails if a store already exists there.
     pub fn create(dir: &Path, regions: usize, meta: &[(String, String)]) -> io::Result<Store> {
+        Store::create_with(dir, regions, meta, Arc::new(FsBackend))
+    }
+
+    /// [`Store::create`] on an explicit storage backend.
+    pub fn create_with(
+        dir: &Path,
+        regions: usize,
+        meta: &[(String, String)],
+        backend: Arc<dyn StorageBackend>,
+    ) -> io::Result<Store> {
         if regions == 0 || regions > u8::MAX as usize {
             return Err(invalid("region count must be in 1..=255"));
         }
-        if dir.join(META_FILE).exists() {
+        if backend.file_exists(&dir.join(META_FILE)) {
             return Err(io::Error::new(
                 io::ErrorKind::AlreadyExists,
                 format!("a store already exists at {}", dir.display()),
             ));
         }
-        fs::create_dir_all(dir.join(SHARD_DIR))?;
+        backend.create_dir_all(&dir.join(SHARD_DIR))?;
         let mut pairs = vec![
             ("format".to_string(), "1".to_string()),
             ("regions".to_string(), regions.to_string()),
@@ -224,93 +187,75 @@ impl Store {
             pairs.push((k.clone(), v.clone()));
         }
         let text: String = pairs.iter().map(|(k, v)| format!("{k}={v}\n")).collect();
-        fs::write(dir.join(META_FILE), text)?;
+        let meta_path = dir.join(META_FILE);
+        backend.write_file(&meta_path, text.as_bytes())?;
+        backend.sync_file(&meta_path)?;
         Ok(Store {
             dir: dir.to_path_buf(),
             regions,
             meta: pairs,
+            backend,
             checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
             stripes: (0..STRIPES).map(|_| Mutex::new(Stripe::new())).collect(),
             pending: AtomicUsize::new(0),
-            queue: Mutex::new(FlushQueue {
-                shard_len: vec![0; regions],
-                staged_shards: vec![Vec::new(); regions],
-                staged_journal: Vec::new(),
-            }),
+            queue: Mutex::new(FlushQueue::new(vec![0; regions])),
             flush_pending: AtomicBool::new(false),
             io: Mutex::new(DiskState::new(vec![0; regions], 0)),
         })
     }
 
-    /// Open an existing store, replaying the journal. A torn trailing
-    /// record (crash mid-write) is truncated away, not an error; the
-    /// journal and shards are repaired on disk so the next open is clean.
+    /// Open an existing store, replaying the journal. Recovery is
+    /// tolerant: a torn or corrupt cell is skipped (and reported on
+    /// stderr), never decoded, and never fatal to the cells after it; an
+    /// unparseable journal tail is truncated away so the next open is
+    /// clean. See [`fsck`] for turning skipped cells into quarantine.
     pub fn open(dir: &Path) -> io::Result<Store> {
-        let meta_text = fs::read_to_string(dir.join(META_FILE))
-            .map_err(|e| io::Error::new(e.kind(), format!("no store at {}: {e}", dir.display())))?;
-        let meta = parse_meta(&meta_text)?;
-        let regions: usize = meta_lookup(&meta, "regions")
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0 && n <= u8::MAX as usize)
-            .ok_or_else(|| invalid("store meta has no valid 'regions' entry"))?;
-        if meta_lookup(&meta, "format") != Some("1") {
-            return Err(invalid("unsupported store format"));
+        Store::open_with(dir, Arc::new(FsBackend))
+    }
+
+    /// [`Store::open`] on an explicit storage backend.
+    pub fn open_with(dir: &Path, backend: Arc<dyn StorageBackend>) -> io::Result<Store> {
+        let (meta, regions) = read_store_config(dir, backend.as_ref())?;
+        let (journal, shards) = recovery::read_journal_and_shards(dir, backend.as_ref(), regions)?;
+        let replay = recovery::replay(&journal, &shards);
+
+        // One structured line so operators see partial recovery happened
+        // (the journal replay itself is silent about what it skips).
+        let damage = replay.torn_cells + replay.corrupt_cells > 0 || replay.gap_bytes > 0;
+        if damage || replay.torn_tail.is_some() {
+            let (tail_offset, tail_bytes) = replay.torn_tail.unwrap_or((replay.keep_len, 0));
+            eprintln!(
+                "store: partial recovery at {}: skipped {} torn + {} corrupt cell(s), \
+                 {} mid-journal gap byte(s), truncated {} torn tail byte(s) at offset {} \
+                 — run `cookiewall-study fsck` to quarantine",
+                dir.display(),
+                replay.torn_cells,
+                replay.corrupt_cells,
+                replay.gap_bytes,
+                tail_bytes,
+                tail_offset,
+            );
         }
 
-        let journal_path = dir.join(JOURNAL_FILE);
-        let journal = match fs::read(&journal_path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e),
-        };
-        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(regions);
-        for r in 0..regions {
-            shards.push(match fs::read(shard_path(dir, r as u8)) {
-                Ok(bytes) => bytes,
-                Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
-                Err(e) => return Err(e),
-            });
+        // Repair on disk: drop the unparseable journal tail and any
+        // orphan shard bytes (payloads flushed whose journal record
+        // never landed). Skipped-but-parseable records stay until fsck.
+        if replay.torn_tail.is_some() {
+            let journal_path = dir.join(JOURNAL_FILE);
+            backend.truncate_file(&journal_path, replay.keep_len)?;
+            backend.sync_file(&journal_path)?;
         }
-
-        // Replay: accept the longest valid prefix of the journal.
-        let mut index = BTreeMap::new();
-        let mut high_water = vec![0u64; regions];
-        let mut pos = 0usize;
-        while pos < journal.len() {
-            let Some((rec, next)) = parse_record(&journal, pos) else {
-                break; // torn or corrupt tail — truncate from here
-            };
-            let r = rec.region as usize;
-            if r >= regions {
-                break;
-            }
-            let end = rec.offset.saturating_add(rec.len as u64);
-            if end > shards[r].len() as u64 {
-                break; // journal references bytes the shard never got
-            }
-            let payload = &shards[r][rec.offset as usize..end as usize];
-            if content_hash(payload) != rec.payload_hash {
-                break; // shard bytes corrupted — drop this record and the rest
-            }
-            index.insert((rec.region, rec.domain), payload.to_vec());
-            high_water[r] = high_water[r].max(end);
-            pos = next;
-        }
-
-        // Repair on disk: drop the bad journal tail and any orphan shard
-        // bytes (payloads flushed whose journal record never landed).
-        if pos < journal.len() {
-            truncate_file(&journal_path, pos as u64)?;
-        }
-        for r in 0..regions {
-            if (shards[r].len() as u64) > high_water[r] {
-                truncate_file(&shard_path(dir, r as u8), high_water[r])?;
+        for (r, shard) in shards.iter().enumerate().take(regions) {
+            if (shard.len() as u64) > replay.high_water[r] {
+                let path = shard_path(dir, r as u8);
+                backend.truncate_file(&path, replay.high_water[r])?;
+                backend.sync_file(&path)?;
             }
         }
 
         // Distribute the replayed index across the domain-hash stripes.
         let mut stripes: Vec<Stripe> = (0..STRIPES).map(|_| Stripe::new()).collect();
-        for ((region, domain), payload) in index {
+        for ((region, domain), payload) in replay.index {
             let s = stripe_of(&domain);
             stripes[s].index.insert((region, domain), payload);
         }
@@ -319,16 +264,13 @@ impl Store {
             dir: dir.to_path_buf(),
             regions,
             meta,
+            backend,
             checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
             stripes: stripes.into_iter().map(Mutex::new).collect(),
             pending: AtomicUsize::new(0),
-            queue: Mutex::new(FlushQueue {
-                shard_len: high_water.clone(),
-                staged_shards: vec![Vec::new(); regions],
-                staged_journal: Vec::new(),
-            }),
+            queue: Mutex::new(FlushQueue::new(replay.high_water.clone())),
             flush_pending: AtomicBool::new(false),
-            io: Mutex::new(DiskState::new(high_water, pos as u64)),
+            io: Mutex::new(DiskState::new(replay.high_water, replay.keep_len)),
         })
     }
 
@@ -526,24 +468,32 @@ impl Store {
         }
     }
 
+    /// Append-and-sync the queued bytes through the backend, advancing
+    /// the durable watermarks only after each file's sync returns — a
+    /// backend whose sync *lies* advances them too, which is exactly the
+    /// failure the recovery path and the crash-point fuzzer cover.
     fn drain(&self, disk: &mut DiskState) -> io::Result<()> {
         if disk.dirty {
             for r in 0..self.regions {
-                truncate_back(&shard_path(&self.dir, r as u8), disk.durable_shard[r])?;
+                self.truncate_back(&shard_path(&self.dir, r as u8), disk.durable_shard[r])?;
             }
-            truncate_back(&self.dir.join(JOURNAL_FILE), disk.durable_journal)?;
+            self.truncate_back(&self.dir.join(JOURNAL_FILE), disk.durable_journal)?;
         }
         disk.dirty = true; // an append interrupted below leaves a partial tail
         for r in 0..self.regions {
             if disk.retry_shards[r].is_empty() {
                 continue;
             }
-            append(&shard_path(&self.dir, r as u8), &disk.retry_shards[r])?;
+            let path = shard_path(&self.dir, r as u8);
+            self.backend.append_file(&path, &disk.retry_shards[r])?;
+            self.backend.sync_file(&path)?;
             disk.durable_shard[r] += disk.retry_shards[r].len() as u64;
             disk.retry_shards[r].clear();
         }
         if !disk.retry_journal.is_empty() {
-            append(&self.dir.join(JOURNAL_FILE), &disk.retry_journal)?;
+            let path = self.dir.join(JOURNAL_FILE);
+            self.backend.append_file(&path, &disk.retry_journal)?;
+            self.backend.sync_file(&path)?;
             disk.durable_journal += disk.retry_journal.len() as u64;
             disk.retry_journal.clear();
         }
@@ -551,15 +501,28 @@ impl Store {
         Ok(())
     }
 
+    /// Truncate a file that may not exist yet: a missing file already has
+    /// nothing past any durable length, so `NotFound` is success.
+    fn truncate_back(&self, path: &Path, len: u64) -> io::Result<()> {
+        match self.backend.truncate_file(path, len) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
     /// Attach (or replace) a free-form text note, e.g. an epoch summary.
     pub fn write_note(&self, name: &str, text: &str) -> io::Result<()> {
-        fs::write(self.note_path(name)?, text)
+        let path = self.note_path(name)?;
+        self.backend.write_file(&path, text.as_bytes())?;
+        self.backend.sync_file(&path)
     }
 
     /// Read back a note written by [`Store::write_note`].
     pub fn read_note(&self, name: &str) -> io::Result<Option<String>> {
-        match fs::read_to_string(self.note_path(name)?) {
-            Ok(text) => Ok(Some(text)),
+        match self.backend.read_file(&self.note_path(name)?) {
+            Ok(bytes) => Ok(Some(
+                String::from_utf8(bytes).map_err(|_| invalid("note is not valid UTF-8"))?,
+            )),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e),
         }
@@ -581,26 +544,26 @@ fn invalid(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidInput, message.to_string())
 }
 
-fn shard_path(dir: &Path, region: u8) -> PathBuf {
-    dir.join(SHARD_DIR).join(format!("shard-{region}.bin"))
-}
-
-fn append(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-    file.write_all(bytes)
-}
-
-fn truncate_file(path: &Path, len: u64) -> io::Result<()> {
-    OpenOptions::new().write(true).open(path)?.set_len(len)
-}
-
-/// Truncate a file that may not exist yet: a missing file already has
-/// nothing past any durable length, so `NotFound` is success.
-fn truncate_back(path: &Path, len: u64) -> io::Result<()> {
-    match truncate_file(path, len) {
-        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-        other => other,
+/// Read and validate a store's meta file: the full pair list plus the
+/// parsed region count. Shared by [`Store::open_with`] and [`fsck`].
+pub(crate) fn read_store_config(
+    dir: &Path,
+    backend: &dyn StorageBackend,
+) -> io::Result<(Vec<(String, String)>, usize)> {
+    let bytes = backend
+        .read_file(&dir.join(META_FILE))
+        .map_err(|e| io::Error::new(e.kind(), format!("no store at {}: {e}", dir.display())))?;
+    let meta_text =
+        String::from_utf8(bytes).map_err(|_| invalid("store meta is not valid UTF-8"))?;
+    let meta = parse_meta(&meta_text)?;
+    let regions: usize = meta_lookup(&meta, "regions")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0 && n <= u8::MAX as usize)
+        .ok_or_else(|| invalid("store meta has no valid 'regions' entry"))?;
+    if meta_lookup(&meta, "format") != Some("1") {
+        return Err(invalid("unsupported store format"));
     }
+    Ok((meta, regions))
 }
 
 fn parse_meta(text: &str) -> io::Result<Vec<(String, String)>> {
@@ -621,69 +584,11 @@ fn meta_lookup<'a>(meta: &'a [(String, String)], key: &str) -> Option<&'a str> {
     meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
 }
 
-/// One decoded journal record.
-struct JournalRecord {
-    region: u8,
-    domain: String,
-    offset: u64,
-    len: u32,
-    payload_hash: u64,
-}
-
-fn encode_record(region: u8, domain: &str, offset: u64, payload: &[u8]) -> Vec<u8> {
-    let mut rec = Vec::with_capacity(RECORD_OVERHEAD + domain.len());
-    rec.extend_from_slice(&MAGIC);
-    rec.push(region);
-    rec.extend_from_slice(&(domain.len() as u16).to_le_bytes());
-    rec.extend_from_slice(domain.as_bytes());
-    rec.extend_from_slice(&offset.to_le_bytes());
-    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    rec.extend_from_slice(&content_hash(payload).to_le_bytes());
-    let record_hash = content_hash(&rec);
-    rec.extend_from_slice(&record_hash.to_le_bytes());
-    rec
-}
-
-/// Decode the record starting at `pos`, or `None` when the bytes there are
-/// torn (too short) or corrupt (bad magic / bad record hash / bad UTF-8).
-fn parse_record(buf: &[u8], pos: usize) -> Option<(JournalRecord, usize)> {
-    let header_end = pos.checked_add(7)?;
-    if header_end > buf.len() || buf[pos..pos + 4] != MAGIC {
-        return None;
-    }
-    let region = buf[pos + 4];
-    let domain_len = u16::from_le_bytes([buf[pos + 5], buf[pos + 6]]) as usize;
-    let end = pos.checked_add(RECORD_OVERHEAD + domain_len)?;
-    if end > buf.len() {
-        return None;
-    }
-    let body_end = end - 8; // record hash covers everything before itself
-    let stored_hash = u64::from_le_bytes(buf[body_end..end].try_into().ok()?);
-    if content_hash(&buf[pos..body_end]) != stored_hash {
-        return None;
-    }
-    let domain = std::str::from_utf8(&buf[pos + 7..pos + 7 + domain_len])
-        .ok()?
-        .to_string();
-    let tail = &buf[pos + 7 + domain_len..body_end];
-    let offset = u64::from_le_bytes(tail[0..8].try_into().ok()?);
-    let len = u32::from_le_bytes(tail[8..12].try_into().ok()?);
-    let payload_hash = u64::from_le_bytes(tail[12..20].try_into().ok()?);
-    Some((
-        JournalRecord {
-            region,
-            domain,
-            offset,
-            len,
-            payload_hash,
-        },
-        end,
-    ))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use journal::MAGIC;
+    use std::fs;
 
     fn tempdir(tag: &str) -> PathBuf {
         static NEXT: AtomicUsize = AtomicUsize::new(0);
@@ -698,6 +603,10 @@ mod tests {
 
     fn payload(region: u8, domain: &str) -> Vec<u8> {
         format!("payload/{region}/{domain}").into_bytes()
+    }
+
+    fn truncate(path: &Path, len: u64) {
+        FsBackend.truncate_file(path, len).unwrap();
     }
 
     #[test]
@@ -841,7 +750,7 @@ mod tests {
         // Tear the last record: chop a few bytes off the journal tail.
         let journal = dir.join(JOURNAL_FILE);
         let len = fs::metadata(&journal).unwrap().len();
-        truncate_file(&journal, len - 5).unwrap();
+        truncate(&journal, len - 5);
 
         let store = Store::open(&dir).unwrap();
         assert_eq!(store.len(), 2, "only the torn record is dropped");
@@ -858,31 +767,52 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Flush order is stripe order (then put order within a stripe), not
+    /// put order: the domains sorted by their on-disk position.
+    fn flush_order(domains: &[&str]) -> Vec<String> {
+        let mut ordered: Vec<(usize, usize, String)> = domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (stripe_of(d), i, d.to_string()))
+            .collect();
+        ordered.sort();
+        ordered.into_iter().map(|(_, _, d)| d).collect()
+    }
+
     #[test]
-    fn corrupt_shard_byte_drops_the_affected_tail() {
+    fn corrupt_shard_byte_drops_only_that_cell() {
         let dir = tempdir("corrupt");
         let store = Store::create(&dir, 1, &[]).unwrap();
-        store.put(0, "a.example", &payload(0, "a.example")).unwrap();
-        store.put(0, "b.example", &payload(0, "b.example")).unwrap();
+        let domains = ["a.example", "b.example", "c.example"];
+        for d in domains {
+            store.put(0, d, &payload(0, d)).unwrap();
+        }
         store.checkpoint().unwrap();
         drop(store);
 
-        // Flip a byte inside the payload flushed second. Flush order is
-        // stripe order (then put order within a stripe), not put order.
-        let (first, second) = if stripe_of("a.example") <= stripe_of("b.example") {
-            ("a.example", "b.example")
-        } else {
-            ("b.example", "a.example")
-        };
+        // Flip a byte inside the payload flushed second: with tolerant
+        // replay only that cell is dropped — the clean record *after* it
+        // survives (pre-PR-7 recovery threw away the whole tail).
+        let order = flush_order(&domains);
         let shard = shard_path(&dir, 0);
         let mut bytes = fs::read(&shard).unwrap();
-        let first_len = payload(0, first).len();
+        let first_len = payload(0, &order[0]).len();
         bytes[first_len + 2] ^= 0xFF;
         fs::write(&shard, &bytes).unwrap();
 
         let store = Store::open(&dir).unwrap();
-        assert!(store.contains(0, first), "clean prefix survives");
-        assert!(!store.contains(0, second), "corrupt record dropped");
+        assert!(store.contains(0, &order[0]), "clean prefix survives");
+        assert!(!store.contains(0, &order[1]), "corrupt record dropped");
+        assert!(store.contains(0, &order[2]), "clean suffix survives too");
+        assert_eq!(store.get(0, &order[2]), Some(payload(0, &order[2])));
+        // The dropped cell is storable again; after a re-put the store
+        // reopens at full size with the fresh payload winning.
+        assert!(store.put(0, &order[1], &payload(0, &order[1])).unwrap());
+        store.checkpoint().unwrap();
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(0, &order[1]), Some(payload(0, &order[1])));
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -894,6 +824,91 @@ mod tests {
         fs::write(dir.join(JOURNAL_FILE), b"not a journal at all").unwrap();
         let store = Store::open(&dir).unwrap();
         assert!(store.is_empty());
+        drop(store);
+        assert_eq!(fs::read(dir.join(JOURNAL_FILE)).unwrap(), b"");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_length_journal_opens_empty() {
+        let dir = tempdir("zerolen");
+        let store = Store::create(&dir, 2, &[]).unwrap();
+        drop(store);
+        fs::write(dir.join(JOURNAL_FILE), b"").unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(store.is_empty());
+        // And the store still accepts work afterwards.
+        assert!(store.put(0, "a.example", b"a").unwrap());
+        store.checkpoint().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn magic_only_journal_is_truncated_to_empty() {
+        let dir = tempdir("magiconly");
+        let store = Store::create(&dir, 2, &[]).unwrap();
+        drop(store);
+        // Four valid magic bytes and nothing else: a record torn at the
+        // earliest possible point.
+        fs::write(dir.join(JOURNAL_FILE), MAGIC).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(store.is_empty());
+        drop(store);
+        assert_eq!(fs::read(dir.join(JOURNAL_FILE)).unwrap().len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn first_record_torn_yields_zero_cells() {
+        let dir = tempdir("firsttorn");
+        let store = Store::create(&dir, 1, &[]).unwrap();
+        store.put(0, "a.example", &payload(0, "a.example")).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+        // Tear the *first* (and only) record mid-way: the valid prefix is
+        // zero cells long.
+        let journal = dir.join(JOURNAL_FILE);
+        let len = fs::metadata(&journal).unwrap().len();
+        truncate(&journal, len / 2);
+
+        let store = Store::open(&dir).unwrap();
+        assert!(store.is_empty(), "valid prefix is zero cells");
+        // The orphaned shard bytes were reclaimed, so a re-put starts at
+        // offset zero again and the store round-trips.
+        assert_eq!(fs::read(shard_path(&dir, 0)).unwrap().len(), 0);
+        assert!(store.put(0, "a.example", &payload(0, "a.example")).unwrap());
+        store.checkpoint().unwrap();
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get(0, "a.example"), Some(payload(0, "a.example")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_journal_bit_rot_resyncs_on_the_next_record() {
+        let dir = tempdir("rotjournal");
+        let store = Store::create(&dir, 1, &[]).unwrap();
+        let domains = ["a.example", "b.example", "c.example"];
+        for d in domains {
+            store.put(0, d, &payload(0, d)).unwrap();
+        }
+        store.checkpoint().unwrap();
+        drop(store);
+
+        // Flip one byte inside the *second* journal record: its record
+        // hash fails, the scanner resyncs on the third record's magic.
+        let order = flush_order(&domains);
+        let journal = dir.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&journal).unwrap();
+        let rec_len = |d: &str| journal::RECORD_OVERHEAD + d.len();
+        let second_start = rec_len(&order[0]);
+        bytes[second_start + 8] ^= 0x01;
+        fs::write(&journal, &bytes).unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert!(store.contains(0, &order[0]));
+        assert!(!store.contains(0, &order[1]), "rotted record dropped");
+        assert!(store.contains(0, &order[2]), "resynced past the rot");
         fs::remove_dir_all(&dir).unwrap();
     }
 

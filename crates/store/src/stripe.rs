@@ -1,0 +1,87 @@
+//! The store's in-memory state machine: domain-hash stripes, the flush
+//! staging queue, and the disk-side retry state. Pure data — every byte
+//! of IO these structures feed is performed by `Store` through its
+//! [`crate::StorageBackend`].
+
+use httpsim::content_hash;
+use std::collections::BTreeMap;
+
+/// Number of domain-hash stripes the in-memory buffers are split into.
+/// Concurrent `put`s on domains in different stripes share no mutex.
+pub const STRIPES: usize = 16;
+
+/// Which stripe a domain's buffers live in: `fnv1a(domain) % STRIPES`.
+pub(crate) fn stripe_of(domain: &str) -> usize {
+    (content_hash(domain.as_bytes()) % STRIPES as u64) as usize
+}
+
+/// One domain-hash stripe of the in-memory side.
+pub(crate) struct Stripe {
+    /// Every stored payload (flushed and buffered) whose domain hashes
+    /// here, keyed by task.
+    pub index: BTreeMap<(u8, String), Vec<u8>>,
+    /// Puts accepted since this stripe was last drained, in put order.
+    pub fresh: Vec<(u8, String, Vec<u8>)>,
+}
+
+impl Stripe {
+    pub(crate) fn new() -> Stripe {
+        Stripe {
+            index: BTreeMap::new(),
+            fresh: Vec::new(),
+        }
+    }
+}
+
+/// Staged flush state, guarded by `Store::queue`.
+pub(crate) struct FlushQueue {
+    /// Logical length of each region shard (durable + staged).
+    pub shard_len: Vec<u64>,
+    /// Staged payload bytes per region, not yet handed to the disk side.
+    pub staged_shards: Vec<Vec<u8>>,
+    /// Staged journal records, same discipline.
+    pub staged_journal: Vec<u8>,
+}
+
+impl FlushQueue {
+    pub(crate) fn new(shard_len: Vec<u64>) -> FlushQueue {
+        let regions = shard_len.len();
+        FlushQueue {
+            shard_len,
+            staged_shards: vec![Vec::new(); regions],
+            staged_journal: Vec::new(),
+        }
+    }
+}
+
+/// What is durably on disk and what a failed flush left queued, guarded
+/// by `Store::io`.
+pub(crate) struct DiskState {
+    /// Bytes of each shard file known durably appended.
+    pub durable_shard: Vec<u64>,
+    /// Bytes of the journal known durably appended.
+    pub durable_journal: u64,
+    /// Shard bytes not yet durable: what the current flush moved out of
+    /// the stripes, plus anything an earlier failed flush left behind —
+    /// always retried in original put order so offsets stay contiguous.
+    pub retry_shards: Vec<Vec<u8>>,
+    /// Journal records not yet durable (same retry discipline).
+    pub retry_journal: Vec<u8>,
+    /// A failed append may have left a partial tail on some file:
+    /// truncate every file back to its durable length before appending
+    /// more.
+    pub dirty: bool,
+}
+
+impl DiskState {
+    pub(crate) fn new(durable_shard: Vec<u64>, durable_journal: u64) -> DiskState {
+        let regions = durable_shard.len();
+        DiskState {
+            durable_shard,
+            durable_journal,
+            retry_shards: vec![Vec::new(); regions],
+            retry_journal: Vec::new(),
+            dirty: false,
+        }
+    }
+}

@@ -15,7 +15,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # the gate itself has rotted and the run fails.
 LINT=target/release/lint
 "$LINT" || { echo "check.sh: workspace lint failed" >&2; exit 1; }
-for fixture in r1 r2 r3 r4 r5 r6 r7 r8 suppression; do
+for fixture in r1 r2 r3 r4 r5 r6 r7 r7-backend r8 suppression; do
     if "$LINT" --root "crates/lint/tests/fixtures/$fixture" >/dev/null; then
         echo "check.sh: lint fixture $fixture no longer trips its rule" >&2
         exit 1
@@ -41,6 +41,11 @@ cargo test -q --workspace --offline
 # 64-worker abort+resume) and requires byte-identical reports throughout.
 cargo test -q -p analysis --test stress --release --offline
 
+# Crash-point fuzzer at a reduced case count: kill the disk at fuzzed
+# byte boundaries (with torn/rot/ENOSPC chaos mixed in), fsck, resume,
+# and require the report byte-identical to the fault-free baseline.
+PROPTEST_CASES=4 cargo test -q -p analysis --test diskfault --release --offline
+
 # Resume smoke test: run the tiny sweep to completion, then again with a
 # simulated kill plus a resume, and require byte-identical JSON reports.
 BIN=target/release/cookiewall-study
@@ -53,6 +58,17 @@ trap 'rm -rf "$SMOKE"' EXIT
 "$BIN" run --resume "$SMOKE/epoch0" --json "$SMOKE/resumed.json" >/dev/null 2>&1
 cmp "$SMOKE/clean.json" "$SMOKE/resumed.json" \
     || { echo "check.sh: resumed report differs from uninterrupted run" >&2; exit 1; }
+
+# fsck smoke test: rot one shard byte, require fsck to quarantine exactly
+# that cell, then resume — the re-crawled report must still match the
+# uninterrupted run byte for byte.
+printf '\xff' | dd of="$SMOKE/epoch0/shards/shard-0.bin" bs=1 seek=2 conv=notrunc 2>/dev/null
+"$BIN" fsck "$SMOKE/epoch0" --json "$SMOKE/fsck.json" >/dev/null
+grep -q '"quarantined_cells": 1' "$SMOKE/fsck.json" \
+    || { echo "check.sh: fsck did not quarantine the rotted cell" >&2; exit 1; }
+"$BIN" run --resume "$SMOKE/epoch0" --json "$SMOKE/scrubbed.json" >/dev/null 2>&1
+cmp "$SMOKE/clean.json" "$SMOKE/scrubbed.json" \
+    || { echo "check.sh: post-fsck resume differs from uninterrupted run" >&2; exit 1; }
 
 # Diff smoke test: an epoch-1 snapshot must show churn against epoch 0.
 "$BIN" run --scale tiny --epoch 1 --store "$SMOKE/epoch1" >/dev/null 2>&1
@@ -71,4 +87,4 @@ fi
 cargo bench -p bench --bench table1 --offline -- --noplot
 cargo bench -p bench --bench store --offline -- --noplot
 
-echo "check.sh: fmt + build + clippy + lint + tests + stress + benches + resume/diff smoke all green"
+echo "check.sh: fmt + build + clippy + lint + tests + stress + fuzzer + benches + resume/fsck/diff smoke all green"

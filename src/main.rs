@@ -7,6 +7,7 @@
 //! cookiewall-study detect  <domain> [--region <vp>] [--adblock] [--scale …]
 //! cookiewall-study walls   [--scale …] [--epoch N]
 //! cookiewall-study diff    <store-a> <store-b> [--json PATH]
+//! cookiewall-study fsck    <store> [--json PATH] [--dry-run]
 //! cookiewall-study help
 //! ```
 //!
@@ -22,7 +23,8 @@ use httpsim::{FaultConfig, Region};
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
-use store::Store;
+use std::sync::Arc;
+use store::{DiskFaultConfig, FaultyBackend, FsBackend, StorageBackend, Store};
 use webgen::PopulationConfig;
 
 fn main() -> ExitCode {
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
         Some("detect") => cmd_detect(&args[1..]),
         Some("walls") => cmd_walls(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -62,6 +65,10 @@ fn print_help() {
          \u{20}  cookiewall-study diff   <store-a> <store-b> [--json PATH]\n\
          \u{20}      Longitudinal churn between two persistent snapshots: walls that\n\
          \u{20}      appeared/disappeared, price deltas, per-region tracking drift\n\
+         \u{20}  cookiewall-study fsck   <store> [--json PATH] [--dry-run]\n\
+         \u{20}      Scrub a store: verify every cell against its journal hash,\n\
+         \u{20}      quarantine torn/corrupt cells into a sidecar, and repair the\n\
+         \u{20}      journal so `run --resume` re-crawls exactly the lost cells\n\
          \n\
          Vantage points: germany sweden us-east us-west brazil south-africa india australia\n\
          \n\
@@ -94,7 +101,18 @@ fn print_help() {
          \n\
          Faults are deterministic: same seed, same rates, same injected chaos. With\n\
          only transient faults and retries enabled, the report is byte-identical to\n\
-         a fault-free run; a chaos summary goes to stderr."
+         a fault-free run; a chaos summary goes to stderr.\n\
+         \n\
+         DISK-FAULT INJECTION (run, with --store/--resume):\n\
+         \u{20}  --disk-fault-rate F  probability each store disk operation misbehaves:\n\
+         \u{20}                       torn writes, short reads, ENOSPC, lying fsyncs,\n\
+         \u{20}                       single-byte bit rot; default 0\n\
+         \u{20}  --disk-fault-seed N  seed for the deterministic disk-fault schedule\n\
+         \n\
+         Disk faults are operator knobs, allowed with --resume: they model the disk,\n\
+         not the study. Damage is always detected (every payload is hash-verified on\n\
+         read — corrupt data is dropped, never decoded) and `fsck` + `run --resume`\n\
+         re-crawl whatever was lost."
     );
 }
 
@@ -309,7 +327,30 @@ const RUN_VALUED: &[&str] = &[
     "--checkpoint-every",
     "--abort-after",
     "--epoch",
+    "--disk-fault-seed",
+    "--disk-fault-rate",
 ];
+
+/// Parse the disk-chaos flags. These are operator knobs describing the
+/// disk, not the study, so they are *not* resume conflicts — a store
+/// written by a healthy disk can be resumed on a flaky one.
+fn parse_disk_fault(flags: &Flags) -> Result<Option<DiskFaultConfig>, String> {
+    let seed = flags.value("--disk-fault-seed");
+    let rate = flags.value("--disk-fault-rate");
+    if seed.is_none() && rate.is_none() {
+        return Ok(None);
+    }
+    let mut config = DiskFaultConfig::noop();
+    if let Some(raw) = seed {
+        config.seed = raw
+            .parse::<u64>()
+            .map_err(|_| format!("--disk-fault-seed needs an integer, got {raw:?}"))?;
+    }
+    if let Some(raw) = rate {
+        config.rate = parse_rate(raw, "--disk-fault-rate")?;
+    }
+    Ok(Some(config))
+}
 
 /// Flags that configure the study itself — forbidden with `--resume`,
 /// which reads the configuration back from the store instead.
@@ -330,6 +371,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let t0 = std::time::Instant::now();
 
+    // The disk the store runs on: the real filesystem, optionally wrapped
+    // in the deterministic disk-fault layer.
+    let disk_fault = match parse_disk_fault(&flags) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if disk_fault.is_some() && flags.value("--store").is_none() && flags.value("--resume").is_none()
+    {
+        return fail("--disk-fault-seed/--disk-fault-rate need --store or --resume");
+    }
+    let faulty_disk = disk_fault.map(|cfg| Arc::new(FaultyBackend::new(Arc::new(FsBackend), cfg)));
+    let backend: Arc<dyn StorageBackend> = match &faulty_disk {
+        Some(f) => f.clone(),
+        None => Arc::new(FsBackend),
+    };
+
     // Assemble the study: either from flags, or — on resume — from the
     // configuration the store recorded when it was created.
     let resume_dir = flags.value("--resume").map(String::from);
@@ -340,11 +397,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
                  study configuration"
             ));
         }
-        let store = match Store::open(Path::new(dir)) {
+        let store = match Store::open_with(Path::new(dir), backend.clone()) {
             Ok(s) => s,
             Err(e) => return fail(&format!("opening store {dir}: {e}")),
         };
         eprintln!("resuming from {dir} ({} cells restored)…", store.len());
+        match store::quarantine_ledger(Path::new(dir), backend.as_ref()) {
+            Ok(cells) if !cells.is_empty() => eprintln!(
+                "quarantine: {} cell(s) in this store's quarantine ledger; any still \
+                 missing will be re-crawled",
+                cells.len()
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("quarantine: ledger unreadable ({e}); continuing"),
+        }
         match study_from_store(&store) {
             Ok(study) => (study, Some(store)),
             Err(e) => return fail(&e),
@@ -369,7 +435,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
             None => None,
             Some(dir) => {
                 let meta = store_meta(&study, &scale_name, epoch);
-                match Store::create(Path::new(dir), Region::ALL.len(), &meta) {
+                match Store::create_with(Path::new(dir), Region::ALL.len(), &meta, backend.clone())
+                {
                     Ok(s) => Some(s),
                     Err(e) => {
                         return fail(&format!(
@@ -410,6 +477,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                      resume with: cookiewall-study run --resume {dir}",
                     policy.abort_after.unwrap_or(0),
                 );
+                report_disk_chaos(&faulty_disk);
                 return ExitCode::SUCCESS;
             }
             Ok(Some(report)) => report,
@@ -418,6 +486,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     println!("{}", report.render());
     eprint!("{}", report.crawl_metrics.render());
     report_chaos(&study);
+    report_disk_chaos(&faulty_disk);
     if let Some(path) = flags.value("--json") {
         match std::fs::write(path, report.to_json()) {
             Ok(()) => eprintln!("JSON results written to {path}"),
@@ -426,6 +495,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     eprintln!("total: {:?}", t0.elapsed());
     ExitCode::SUCCESS
+}
+
+/// One-line summary of injected disk chaos, mirroring [`report_chaos`].
+fn report_disk_chaos(faulty: &Option<Arc<FaultyBackend>>) {
+    if let Some(disk) = faulty {
+        eprintln!(
+            "disk chaos: {} disk fault(s) injected (run `cookiewall-study fsck` \
+             to scrub the store)",
+            disk.trace().len()
+        );
+    }
 }
 
 /// Store metadata recorded at creation: everything `--resume` needs to
@@ -550,6 +630,29 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     if let Some(path) = flags.value("--json") {
         match std::fs::write(path, churn.to_json()) {
             Ok(()) => eprintln!("JSON churn report written to {path}"),
+            Err(e) => return fail(&format!("writing {path}: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_fsck(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, &["--json"], &["--dry-run"], 1) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(dir) = flags.positionals.first() else {
+        return fail("fsck needs a store directory: cookiewall-study fsck <store>");
+    };
+    let backend = FsBackend;
+    let report = match store::fsck(Path::new(dir), &backend, flags.has("--dry-run")) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("fsck {dir}: {e}")),
+    };
+    print!("{}", report.render());
+    if let Some(path) = flags.value("--json") {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!("JSON fsck report written to {path}"),
             Err(e) => return fail(&format!("writing {path}: {e}")),
         }
     }
@@ -826,5 +929,35 @@ mod tests {
                 "{conflict} must be a run flag"
             );
         }
+    }
+
+    #[test]
+    fn disk_fault_flags_are_operator_knobs_compatible_with_resume() {
+        for flag in ["--disk-fault-seed", "--disk-fault-rate"] {
+            assert!(RUN_VALUED.contains(&flag), "{flag} must be a run flag");
+            assert!(
+                !RESUME_CONFLICTS.contains(&flag),
+                "{flag} models the disk, not the study — it must stay legal with --resume"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_fault_flags_parse_and_validate() {
+        let none = parse_disk_fault(&Flags::default()).unwrap();
+        assert!(none.is_none(), "no flags, no fault layer");
+        let flags = parse_flags(
+            &argv(&["--disk-fault-seed", "7", "--disk-fault-rate", "0.25"]),
+            RUN_VALUED,
+            &[],
+            0,
+        )
+        .unwrap();
+        let config = parse_disk_fault(&flags).unwrap().unwrap();
+        assert_eq!(config.seed, 7);
+        assert!((config.rate - 0.25).abs() < 1e-12);
+        let flags = parse_flags(&argv(&["--disk-fault-rate", "1.5"]), RUN_VALUED, &[], 0).unwrap();
+        let err = parse_disk_fault(&flags).unwrap_err();
+        assert!(err.contains("probability"), "{err}");
     }
 }
