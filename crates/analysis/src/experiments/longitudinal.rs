@@ -9,14 +9,13 @@
 //! tracking means. No live network is needed, so two snapshots crawled
 //! months apart (or at different `--epoch` values) diff instantly.
 
-use crate::crawl::CrawlRecord;
 use crate::persist::decode_record;
 use crate::render::{render_bars, TextTable};
 use crate::runner::EPOCH_SUMMARY_NOTE;
 use httpsim::Region;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use store::Store;
+use store::StoreRead;
 
 /// Price movement of one wall that exists in both snapshots.
 #[derive(Debug, Clone, Serialize)]
@@ -64,10 +63,16 @@ pub struct ChurnReport {
     pub regions: Vec<RegionDrift>,
 }
 
-/// Diff two stores. Wall membership is the union over regions of decoded
-/// cookiewall records; prices average the per-region observations of each
-/// wall (geo-gated walls are priced only where they are visible).
-pub fn diff_stores(before: &Store, after: &Store) -> Result<ChurnReport, String> {
+/// Diff two stores — live [`store::Store`]s or sealed
+/// [`store::StoreSnapshot`]s, in any combination. Wall membership is the
+/// union over regions of decoded cookiewall records; prices average the
+/// per-region observations of each wall (geo-gated walls are priced only
+/// where they are visible).
+pub fn diff_stores<B, A>(before: &B, after: &A) -> Result<ChurnReport, String>
+where
+    B: StoreRead + ?Sized,
+    A: StoreRead + ?Sized,
+{
     let walls_before = wall_map(before)?;
     let walls_after = wall_map(after)?;
 
@@ -132,35 +137,52 @@ pub fn diff_stores(before: &Store, after: &Store) -> Result<ChurnReport, String>
 }
 
 /// Wall domain → advertised prices observed across regions (one entry per
-/// region that saw the wall and extracted a price).
-fn wall_map(store: &Store) -> Result<BTreeMap<String, Vec<f64>>, String> {
+/// region that saw the wall and extracted a price). Streams each region's
+/// entries instead of cloning them into a `Vec` — a large store is never
+/// double-buffered.
+fn wall_map<S: StoreRead + ?Sized>(store: &S) -> Result<BTreeMap<String, Vec<f64>>, String> {
     let mut walls: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut error: Option<String> = None;
     for r in 0..store.regions() {
-        for (domain, payload) in store.region_entries(r as u8) {
-            let record: CrawlRecord = decode_record(&payload)
-                .map_err(|e| format!("undecodable record for {domain} in region {r}: {e}"))?;
-            if record.cookiewall {
-                let prices = walls.entry(domain).or_default();
-                if let Some(eur) = record.monthly_eur {
-                    prices.push(eur);
+        store.for_each_region_entry(r as u8, &mut |domain, payload| {
+            if error.is_some() {
+                return;
+            }
+            match decode_record(payload) {
+                Ok(record) => {
+                    if record.cookiewall {
+                        let prices = walls.entry(domain.to_string()).or_default();
+                        if let Some(eur) = record.monthly_eur {
+                            prices.push(eur);
+                        }
+                    }
+                }
+                Err(e) => {
+                    error = Some(format!(
+                        "undecodable record for {domain} in region {r}: {e}"
+                    ));
                 }
             }
+        });
+        if let Some(e) = error.take() {
+            return Err(e);
         }
     }
     Ok(walls)
 }
 
-fn region_wall_count(store: &Store, region: Region) -> usize {
+fn region_wall_count<S: StoreRead + ?Sized>(store: &S, region: Region) -> usize {
     let r = Region::ALL.iter().position(|x| *x == region).unwrap_or(0);
-    store
-        .region_entries(r as u8)
-        .iter()
-        .filter(|(_, payload)| {
-            decode_record(payload)
-                .map(|rec| rec.cookiewall)
-                .unwrap_or(false)
-        })
-        .count()
+    let mut count = 0usize;
+    store.for_each_region_entry(r as u8, &mut |_, payload| {
+        if decode_record(payload)
+            .map(|rec| rec.cookiewall)
+            .unwrap_or(false)
+        {
+            count += 1;
+        }
+    });
+    count
 }
 
 struct SummaryLine {
@@ -169,7 +191,7 @@ struct SummaryLine {
 
 /// Parse the `epoch-summary` note back into per-region entries. Absent or
 /// partially unparseable notes degrade to "tracking unknown".
-fn parse_summary(store: &Store) -> BTreeMap<String, SummaryLine> {
+fn parse_summary<S: StoreRead + ?Sized>(store: &S) -> BTreeMap<String, SummaryLine> {
     let mut out = BTreeMap::new();
     let Ok(Some(text)) = store.read_note(EPOCH_SUMMARY_NOTE) else {
         return out;
@@ -191,7 +213,7 @@ fn parse_summary(store: &Store) -> BTreeMap<String, SummaryLine> {
     out
 }
 
-fn store_label(store: &Store) -> String {
+fn store_label<S: StoreRead + ?Sized>(store: &S) -> String {
     let epoch = store.meta_value("epoch").unwrap_or("?");
     let scale = store.meta_value("scale").unwrap_or("?");
     format!("epoch {epoch} ({scale})")

@@ -31,6 +31,7 @@ pub mod crawl;
 pub mod experiments;
 pub mod measure;
 pub mod persist;
+pub mod query;
 pub mod render;
 pub mod runner;
 pub mod stats;

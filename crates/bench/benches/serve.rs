@@ -1,0 +1,236 @@
+//! Bench: the always-on query service under concurrent load.
+//!
+//! Two parts. First a one-shot live-ingest scenario — three reader
+//! threads drive a Zipf(1.1) request stream against the service while an
+//! ingest thread builds, seals, and installs the second epoch — which
+//! reports real p50/p99 per query class and then verifies every served
+//! answer byte-identical to the same query evaluated directly against
+//! the sealed snapshots after ingest completes. Then criterion
+//! microbenches of each query class against a fully sealed service.
+//!
+//! This crate is the one place allowed to read the wall clock: the
+//! service itself runs on its simulated clock, and real latencies are
+//! measured out here.
+
+use analysis::crawl::CrawlRecord;
+use analysis::persist::encode_record;
+use analysis::query::{evaluate, Query};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serve::{LatencyLedger, QueryService, RequestStream};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use store::{Store, StoreSnapshot};
+
+const REGIONS: usize = 4;
+const DOMAINS: usize = 400;
+const READERS: usize = 3;
+const REQUESTS_PER_READER: usize = 1000;
+const ZIPF: f64 = 1.1;
+const SEED: u64 = 42;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cookiewall-serve-bench-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic crawl cell: every 5th domain is a wall (offset by epoch,
+/// so epochs differ in walls and prices).
+fn record(domain: &str, i: usize, epoch: u64) -> Vec<u8> {
+    let wall = i % 5 == epoch as usize % 5;
+    encode_record(&CrawlRecord {
+        domain: domain.to_string(),
+        reachable: true,
+        banner: wall || i.is_multiple_of(3),
+        cookiewall: wall,
+        embedding: None,
+        monthly_eur: wall.then_some(1.99 + (i % 7) as f64),
+        provider: None,
+        language: Some("en"),
+        attempts: 1,
+        failure: None,
+    })
+}
+
+/// Build and seal one epoch's store, returning its snapshot.
+fn build_epoch(dir: &std::path::Path, epoch: u64) -> Arc<StoreSnapshot> {
+    let store = Store::create(dir, REGIONS, &[]).expect("store creates");
+    ingest_epoch(&store, epoch);
+    Arc::new(StoreSnapshot::open(dir).expect("snapshot opens"))
+}
+
+fn ingest_epoch(store: &Store, epoch: u64) {
+    for i in 0..DOMAINS {
+        let domain = format!("site-{i}.example");
+        let payload = record(&domain, i, epoch);
+        for region in 0..REGIONS as u8 {
+            store.put(region, &domain, &payload).expect("put succeeds");
+        }
+    }
+    store.checkpoint().expect("seal succeeds");
+}
+
+/// Nearest-rank percentile over real per-class latencies.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() as u64 * p).div_ceil(100).max(1) - 1;
+    sorted[idx as usize]
+}
+
+/// The live-ingest scenario: readers query epoch A while epoch B is
+/// ingested, sealed, and installed mid-stream. Returns every
+/// (query, text, from-second-epoch) triple answered plus the real
+/// per-class latencies, then the caller verifies and reports.
+fn live_ingest_scenario() {
+    let dir_a = fresh_dir("epoch-a");
+    let dir_b = fresh_dir("epoch-b");
+    let snap_a = build_epoch(&dir_a, 0);
+    let service = Arc::new(QueryService::new(Arc::clone(&snap_a), true));
+
+    let domains: Vec<String> = (0..DOMAINS).map(|i| format!("site-{i}.example")).collect();
+    let stream = RequestStream::new(SEED, domains, ZIPF, REGIONS as u8, true);
+
+    let mut served: Vec<(Query, String, bool)> = Vec::new();
+    let mut real: Vec<(&'static str, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let ingest = {
+            let service = Arc::clone(&service);
+            let dir_b = dir_b.clone();
+            scope.spawn(move || {
+                let store = Store::create(&dir_b, REGIONS, &[]).expect("store B creates");
+                ingest_epoch(&store, 1);
+                let snap = Arc::new(StoreSnapshot::open(&dir_b).expect("snapshot B opens"));
+                service.install_second_epoch(snap);
+            })
+        };
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let service = Arc::clone(&service);
+                let lane = stream.lane(r, REQUESTS_PER_READER);
+                scope.spawn(move || {
+                    let mut answered = Vec::with_capacity(lane.len());
+                    let mut timings = Vec::with_capacity(lane.len());
+                    for query in lane {
+                        let t0 = Instant::now();
+                        let response = service.answer(&query);
+                        timings.push((response.class, t0.elapsed().as_micros() as u64));
+                        answered.push((query, response.text, response.from_second_epoch));
+                    }
+                    (answered, timings)
+                })
+            })
+            .collect();
+        ingest.join().expect("ingest thread");
+        for handle in readers {
+            let (answered, timings) = handle.join().expect("reader thread");
+            served.extend(answered);
+            real.extend(timings);
+        }
+    });
+
+    // Every served answer must be byte-identical to the same query
+    // evaluated directly against the sealed stores after ingest is done.
+    let final_a = StoreSnapshot::open(&dir_a).expect("snapshot A reopens");
+    let final_b = StoreSnapshot::open(&dir_b).expect("snapshot B reopens");
+    let mut from_b = 0usize;
+    for (query, text, second) in &served {
+        let expected = match query {
+            Query::EpochDiff => evaluate(query, &final_b, Some(&final_a)).text,
+            _ if *second => evaluate(query, &final_b, None::<&StoreSnapshot>).text,
+            _ => evaluate(query, &final_a, None::<&StoreSnapshot>).text,
+        };
+        assert_eq!(
+            text, &expected,
+            "served answer diverges from direct evaluation for {query:?}"
+        );
+        if *second {
+            from_b += 1;
+        }
+    }
+    eprintln!(
+        "serve/live_ingest: {} answers verified byte-identical ({} served from the \
+         epoch installed mid-stream)",
+        served.len(),
+        from_b
+    );
+
+    let mut by_class: std::collections::BTreeMap<&'static str, Vec<u64>> = Default::default();
+    for (class, micros) in real {
+        by_class.entry(class).or_default().push(micros);
+    }
+    for (class, mut samples) in by_class {
+        samples.sort_unstable();
+        eprintln!(
+            "serve/live_ingest: class={class} count={} p50_us={} p99_us={}",
+            samples.len(),
+            percentile(&samples, 50),
+            percentile(&samples, 99)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+fn bench_serve(c: &mut Criterion) {
+    live_ingest_scenario();
+
+    // Microbenches: each query class against a sealed two-epoch service.
+    let dir_a = fresh_dir("bench-a");
+    let dir_b = fresh_dir("bench-b");
+    let snap_a = build_epoch(&dir_a, 0);
+    let snap_b = build_epoch(&dir_b, 1);
+    let service = QueryService::with_epochs(snap_a, snap_b);
+    // The stream's hottest key: what a Zipf(1.1) reader asks most often.
+    let domains: Vec<String> = (0..DOMAINS).map(|i| format!("site-{i}.example")).collect();
+    let stream = RequestStream::new(SEED, domains, ZIPF, REGIONS as u8, true);
+    let hot = (0..64)
+        .map(|i| stream.request(0, i))
+        .find(|q| matches!(q, Query::WallStatus { .. }))
+        .expect("the mix contains a wall-status query");
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(20);
+    g.bench_function("wall_status_hot", |b| {
+        b.iter(|| black_box(service.answer(&hot).text.len()))
+    });
+    let prevalence = Query::Prevalence { region: 0 };
+    g.bench_function("prevalence", |b| {
+        b.iter(|| black_box(service.answer(&prevalence).text.len()))
+    });
+    let prices = Query::Prices { region: None };
+    g.bench_function("prices_all", |b| {
+        b.iter(|| black_box(service.answer(&prices).text.len()))
+    });
+    g.bench_function("epoch_diff", |b| {
+        b.iter(|| black_box(service.answer(&Query::EpochDiff).text.len()))
+    });
+    g.finish();
+
+    // The ledger accumulated across every iteration above — print its
+    // simulated percentiles so the cost model is visible next to the
+    // real ones criterion reports.
+    let ledger: LatencyLedger = service.ledger();
+    for s in ledger.summaries() {
+        eprintln!(
+            "serve/simulated: class={} count={} p50_us={} p99_us={}",
+            s.class, s.count, s.p50_micros, s.p99_micros
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -40,6 +40,12 @@ const BLOCKING_METHODS: &[&str] = &[
     "append_file",
     "truncate_file",
     "sync_file",
+    // Snapshot IO: sealing writes and syncs an index slot, and opening a
+    // snapshot re-reads every shard from disk — none of that may happen
+    // while a guard serializes other holders behind it.
+    "seal",
+    "snapshot",
+    "open_with",
 ];
 
 /// Free `fs::…` calls that hit the disk.

@@ -1,17 +1,27 @@
-//! R5 `journal-format`: the on-disk journal is the store's compatibility
-//! contract — its magic, fixed record overhead, file name, and hash
-//! function are documented in DESIGN.md §8 and must match what
-//! `crates/store/src/journal.rs` actually compiles. A silent constant drift
-//! would make every existing store unreadable (or worse, misread), so the
-//! source and the documentation are checked against each other.
+//! R5 `journal-format`: the store's on-disk formats are compatibility
+//! contracts — their magics, fixed overheads, file names, and hash
+//! functions are documented in DESIGN.md and must match what the store
+//! actually compiles. A silent constant drift would make every existing
+//! store unreadable (or worse, misread), so source and documentation are
+//! checked against each other.
 //!
-//! DESIGN.md documents the values in a small machine-readable list:
+//! Two formats are audited, each gated independently on its source file
+//! so rule-specific fixture trees can exercise one without the other:
+//! the `CWJ1` journal (DESIGN.md §8, `crates/store/src/journal.rs`) and
+//! the `CWI1` sealed-segment index (DESIGN.md §11,
+//! `crates/store/src/index.rs`).
+//!
+//! DESIGN.md documents the values in small machine-readable lists:
 //!
 //! ```text
 //! - journal magic: "CWJ1"
 //! - journal file: "journal.wal"
 //! - journal record overhead: 35
 //! - journal hash function: content_hash
+//! - index magic: "CWI1"
+//! - index file: "index"
+//! - index entry overhead: 39
+//! - index hash function: content_hash
 //! ```
 
 use super::{Finding, Rule, Workspace};
@@ -24,13 +34,58 @@ use crate::source::SourceFile;
 /// split).
 pub const STORE_PATH: &str = "crates/store/src/journal.rs";
 
-/// The documented journal-format keys, as spelled in DESIGN.md.
-const KEYS: [&str; 4] = [
-    "journal magic",
-    "journal file",
-    "journal record overhead",
-    "journal hash function",
-];
+/// Workspace-relative path of the sealed-segment index codec.
+pub const INDEX_PATH: &str = "crates/store/src/index.rs";
+
+/// One on-disk format contract: where it lives, how DESIGN.md spells its
+/// keys, and which constants/functions must match.
+struct Contract {
+    /// Format name used in messages ("journal", "index").
+    noun: &'static str,
+    /// Source file holding the codec; the pass is skipped when absent.
+    path: &'static str,
+    /// DESIGN.md section documenting the contract.
+    section: &'static str,
+    /// Documented keys: magic, file name, fixed overhead, hash function.
+    key_magic: &'static str,
+    key_file: &'static str,
+    key_overhead: &'static str,
+    key_hash: &'static str,
+    /// Constants the source must define to the documented values.
+    const_magic: &'static str,
+    const_file: &'static str,
+    const_overhead: &'static str,
+    /// Encoder/decoder pair that must call the documented hash function.
+    hash_fns: [&'static str; 2],
+}
+
+const JOURNAL: Contract = Contract {
+    noun: "journal",
+    path: STORE_PATH,
+    section: "§8",
+    key_magic: "journal magic",
+    key_file: "journal file",
+    key_overhead: "journal record overhead",
+    key_hash: "journal hash function",
+    const_magic: "MAGIC",
+    const_file: "JOURNAL_FILE",
+    const_overhead: "RECORD_OVERHEAD",
+    hash_fns: ["encode_record", "parse_record"],
+};
+
+const INDEX: Contract = Contract {
+    noun: "index",
+    path: INDEX_PATH,
+    section: "§11",
+    key_magic: "index magic",
+    key_file: "index file",
+    key_overhead: "index entry overhead",
+    key_hash: "index hash function",
+    const_magic: "INDEX_MAGIC",
+    const_file: "INDEX_FILE",
+    const_overhead: "INDEX_ENTRY_OVERHEAD",
+    hash_fns: ["encode_index", "parse_index"],
+};
 
 /// R5: store constants must match their DESIGN.md documentation.
 pub struct JournalFormat;
@@ -45,128 +100,158 @@ impl Rule for JournalFormat {
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        // Without a store implementation there is no contract to check
-        // (rule-specific fixture trees rely on this).
-        let Some(store) = ws.file(STORE_PATH) else {
-            return;
-        };
-        let mut report = |line: u32, message: String| {
-            out.push(Finding {
-                rule: "journal-format",
-                path: STORE_PATH.to_string(),
+        check_contract(ws, &JOURNAL, out);
+        check_contract(ws, &INDEX, out);
+    }
+}
+
+fn check_contract(ws: &Workspace, contract: &Contract, out: &mut Vec<Finding>) {
+    // Without the codec there is no contract to check (rule-specific
+    // fixture trees rely on this to exercise one format at a time).
+    let Some(store) = ws.file(contract.path) else {
+        return;
+    };
+    let mut report = |line: u32, message: String| {
+        out.push(Finding {
+            rule: "journal-format",
+            path: contract.path.to_string(),
+            line,
+            col: 0,
+            message,
+        });
+    };
+
+    let keys = [
+        contract.key_magic,
+        contract.key_file,
+        contract.key_overhead,
+        contract.key_hash,
+    ];
+    let mut documented = std::collections::BTreeMap::new();
+    if let Some(design) = &ws.design {
+        for line in design.lines() {
+            let line = line.trim_start_matches(['-', '*', ' ', '\t']);
+            for key in keys {
+                if let Some(rest) = line.strip_prefix(key).and_then(|r| r.strip_prefix(':')) {
+                    documented
+                        .entry(key)
+                        .or_insert_with(|| rest.trim().trim_matches(['`', '"']).to_string());
+                }
+            }
+        }
+    }
+    for key in keys {
+        if !documented.contains_key(&key) {
+            report(
+                1,
+                format!(
+                    "DESIGN.md documents no `{key}:` value for the {} format — \
+                     the on-disk contract must be written down (see DESIGN.md {})",
+                    contract.noun, contract.section
+                ),
+            );
+        }
+    }
+
+    // Magic: `const MAGIC: [u8; 4] = *b"CWJ1";` (or the index spelling).
+    if let Some(want) = documented.get(contract.key_magic) {
+        match const_tokens(store, contract.const_magic)
+            .and_then(|(line, toks)| byte_string(toks).map(|s| (line, s)))
+        {
+            Some((line, got)) if &got != want => report(
                 line,
-                col: 0,
-                message,
-            });
-        };
-
-        let mut documented = std::collections::BTreeMap::new();
-        if let Some(design) = &ws.design {
-            for line in design.lines() {
-                let line = line.trim_start_matches(['-', '*', ' ', '\t']);
-                for key in KEYS {
-                    if let Some(rest) = line.strip_prefix(key).and_then(|r| r.strip_prefix(':')) {
-                        documented
-                            .entry(key)
-                            .or_insert_with(|| rest.trim().trim_matches(['`', '"']).to_string());
-                    }
-                }
-            }
+                format!(
+                    "{} magic `{got}` does not match the documented `{want}` \
+                     (DESIGN.md {}) — bumping the magic is a format break",
+                    contract.noun, contract.section
+                ),
+            ),
+            Some(_) => {}
+            None => report(
+                1,
+                format!(
+                    "store defines no `{}` byte-string constant for the {}",
+                    contract.const_magic, contract.noun
+                ),
+            ),
         }
-        for key in KEYS {
-            if !documented.contains_key(&key) {
-                report(
-                    1,
-                    format!(
-                        "DESIGN.md documents no `{key}:` value for the journal format — \
-                         the on-disk contract must be written down (see DESIGN.md §8)"
-                    ),
-                );
-            }
-        }
+    }
 
-        // MAGIC: `const MAGIC: [u8; 4] = *b"CWJ1";`
-        if let Some(want) = documented.get("journal magic") {
-            match const_tokens(store, "MAGIC")
-                .and_then(|(line, toks)| byte_string(toks).map(|s| (line, s)))
-            {
-                Some((line, got)) if &got != want => report(
-                    line,
+    // File name: `const JOURNAL_FILE: &str = "journal.wal";` etc.
+    if let Some(want) = documented.get(contract.key_file) {
+        match const_tokens(store, contract.const_file)
+            .and_then(|(line, toks)| plain_string(toks).map(|s| (line, s)))
+        {
+            Some((line, got)) if &got != want => report(
+                line,
+                format!(
+                    "{} file name `{got}` does not match the documented `{want}`",
+                    contract.noun
+                ),
+            ),
+            Some(_) => {}
+            None => report(
+                1,
+                format!("store defines no `{}` string constant", contract.const_file),
+            ),
+        }
+    }
+
+    // Fixed overhead: a sum of integer literals.
+    if let Some(want) = documented.get(contract.key_overhead) {
+        let want_n = want.trim_end_matches(" bytes").trim().parse::<u64>().ok();
+        match (
+            want_n,
+            const_tokens(store, contract.const_overhead)
+                .and_then(|(line, toks)| int_sum(toks).map(|n| (line, n))),
+        ) {
+            (Some(want_n), Some((line, got))) if got != want_n => report(
+                line,
+                format!(
+                    "{} is {got} bytes in the source but documented as {want_n} \
+                     (DESIGN.md {})",
+                    contract.key_overhead, contract.section
+                ),
+            ),
+            (Some(_), Some(_)) => {}
+            (None, _) => report(
+                1,
+                format!(
+                    "documented {} `{want}` is not an integer",
+                    contract.key_overhead
+                ),
+            ),
+            (_, None) => report(
+                1,
+                format!(
+                    "store defines no integer `{}` constant",
+                    contract.const_overhead
+                ),
+            ),
+        }
+    }
+
+    // Hash function: both the encoder and the parser must use the
+    // documented function.
+    if let Some(want) = documented.get(contract.key_hash) {
+        for func in contract.hash_fns {
+            match fn_body(store, func) {
+                Some(body) if !range_has_ident(store, body, want) => report(
+                    store.tokens[body.0].line,
                     format!(
-                        "journal magic `{got}` does not match the documented `{want}` \
-                         (DESIGN.md §8) — bumping the magic is a format break"
+                        "`{func}` does not call the documented {} hash function \
+                         `{want}` — {} hashes from other builds would not verify",
+                        contract.noun, contract.noun
                     ),
                 ),
                 Some(_) => {}
                 None => report(
                     1,
-                    "store defines no `MAGIC` byte-string constant for the journal".to_string(),
-                ),
-            }
-        }
-
-        // JOURNAL_FILE: `const JOURNAL_FILE: &str = "journal.wal";`
-        if let Some(want) = documented.get("journal file") {
-            match const_tokens(store, "JOURNAL_FILE")
-                .and_then(|(line, toks)| plain_string(toks).map(|s| (line, s)))
-            {
-                Some((line, got)) if &got != want => report(
-                    line,
-                    format!("journal file name `{got}` does not match the documented `{want}`"),
-                ),
-                Some(_) => {}
-                None => report(
-                    1,
-                    "store defines no `JOURNAL_FILE` string constant".to_string(),
-                ),
-            }
-        }
-
-        // RECORD_OVERHEAD: a sum of integer literals.
-        if let Some(want) = documented.get("journal record overhead") {
-            let want_n = want.trim_end_matches(" bytes").trim().parse::<u64>().ok();
-            match (
-                want_n,
-                const_tokens(store, "RECORD_OVERHEAD")
-                    .and_then(|(line, toks)| int_sum(toks).map(|n| (line, n))),
-            ) {
-                (Some(want_n), Some((line, got))) if got != want_n => report(
-                    line,
                     format!(
-                        "journal record overhead is {got} bytes in the source but documented \
-                         as {want_n} (DESIGN.md §8)"
+                        "store defines no `{func}` function to audit the {} hash in",
+                        contract.noun
                     ),
                 ),
-                (Some(_), Some(_)) => {}
-                (None, _) => report(
-                    1,
-                    format!("documented journal record overhead `{want}` is not an integer"),
-                ),
-                (_, None) => report(
-                    1,
-                    "store defines no integer `RECORD_OVERHEAD` constant".to_string(),
-                ),
-            }
-        }
-
-        // Hash function: both the record writer and the replay parser must
-        // use the documented function.
-        if let Some(want) = documented.get("journal hash function") {
-            for func in ["encode_record", "parse_record"] {
-                match fn_body(store, func) {
-                    Some(body) if !range_has_ident(store, body, want) => report(
-                        store.tokens[body.0].line,
-                        format!(
-                            "`{func}` does not call the documented journal hash function \
-                             `{want}` — journal hashes from other builds would not verify"
-                        ),
-                    ),
-                    Some(_) => {}
-                    None => report(
-                        1,
-                        format!("store defines no `{func}` function to audit the journal hash in"),
-                    ),
-                }
             }
         }
     }

@@ -58,6 +58,14 @@ fn r5_journal_format_fires_exactly_once() {
 }
 
 #[test]
+fn r5_index_format_fires_exactly_once() {
+    // The index contract is gated on its own source file: this tree has
+    // an `index.rs` with a drifted magic but no `journal.rs`, so only
+    // the index pass fires — exactly once.
+    fires_exactly_once("r5-index", "journal-format");
+}
+
+#[test]
 fn r6_lock_order_fires_exactly_once() {
     fires_exactly_once("r6", "lock-order");
 }
@@ -72,6 +80,13 @@ fn r7_backend_io_under_lock_fires_exactly_once() {
     // StorageBackend IO methods are blocking roots too: a guard held
     // across `sync_file` must fire no matter which backend is plugged in.
     fires_exactly_once("r7-backend", "blocking-under-lock");
+}
+
+#[test]
+fn r7_snapshot_io_under_lock_fires_exactly_once() {
+    // Sealing and snapshotting are disk IO: a guard held across
+    // `snapshot()` must fire like any other blocking root.
+    fires_exactly_once("r7-serve", "blocking-under-lock");
 }
 
 #[test]

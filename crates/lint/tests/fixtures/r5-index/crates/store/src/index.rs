@@ -1,0 +1,42 @@
+//! R5 fixture (index variant): the index magic drifted to `CWI0` while
+//! DESIGN.md still documents `CWI1` — fires `journal-format` exactly
+//! once. Every other documented value (file name, entry overhead, hash
+//! function) matches, and there is no `journal.rs` in this tree, so the
+//! journal pass stays silent.
+
+const INDEX_MAGIC: [u8; 4] = *b"CWI0";
+const INDEX_FILE: &str = "index";
+const INDEX_ENTRY_OVERHEAD: usize = 1 + 2 + 8 + 8 + 8 + 4 + 8;
+
+fn content_hash(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+pub fn encode_index(generation: u64, entries: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * INDEX_ENTRY_OVERHEAD);
+    out.extend_from_slice(&INDEX_MAGIC);
+    out.extend_from_slice(&generation.to_le_bytes());
+    for (region, payload) in entries {
+        out.push(*region);
+        out.extend_from_slice(&content_hash(payload).to_le_bytes());
+    }
+    let checksum = content_hash(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+pub fn parse_index(bytes: &[u8]) -> Option<u64> {
+    let split = bytes.len().checked_sub(8)?;
+    let body = &bytes[..split];
+    let checksum = u64::from_le_bytes(bytes[split..].try_into().ok()?);
+    if content_hash(body) != checksum {
+        return None;
+    }
+    Some(u64::from_le_bytes(body.get(4..12)?.try_into().ok()?))
+}
+
+pub fn index_file() -> &'static str {
+    INDEX_FILE
+}

@@ -1,0 +1,17 @@
+//! R7 fixture (serve variant): a guard held across snapshot IO — fires
+//! `blocking-under-lock` exactly once. `snapshot()` re-reads every shard
+//! from disk to build the sealed view; doing that while holding the
+//! epoch slot lock would stall every reader behind the disk.
+
+pub struct EpochSlot {
+    current: Mutex<Option<Snapshot>>,
+    store: Store,
+}
+
+impl EpochSlot {
+    pub fn refresh(&self) {
+        let mut slot = self.current.lock();
+        let fresh = self.store.snapshot();
+        *slot = Some(fresh);
+    }
+}

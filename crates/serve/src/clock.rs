@@ -1,0 +1,73 @@
+//! The service's simulated clock: a monotone microsecond counter that
+//! advances by a deterministic cost model, never by the wall clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simulated service time in microseconds. Shared by every reader
+/// thread; advancing is a single atomic add.
+pub struct SimClock {
+    micros: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock at zero.
+    pub fn new() -> SimClock {
+        SimClock {
+            micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Total simulated microseconds advanced so far.
+    pub fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Acquire)
+    }
+
+    /// Advance by `cost` simulated microseconds; returns the new total.
+    pub fn advance(&self, cost: u64) -> u64 {
+        self.micros.fetch_add(cost, Ordering::AcqRel) + cost
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> SimClock {
+        SimClock::new()
+    }
+}
+
+/// The cost model: what one answer costs in simulated microseconds, as a
+/// pure function of its query class and how many cells the evaluation
+/// visited. The constants are stylized (point lookups are cheap, scans
+/// pay per cell, the diff walks two stores) — their exact values only
+/// matter in that they are fixed, so latency ledgers are reproducible.
+pub fn cost_micros(class: &str, cells_scanned: usize) -> u64 {
+    let (base, per_cell) = match class {
+        "wall-status" => (50, 1),
+        "prevalence" => (120, 2),
+        "prices" => (180, 2),
+        "diff" => (600, 5),
+        _ => (100, 1),
+    };
+    base + per_cell * cells_scanned as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        assert_eq!(clock.advance(50), 50);
+        assert_eq!(clock.advance(70), 120);
+        assert_eq!(clock.now_micros(), 120);
+    }
+
+    #[test]
+    fn cost_model_is_fixed_per_class() {
+        assert_eq!(cost_micros("wall-status", 1), 51);
+        assert_eq!(cost_micros("prevalence", 100), 320);
+        assert_eq!(cost_micros("prices", 0), 180);
+        assert_eq!(cost_micros("diff", 10), 650);
+    }
+}

@@ -11,6 +11,8 @@
 //!                          caller's configuration fingerprint
 //! <dir>/journal.wal        append-only journal, one record per stored task
 //! <dir>/shards/shard-N.bin raw payload bytes for region index N
+//! <dir>/index-S.cwi        double-buffered sealed-view index slots
+//!                          (see [`index`] — the `CWI1` contract)
 //! <dir>/note-<name>        free-form text attachments (epoch summaries)
 //! <dir>/quarantine         fsck's sidecar of damaged cells (see below)
 //! ```
@@ -81,44 +83,98 @@
 //! byte, then retries the queued bytes ahead of newer buffers — so the
 //! shard offsets already encoded into journal records stay valid
 //! across a transient IO error.
+//!
+//! ## Sealed reads
+//!
+//! [`Store::seal`] (run by every [`Store::checkpoint`]) freezes the
+//! durable prefix of every shard and describes it in a double-buffered,
+//! FNV-checksummed index file (the `CWI1` contract, see [`index`]).
+//! [`StoreSnapshot`] opens that sealed view straight from disk — it
+//! never takes the writer's stripe/queue/io locks, so an always-on query
+//! service reads at full speed while a new epoch ingests. The
+//! [`StoreRead`] trait is the common read surface of the live store and
+//! the snapshot.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;
+mod index;
 mod journal;
 mod recovery;
+mod snapshot;
 mod stripe;
 
 pub use backend::{DiskFaultConfig, FaultyBackend, FsBackend, MemBackend, StorageBackend};
 pub use recovery::{fsck, quarantine_ledger, FsckReport, QuarantinedCell};
+pub use snapshot::StoreSnapshot;
 pub use stripe::STRIPES;
 
+use httpsim::content_hash;
+use index::{encode_index, slot_path, IndexEntry, SlotState, INDEX_SLOTS};
 use journal::{encode_record, shard_path, JOURNAL_FILE, META_FILE, SHARD_DIR};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use stripe::{stripe_of, DiskState, FlushQueue, Stripe};
-
-#[cfg(doc)]
-use httpsim::content_hash;
+use stripe::{stripe_of, DiskState, FlushQueue, LedgerEntry, Stripe};
 
 /// Default auto-checkpoint cadence (puts between flushes).
 pub const DEFAULT_CHECKPOINT_EVERY: usize = 64;
+
+/// The read surface shared by the live [`Store`] and the sealed
+/// [`StoreSnapshot`]: report aggregation, the longitudinal diff, and the
+/// query evaluators are written against this trait so the same code
+/// answers from either.
+pub trait StoreRead {
+    /// Number of region shards.
+    fn regions(&self) -> usize;
+
+    /// Look up one meta value.
+    fn meta_value(&self, key: &str) -> Option<&str>;
+
+    /// Read back a note (see [`Store::write_note`]).
+    fn read_note(&self, name: &str) -> io::Result<Option<String>>;
+
+    /// Fetch one stored payload (cloned), or `None` when absent.
+    fn payload(&self, region: u8, domain: &str) -> Option<Vec<u8>>;
+
+    /// Visit every `(domain, payload)` of one region in domain order
+    /// without materializing the region into a vector. The callback
+    /// must not call back into the same store.
+    fn for_each_region_entry(&self, region: u8, f: &mut dyn FnMut(&str, &[u8]));
+}
+
+/// Seal-side state, guarded by `Store::seal_state`: the next index
+/// generation and what the previous seal looked like.
+struct SealState {
+    /// Generation the next seal will write.
+    next_generation: u64,
+    /// `(region, domain) → (segment, offset)` as last sealed: a cell
+    /// keeps its segment as long as its offset is unchanged, so epoch
+    /// tooling can tell stable cells from rewritten ones.
+    segments: BTreeMap<(u8, String), (u64, u64)>,
+    /// `(ledger length, durable shard lengths)` at the last seal — when
+    /// unchanged, sealing again skips the slot write entirely.
+    fingerprint: Option<(usize, Vec<u64>)>,
+}
 
 /// The persistent crawl store. Thread-safe: workers `put` concurrently.
 ///
 /// Lock order (see DESIGN.md §8): a stripe mutex is never held while
 /// taking `queue`, `queue` is never held while taking `io`, and the
 /// reverse orders never occur — the may-hold-while-acquiring graph is
-/// `io → queue` only (the disk writer re-drains the staging queue), so
-/// the topology is trivially cycle-free.
+/// `io → queue` plus `seal_state → io` (a seal briefly reads the disk
+/// watermarks), which stays acyclic.
 pub struct Store {
     dir: PathBuf,
     regions: usize,
     meta: Vec<(String, String)>,
+    /// `meta` as a map, built once at create/open so resume validation
+    /// does not linear-scan per lookup.
+    meta_map: BTreeMap<String, String>,
     /// Every byte of disk IO goes through here; [`FsBackend`] by default.
     backend: Arc<dyn StorageBackend>,
     checkpoint_every: AtomicUsize,
@@ -147,6 +203,10 @@ pub struct Store {
     /// leaving its staged bytes to the in-flight writer, which re-drains
     /// the queue before releasing the lock.
     io: Mutex<DiskState>,
+    /// Seal-side state: one sealer at a time writes index slots, so slot
+    /// generations stay monotone and the double-buffer invariant (the
+    /// newest two sealed views live in different slots) holds.
+    seal_state: Mutex<SealState>,
 }
 
 impl Store {
@@ -193,6 +253,7 @@ impl Store {
         Ok(Store {
             dir: dir.to_path_buf(),
             regions,
+            meta_map: pairs.iter().cloned().collect(),
             meta: pairs,
             backend,
             checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
@@ -200,7 +261,12 @@ impl Store {
             pending: AtomicUsize::new(0),
             queue: Mutex::new(FlushQueue::new(vec![0; regions])),
             flush_pending: AtomicBool::new(false),
-            io: Mutex::new(DiskState::new(vec![0; regions], 0)),
+            io: Mutex::new(DiskState::new(vec![0; regions], 0, Vec::new())),
+            seal_state: Mutex::new(SealState {
+                next_generation: 1,
+                segments: BTreeMap::new(),
+                fingerprint: None,
+            }),
         })
     }
 
@@ -260,9 +326,32 @@ impl Store {
             stripes[s].index.insert((region, domain), payload);
         }
 
+        // Resume the seal sequence from the newest valid index slot, so
+        // new seals keep strictly newer generations than what readers
+        // may already hold. Damaged or missing slots just restart the
+        // sequence past whatever is still valid.
+        let slots = index::read_slots(dir, backend.as_ref(), regions)?;
+        let best = slots
+            .iter()
+            .filter_map(|s| match s {
+                SlotState::Valid(file) => Some(file),
+                _ => None,
+            })
+            .max_by_key(|file| file.generation);
+        let segments = best
+            .map(|file| {
+                file.entries
+                    .iter()
+                    .map(|e| ((e.region, e.domain.clone()), (e.segment, e.offset)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let next_generation = best.map(|file| file.generation).unwrap_or(0) + 1;
+
         Ok(Store {
             dir: dir.to_path_buf(),
             regions,
+            meta_map: meta.iter().cloned().collect(),
             meta,
             backend,
             checkpoint_every: AtomicUsize::new(DEFAULT_CHECKPOINT_EVERY),
@@ -270,7 +359,16 @@ impl Store {
             pending: AtomicUsize::new(0),
             queue: Mutex::new(FlushQueue::new(replay.high_water.clone())),
             flush_pending: AtomicBool::new(false),
-            io: Mutex::new(DiskState::new(replay.high_water, replay.keep_len)),
+            io: Mutex::new(DiskState::new(
+                replay.high_water,
+                replay.keep_len,
+                replay.ledger,
+            )),
+            seal_state: Mutex::new(SealState {
+                next_generation,
+                segments,
+                fingerprint: None,
+            }),
         })
     }
 
@@ -289,9 +387,10 @@ impl Store {
         &self.meta
     }
 
-    /// Look up one meta value.
+    /// Look up one meta value (map lookup — the map is built once at
+    /// create/open).
     pub fn meta_value(&self, key: &str) -> Option<&str> {
-        meta_lookup(&self.meta, key)
+        self.meta_map.get(key).map(|v| v.as_str())
     }
 
     /// Change the auto-checkpoint cadence (puts between flushes); 0 means
@@ -362,32 +461,127 @@ impl Store {
     }
 
     /// All `(domain, payload)` entries of one region, in domain order.
+    /// Prefer [`Store::for_each_region_entry`] when the payloads are
+    /// consumed on the spot — it borrows instead of cloning the region.
     pub fn region_entries(&self, region: u8) -> Vec<(String, Vec<u8>)> {
         let mut entries: Vec<(String, Vec<u8>)> = Vec::new();
-        for i in 0..STRIPES {
-            let stripe = self.stripes[i].lock();
-            entries.extend(
-                stripe
-                    .index
-                    .iter()
-                    .filter(|((r, _), _)| *r == region)
-                    .map(|((_, d), p)| (d.clone(), p.clone())),
-            );
-        }
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        self.for_each_region_entry(region, &mut |domain, payload| {
+            entries.push((domain.to_string(), payload.to_vec()));
+        });
         entries
     }
 
-    /// Flush every buffered put to disk and wait until it is durable.
-    /// Shard bytes land before the journal records that reference them,
-    /// so a crash between the two leaves orphan shard bytes (reclaimed
-    /// on open), never a journal record pointing past its shard. On
-    /// failure nothing is lost: the unwritten bytes stay queued and the
-    /// next checkpoint retries them (see the module docs on the
-    /// durability model).
+    /// Visit every `(domain, payload)` of one region in domain order,
+    /// borrowing each payload instead of cloning the whole region into a
+    /// `Vec`. Domains are collected first (one stripe lock at a time),
+    /// then each payload is borrowed under its own stripe's lock — no
+    /// two stripe locks are ever held together, and a cell put
+    /// concurrently with the walk is either visited or not, exactly as
+    /// if the walk ran before or after the put. The callback must not
+    /// call back into the same store.
+    pub fn for_each_region_entry(&self, region: u8, f: &mut dyn FnMut(&str, &[u8])) {
+        let mut domains: Vec<String> = Vec::new();
+        for i in 0..STRIPES {
+            let stripe = self.stripes[i].lock();
+            domains.extend(
+                stripe
+                    .index
+                    .keys()
+                    .filter(|(r, _)| *r == region)
+                    .map(|(_, d)| d.clone()),
+            );
+        }
+        domains.sort_unstable();
+        for domain in domains {
+            let key = (region, domain);
+            let stripe = self.stripes[stripe_of(&key.1)].lock();
+            if let Some(payload) = stripe.index.get(&key) {
+                f(&key.1, payload);
+            }
+        }
+    }
+
+    /// Flush every buffered put to disk, wait until it is durable, then
+    /// seal the durable prefix into the on-disk index so readers can
+    /// open it as a [`StoreSnapshot`]. Shard bytes land before the
+    /// journal records that reference them, so a crash between the two
+    /// leaves orphan shard bytes (reclaimed on open), never a journal
+    /// record pointing past its shard. On failure nothing is lost: the
+    /// unwritten bytes stay queued and the next checkpoint retries them
+    /// (see the module docs on the durability model).
     pub fn checkpoint(&self) -> io::Result<()> {
+        self.seal().map(|_| ())
+    }
+
+    /// Flush, then write a sealed index slot describing every durable
+    /// cell (the `CWI1` contract, see [`index`]). Returns the sealed
+    /// generation. Sealing an unchanged store skips the slot write and
+    /// returns the previous generation. One sealer runs at a time; the
+    /// slot written alternates with the generation, so the newest two
+    /// sealed views always live in different slots and a torn slot
+    /// write can only damage the older one.
+    pub fn seal(&self) -> io::Result<u64> {
         self.pending.store(0, Ordering::Release);
-        self.flush(true)
+        self.flush(true)?;
+        let mut seal = self.seal_state.lock();
+        // Briefly read the durable state under `io`; `seal_state → io`
+        // is the only new lock-order edge and nothing blocks while both
+        // are held.
+        let (ledger, sealed_len) = {
+            let disk = self.io.lock();
+            (disk.ledger.clone(), disk.durable_shard.clone())
+        };
+        let fingerprint = (ledger.len(), sealed_len.clone());
+        if seal.fingerprint.as_ref() == Some(&fingerprint) {
+            return Ok(seal.next_generation - 1);
+        }
+        let generation = seal.next_generation;
+        // Last-wins over the ledger (a re-crawled cell shadows its
+        // quarantined predecessor), then keep the previous segment for
+        // cells whose offset is unchanged.
+        let mut cells: BTreeMap<(u8, String), (u64, u32, u64)> = BTreeMap::new();
+        for entry in &ledger {
+            cells.insert(
+                (entry.region, entry.domain.clone()),
+                (entry.offset, entry.len, entry.payload_hash),
+            );
+        }
+        let entries: Vec<IndexEntry> = cells
+            .into_iter()
+            .map(|((region, domain), (offset, len, payload_hash))| {
+                let segment = match seal.segments.get(&(region, domain.clone())) {
+                    Some(&(seg, sealed_offset)) if sealed_offset == offset => seg,
+                    _ => generation,
+                };
+                IndexEntry {
+                    region,
+                    domain,
+                    segment,
+                    offset,
+                    len,
+                    payload_hash,
+                }
+            })
+            .collect();
+        let bytes = encode_index(generation, &sealed_len, &entries);
+        let path = slot_path(&self.dir, (generation % INDEX_SLOTS as u64) as usize);
+        // lint:allow(blocking-under-lock) — `seal_state` exists solely to order slot writes
+        self.backend.write_file(&path, &bytes)?;
+        // lint:allow(blocking-under-lock) — `seal_state` exists solely to order slot writes
+        self.backend.sync_file(&path)?;
+        seal.segments = entries
+            .into_iter()
+            .map(|e| ((e.region, e.domain), (e.segment, e.offset)))
+            .collect();
+        seal.next_generation += 1;
+        seal.fingerprint = Some(fingerprint);
+        Ok(generation)
+    }
+
+    /// Open the sealed view this store last wrote, reading only from
+    /// disk — the snapshot shares no lock with the writer.
+    pub fn snapshot(&self) -> io::Result<StoreSnapshot> {
+        StoreSnapshot::open_with(&self.dir, Arc::clone(&self.backend))
     }
 
     /// Drain every stripe's fresh puts in deterministic stripe order,
@@ -417,6 +611,13 @@ impl Store {
                 q.shard_len[r] += payload.len() as u64;
                 let record = encode_record(*region, domain, offset, payload);
                 q.staged_journal.extend_from_slice(&record);
+                q.staged_ledger.push(LedgerEntry {
+                    region: *region,
+                    domain: domain.clone(),
+                    offset,
+                    len: payload.len() as u32,
+                    payload_hash: content_hash(payload),
+                });
             }
             // Set while still holding `queue` so the writer's
             // confirm-empty check can never miss these bytes.
@@ -451,6 +652,7 @@ impl Store {
                     disk.retry_shards[r].append(buf);
                 }
                 disk.retry_journal.append(&mut q.staged_journal);
+                disk.retry_ledger.append(&mut q.staged_ledger);
             }
             let queued =
                 !disk.retry_journal.is_empty() || disk.retry_shards.iter().any(|b| !b.is_empty());
@@ -496,6 +698,11 @@ impl Store {
             self.backend.sync_file(&path)?;
             disk.durable_journal += disk.retry_journal.len() as u64;
             disk.retry_journal.clear();
+            // Only now are these cells durable end to end — journal
+            // records synced after the shard bytes they reference — so
+            // only now may a seal index them.
+            let retried = std::mem::take(&mut disk.retry_ledger);
+            disk.ledger.extend(retried);
         }
         disk.dirty = false;
         Ok(())
@@ -529,18 +736,46 @@ impl Store {
     }
 
     fn note_path(&self, name: &str) -> io::Result<PathBuf> {
-        if name.is_empty()
-            || !name
-                .chars()
-                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
-        {
-            return Err(invalid("note names must be non-empty [a-z0-9-]"));
-        }
-        Ok(self.dir.join(format!("note-{name}")))
+        note_path(&self.dir, name)
     }
 }
 
-fn invalid(message: &str) -> io::Error {
+impl StoreRead for Store {
+    fn regions(&self) -> usize {
+        Store::regions(self)
+    }
+
+    fn meta_value(&self, key: &str) -> Option<&str> {
+        Store::meta_value(self, key)
+    }
+
+    fn read_note(&self, name: &str) -> io::Result<Option<String>> {
+        Store::read_note(self, name)
+    }
+
+    fn payload(&self, region: u8, domain: &str) -> Option<Vec<u8>> {
+        Store::get(self, region, domain)
+    }
+
+    fn for_each_region_entry(&self, region: u8, f: &mut dyn FnMut(&str, &[u8])) {
+        Store::for_each_region_entry(self, region, f)
+    }
+}
+
+/// Validated path of a note attachment under a store directory. Shared
+/// by the live store and the sealed snapshot.
+pub(crate) fn note_path(dir: &Path, name: &str) -> io::Result<PathBuf> {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return Err(invalid("note names must be non-empty [a-z0-9-]"));
+    }
+    Ok(dir.join(format!("note-{name}")))
+}
+
+pub(crate) fn invalid(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidInput, message.to_string())
 }
 

@@ -27,7 +27,9 @@
 //! index.
 
 use crate::backend::StorageBackend;
+use crate::index::{encode_index, slot_path, IndexEntry, INDEX_SLOTS};
 use crate::journal::{parse_record, shard_path, JOURNAL_FILE, MAGIC, QUARANTINE_FILE};
+use crate::stripe::LedgerEntry;
 use httpsim::content_hash;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
@@ -62,6 +64,8 @@ pub(crate) struct ScannedRecord {
     pub domain: String,
     pub offset: u64,
     pub len: u32,
+    /// Payload hash the record claims (verified for `Valid` records).
+    pub payload_hash: u64,
     pub class: RecordClass,
 }
 
@@ -144,6 +148,7 @@ pub(crate) fn scan_journal(journal: &[u8], shards: &[Vec<u8>]) -> Scan {
             domain: rec.domain,
             offset: rec.offset,
             len: rec.len,
+            payload_hash: rec.payload_hash,
             class,
         });
         scan.keep_len = next as u64;
@@ -162,6 +167,9 @@ pub(crate) struct Replay {
     /// kept so already-journaled offsets stay aligned until `fsck`
     /// rewrites the journal).
     pub high_water: Vec<u64>,
+    /// One [`LedgerEntry`] per valid journal record, in journal order —
+    /// rebuilt so a seal after reopen can index the durable cells.
+    pub ledger: Vec<LedgerEntry>,
     pub keep_len: u64,
     pub torn_cells: usize,
     pub corrupt_cells: usize,
@@ -176,6 +184,7 @@ pub(crate) fn replay(journal: &[u8], shards: &[Vec<u8>]) -> Replay {
     let scan = scan_journal(journal, shards);
     let mut index = BTreeMap::new();
     let mut high_water = vec![0u64; shards.len()];
+    let mut ledger = Vec::new();
     for rec in &scan.records {
         let r = rec.region as usize;
         if r >= shards.len() {
@@ -187,6 +196,13 @@ pub(crate) fn replay(journal: &[u8], shards: &[Vec<u8>]) -> Replay {
                 let payload = shards[r][rec.offset as usize..end as usize].to_vec();
                 index.insert((rec.region, rec.domain.clone()), payload);
                 high_water[r] = high_water[r].max(end);
+                ledger.push(LedgerEntry {
+                    region: rec.region,
+                    domain: rec.domain.clone(),
+                    offset: rec.offset,
+                    len: rec.len,
+                    payload_hash: rec.payload_hash,
+                });
             }
             // Corrupt extents exist on disk; keep them under the water
             // line so offsets already encoded into later journal records
@@ -198,6 +214,7 @@ pub(crate) fn replay(journal: &[u8], shards: &[Vec<u8>]) -> Replay {
     Replay {
         index,
         high_water,
+        ledger,
         keep_len: scan.keep_len,
         torn_cells: scan.count(RecordClass::Torn),
         corrupt_cells: scan.count(RecordClass::Corrupt),
@@ -243,6 +260,14 @@ pub struct FsckReport {
     pub torn_tail_bytes: u64,
     /// Shard bytes past the last referenced extent, reclaimed on repair.
     pub orphan_shard_bytes: u64,
+    /// Index slots that failed to parse or verify — a torn or bit-rotted
+    /// seal. Readers fall back to the surviving twin; repair rewrites
+    /// both.
+    pub damaged_index_slots: usize,
+    /// Index slots rewritten on repair so a sealed view never points at
+    /// quarantined or reclaimed extents (0 when the store was never
+    /// sealed, or on a dry run).
+    pub index_slots_rewritten: usize,
     /// Whether repairs were written back (false on a dry run, or when
     /// the store was already clean).
     pub repaired: bool,
@@ -256,6 +281,7 @@ impl FsckReport {
             && self.journal_gap_bytes == 0
             && self.torn_tail_bytes == 0
             && self.orphan_shard_bytes == 0
+            && self.damaged_index_slots == 0
     }
 
     /// Human-readable summary.
@@ -295,6 +321,18 @@ impl FsckReport {
                 self.orphan_shard_bytes
             ));
         }
+        if self.damaged_index_slots > 0 {
+            out.push_str(&format!(
+                "  damaged index slot(s): {}\n",
+                self.damaged_index_slots
+            ));
+        }
+        if self.index_slots_rewritten > 0 {
+            out.push_str(&format!(
+                "  index slots rewritten: {}\n",
+                self.index_slots_rewritten
+            ));
+        }
         out.push_str(if self.is_clean() {
             "  store is clean\n"
         } else if self.repaired {
@@ -325,7 +363,9 @@ impl FsckReport {
             "{{\n  \"store\": \"{}\",\n  \"regions\": {},\n  \"records_scanned\": {},\n  \
              \"valid_cells\": {},\n  \"quarantined_cells\": {},\n  \"quarantined\": [{}],\n  \
              \"superseded_records_dropped\": {},\n  \"journal_gap_bytes\": {},\n  \
-             \"torn_tail_bytes\": {},\n  \"orphan_shard_bytes\": {},\n  \"clean\": {},\n  \
+             \"torn_tail_bytes\": {},\n  \"orphan_shard_bytes\": {},\n  \
+             \"damaged_index_slots\": {},\n  \
+             \"index_slots_rewritten\": {},\n  \"clean\": {},\n  \
              \"repaired\": {}\n}}\n",
             json_escape(&self.dir),
             self.regions,
@@ -337,6 +377,8 @@ impl FsckReport {
             self.journal_gap_bytes,
             self.torn_tail_bytes,
             self.orphan_shard_bytes,
+            self.damaged_index_slots,
+            self.index_slots_rewritten,
             self.is_clean(),
             self.repaired
         )
@@ -432,8 +474,18 @@ pub fn fsck(dir: &Path, backend: &dyn StorageBackend, dry_run: bool) -> io::Resu
         journal_gap_bytes: scan.gaps.iter().map(|(_, n)| n).sum(),
         torn_tail_bytes: scan.torn_tail.map(|(_, n)| n).unwrap_or(0),
         orphan_shard_bytes,
+        damaged_index_slots: 0,
+        index_slots_rewritten: 0,
         repaired: false,
     };
+    // A torn or bit-rotted index slot is damage in its own right, even
+    // when the journal is pristine — it must make the store un-clean so
+    // the repair pass below rewrites both slots.
+    let slots = crate::index::read_slots(dir, backend, regions)?;
+    report.damaged_index_slots = slots
+        .iter()
+        .filter(|s| matches!(s, crate::index::SlotState::Invalid))
+        .count();
     if dry_run || report.is_clean() {
         return Ok(report);
     }
@@ -488,6 +540,69 @@ pub fn fsck(dir: &Path, backend: &dyn StorageBackend, dry_run: bool) -> io::Resu
             backend.truncate_file(&path, valid_water[r])?;
             backend.sync_file(&path)?;
         }
+    }
+
+    // If the store was ever sealed, both index slots are rewritten from
+    // the repaired journal: a stale sealed view could otherwise point a
+    // snapshot at quarantined or reclaimed extents. Never-sealed stores
+    // stay index-less.
+    if slots
+        .iter()
+        .any(|s| !matches!(s, crate::index::SlotState::Missing))
+    {
+        let best = slots
+            .iter()
+            .filter_map(|s| match s {
+                crate::index::SlotState::Valid(file) => Some(file),
+                _ => None,
+            })
+            .max_by_key(|file| file.generation);
+        // Keep the prior segment assignment for cells whose offset is
+        // unchanged so epoch tooling still sees them as stable.
+        let prior: BTreeMap<(u8, &str), (u64, u64)> = best
+            .map(|file| {
+                file.entries
+                    .iter()
+                    .map(|e| ((e.region, e.domain.as_str()), (e.segment, e.offset)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let generation = best.map(|file| file.generation).unwrap_or(0) + 1;
+        let mut cells: BTreeMap<(u8, String), (u64, u32, u64)> = BTreeMap::new();
+        for rec in scan
+            .records
+            .iter()
+            .filter(|r| r.class == RecordClass::Valid)
+        {
+            cells.insert(
+                (rec.region, rec.domain.clone()),
+                (rec.offset, rec.len, rec.payload_hash),
+            );
+        }
+        let entries: Vec<IndexEntry> = cells
+            .into_iter()
+            .map(|((region, domain), (offset, len, payload_hash))| {
+                let segment = match prior.get(&(region, domain.as_str())) {
+                    Some(&(seg, prior_offset)) if prior_offset == offset => seg,
+                    _ => generation,
+                };
+                IndexEntry {
+                    region,
+                    domain,
+                    segment,
+                    offset,
+                    len,
+                    payload_hash,
+                }
+            })
+            .collect();
+        let bytes = encode_index(generation, &valid_water, &entries);
+        for s in 0..INDEX_SLOTS {
+            let path = slot_path(dir, s);
+            backend.write_file(&path, &bytes)?;
+            backend.sync_file(&path)?;
+        }
+        report.index_slots_rewritten = INDEX_SLOTS;
     }
     report.repaired = true;
     Ok(report)

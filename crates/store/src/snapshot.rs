@@ -1,0 +1,279 @@
+//! [`StoreSnapshot`]: the lock-free sealed read path.
+//!
+//! A snapshot opens the view a [`crate::Store::seal`] froze: it reads
+//! the store config, both index slots, and the sealed prefix of every
+//! shard straight from disk — it never takes the writer's stripe, queue
+//! or io locks, so any number of readers run at full speed while a new
+//! epoch ingests into the same directory.
+//!
+//! Slot selection is defensive end to end. Both slots are parsed; a
+//! candidate is trusted only when every entry's extent lies inside the
+//! shard bytes read *and* the payload bytes hash to the entry's recorded
+//! `payload_hash` — a slot that survived its own checksum but points at
+//! extents a crash-recovery truncated away is rejected, and the reader
+//! falls back to the older slot. A store that was never sealed opens as
+//! an empty snapshot at generation 0; a store whose every existing slot
+//! is damaged is an error (`fsck` rewrites the slots from the journal).
+
+use crate::backend::{FsBackend, StorageBackend};
+use crate::index::{read_slots, IndexFile, SlotState};
+use crate::journal::shard_path;
+use crate::{invalid, note_path, read_store_config, StoreRead};
+use httpsim::content_hash;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Where one sealed cell's payload lives in the snapshot's shard bytes.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    segment: u64,
+    offset: u64,
+    len: u32,
+}
+
+/// An immutable sealed view of a store. See the module docs.
+pub struct StoreSnapshot {
+    dir: PathBuf,
+    regions: usize,
+    meta: Vec<(String, String)>,
+    meta_map: BTreeMap<String, String>,
+    generation: u64,
+    sealed_len: Vec<u64>,
+    /// The sealed prefix of every region shard, read once at open.
+    shards: Vec<Vec<u8>>,
+    entries: BTreeMap<(u8, String), Cell>,
+    backend: Arc<dyn StorageBackend>,
+}
+
+impl StoreSnapshot {
+    /// Open the newest valid sealed view under `dir`.
+    pub fn open(dir: &Path) -> io::Result<StoreSnapshot> {
+        StoreSnapshot::open_with(dir, Arc::new(FsBackend))
+    }
+
+    /// [`StoreSnapshot::open`] on an explicit storage backend.
+    pub fn open_with(dir: &Path, backend: Arc<dyn StorageBackend>) -> io::Result<StoreSnapshot> {
+        let (meta, regions) = read_store_config(dir, backend.as_ref())?;
+        let slots = read_slots(dir, backend.as_ref(), regions)?;
+        let never_sealed = slots.iter().all(|s| matches!(s, SlotState::Missing));
+
+        // Shard bytes are read once, before candidate verification, so
+        // every candidate is judged against the same frozen view.
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(regions);
+        for r in 0..regions {
+            shards.push(match backend.read_file(&shard_path(dir, r as u8)) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(e),
+            });
+        }
+
+        // Newest candidate first; fall back to the older slot when the
+        // newest no longer matches the bytes on disk.
+        let mut candidates: Vec<IndexFile> = slots
+            .into_iter()
+            .filter_map(|s| match s {
+                SlotState::Valid(file) => Some(file),
+                _ => None,
+            })
+            .collect();
+        candidates.sort_by_key(|file| std::cmp::Reverse(file.generation));
+        let chosen = candidates.into_iter().find(|file| verifies(file, &shards));
+
+        let Some(file) = chosen else {
+            if never_sealed {
+                return Ok(StoreSnapshot {
+                    dir: dir.to_path_buf(),
+                    regions,
+                    meta_map: meta.iter().cloned().collect(),
+                    meta,
+                    generation: 0,
+                    sealed_len: vec![0; regions],
+                    shards: vec![Vec::new(); regions],
+                    entries: BTreeMap::new(),
+                    backend,
+                });
+            }
+            return Err(invalid(
+                "every index slot is damaged or stale — run `cookiewall-study fsck` to rewrite them",
+            ));
+        };
+
+        // Trim each shard to its sealed prefix so concurrently appended
+        // bytes can never leak into this view.
+        for (r, shard) in shards.iter_mut().enumerate() {
+            shard.truncate(file.sealed_len[r] as usize);
+        }
+        let entries = file
+            .entries
+            .into_iter()
+            .map(|e| {
+                (
+                    (e.region, e.domain),
+                    Cell {
+                        segment: e.segment,
+                        offset: e.offset,
+                        len: e.len,
+                    },
+                )
+            })
+            .collect();
+        Ok(StoreSnapshot {
+            dir: dir.to_path_buf(),
+            regions,
+            meta_map: meta.iter().cloned().collect(),
+            meta,
+            generation: file.generation,
+            sealed_len: file.sealed_len,
+            shards,
+            entries,
+            backend,
+        })
+    }
+
+    /// Directory this snapshot was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of region shards.
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// All meta pairs, including the reserved `format`/`regions` entries.
+    pub fn meta(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// Look up one meta value.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta_map.get(key).map(|v| v.as_str())
+    }
+
+    /// Generation of the sealed view (0 when never sealed).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Sealed byte length of one region shard.
+    pub fn sealed_len(&self, region: u8) -> u64 {
+        self.sealed_len
+            .get(region as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Generation that first sealed this cell at its current offset.
+    pub fn segment_of(&self, region: u8, domain: &str) -> Option<u64> {
+        self.entries
+            .get(&(region, domain.to_string()))
+            .map(|cell| cell.segment)
+    }
+
+    /// Borrow a sealed payload.
+    pub fn get(&self, region: u8, domain: &str) -> Option<&[u8]> {
+        let cell = self.entries.get(&(region, domain.to_string()))?;
+        let shard = self.shards.get(region as usize)?;
+        shard.get(cell.offset as usize..cell.offset as usize + cell.len as usize)
+    }
+
+    /// Is this cell sealed?
+    pub fn contains(&self, region: u8, domain: &str) -> bool {
+        self.entries.contains_key(&(region, domain.to_string()))
+    }
+
+    /// Total sealed cells across all regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the sealed view holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sealed cells of one region.
+    pub fn region_len(&self, region: u8) -> usize {
+        self.range(region).count()
+    }
+
+    /// Read back a note (see [`crate::Store::write_note`]). Notes are
+    /// not sealed — this reads whatever is on disk now.
+    pub fn read_note(&self, name: &str) -> io::Result<Option<String>> {
+        match self.backend.read_file(&note_path(&self.dir, name)?) {
+            Ok(bytes) => Ok(Some(
+                String::from_utf8(bytes).map_err(|_| invalid("note is not valid UTF-8"))?,
+            )),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Visit every sealed `(domain, payload)` of one region in domain
+    /// order, borrowing straight from the sealed shard bytes.
+    pub fn for_each_region_entry(&self, region: u8, f: &mut dyn FnMut(&str, &[u8])) {
+        for ((_, domain), cell) in self.range(region) {
+            let Some(shard) = self.shards.get(region as usize) else {
+                continue;
+            };
+            if let Some(payload) =
+                shard.get(cell.offset as usize..cell.offset as usize + cell.len as usize)
+            {
+                f(domain, payload);
+            }
+        }
+    }
+
+    fn range(&self, region: u8) -> impl Iterator<Item = (&(u8, String), &Cell)> {
+        self.entries
+            .range((region, String::new())..)
+            .take_while(move |((r, _), _)| *r == region)
+    }
+}
+
+impl StoreRead for StoreSnapshot {
+    fn regions(&self) -> usize {
+        StoreSnapshot::regions(self)
+    }
+
+    fn meta_value(&self, key: &str) -> Option<&str> {
+        StoreSnapshot::meta_value(self, key)
+    }
+
+    fn read_note(&self, name: &str) -> io::Result<Option<String>> {
+        StoreSnapshot::read_note(self, name)
+    }
+
+    fn payload(&self, region: u8, domain: &str) -> Option<Vec<u8>> {
+        self.get(region, domain).map(|p| p.to_vec())
+    }
+
+    fn for_each_region_entry(&self, region: u8, f: &mut dyn FnMut(&str, &[u8])) {
+        StoreSnapshot::for_each_region_entry(self, region, f)
+    }
+}
+
+/// Does every entry of a candidate slot match the shard bytes on disk?
+/// The sealed lengths must fit inside what was read, and each entry's
+/// extent must hash to its recorded payload hash — a slot whose extents
+/// a crash-recovery truncated or rewrote is rejected as a whole.
+fn verifies(file: &IndexFile, shards: &[Vec<u8>]) -> bool {
+    for (r, &sealed) in file.sealed_len.iter().enumerate() {
+        match shards.get(r) {
+            Some(shard) if sealed <= shard.len() as u64 => {}
+            _ => return false,
+        }
+    }
+    file.entries.iter().all(|e| {
+        let Some(shard) = shards.get(e.region as usize) else {
+            return false;
+        };
+        match shard.get(e.offset as usize..e.offset as usize + e.len as usize) {
+            Some(payload) => content_hash(payload) == e.payload_hash,
+            None => false,
+        }
+    })
+}

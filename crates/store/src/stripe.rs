@@ -33,6 +33,20 @@ impl Stripe {
     }
 }
 
+/// One flushed cell's durable location, tracked so a later seal can
+/// index it without re-reading the journal. Entries ride the same
+/// staged → retry → durable pipeline as the bytes they describe.
+#[derive(Debug, Clone)]
+pub(crate) struct LedgerEntry {
+    pub region: u8,
+    pub domain: String,
+    /// Offset of the payload within its region shard.
+    pub offset: u64,
+    pub len: u32,
+    /// `content_hash` of the payload bytes.
+    pub payload_hash: u64,
+}
+
 /// Staged flush state, guarded by `Store::queue`.
 pub(crate) struct FlushQueue {
     /// Logical length of each region shard (durable + staged).
@@ -41,6 +55,8 @@ pub(crate) struct FlushQueue {
     pub staged_shards: Vec<Vec<u8>>,
     /// Staged journal records, same discipline.
     pub staged_journal: Vec<u8>,
+    /// One ledger entry per staged journal record, in stage order.
+    pub staged_ledger: Vec<LedgerEntry>,
 }
 
 impl FlushQueue {
@@ -50,6 +66,7 @@ impl FlushQueue {
             shard_len,
             staged_shards: vec![Vec::new(); regions],
             staged_journal: Vec::new(),
+            staged_ledger: Vec::new(),
         }
     }
 }
@@ -67,6 +84,11 @@ pub(crate) struct DiskState {
     pub retry_shards: Vec<Vec<u8>>,
     /// Journal records not yet durable (same retry discipline).
     pub retry_journal: Vec<u8>,
+    /// Ledger entries whose journal records are not yet durable.
+    pub retry_ledger: Vec<LedgerEntry>,
+    /// Ledger entries whose journal records are durably synced, in
+    /// journal order — the only cells a seal may index.
+    pub ledger: Vec<LedgerEntry>,
     /// A failed append may have left a partial tail on some file:
     /// truncate every file back to its durable length before appending
     /// more.
@@ -74,13 +96,19 @@ pub(crate) struct DiskState {
 }
 
 impl DiskState {
-    pub(crate) fn new(durable_shard: Vec<u64>, durable_journal: u64) -> DiskState {
+    pub(crate) fn new(
+        durable_shard: Vec<u64>,
+        durable_journal: u64,
+        ledger: Vec<LedgerEntry>,
+    ) -> DiskState {
         let regions = durable_shard.len();
         DiskState {
             durable_shard,
             durable_journal,
             retry_shards: vec![Vec::new(); regions],
             retry_journal: Vec::new(),
+            retry_ledger: Vec::new(),
+            ledger,
             dirty: false,
         }
     }

@@ -15,7 +15,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # the gate itself has rotted and the run fails.
 LINT=target/release/lint
 "$LINT" || { echo "check.sh: workspace lint failed" >&2; exit 1; }
-for fixture in r1 r2 r3 r4 r5 r6 r7 r7-backend r8 suppression; do
+for fixture in r1 r2 r3 r4 r5 r5-index r6 r7 r7-backend r7-serve r8 suppression; do
     if "$LINT" --root "crates/lint/tests/fixtures/$fixture" >/dev/null; then
         echo "check.sh: lint fixture $fixture no longer trips its rule" >&2
         exit 1
@@ -76,6 +76,28 @@ cmp "$SMOKE/clean.json" "$SMOKE/scrubbed.json" \
 grep -q "Longitudinal churn" "$SMOKE/churn.txt" \
     || { echo "check.sh: diff produced no churn report" >&2; exit 1; }
 
+# Serve smoke test: the same seeded Zipf stream over the sealed epoch-0
+# snapshot must replay to an identical chain digest on a second run, and
+# the latency ledger must report a p99 per query class.
+"$BIN" serve "$SMOKE/epoch0" "$SMOKE/epoch1" --requests 200 --seed 7 \
+    --readers 3 >"$SMOKE/serve1.txt"
+"$BIN" serve "$SMOKE/epoch0" "$SMOKE/epoch1" --requests 200 --seed 7 \
+    --readers 3 >"$SMOKE/serve2.txt"
+cmp "$SMOKE/serve1.txt" "$SMOKE/serve2.txt" \
+    || { echo "check.sh: serve replay is not deterministic" >&2; exit 1; }
+grep -q "digest=" "$SMOKE/serve1.txt" \
+    || { echo "check.sh: serve printed no chain digest" >&2; exit 1; }
+grep -q "p99_us=" "$SMOKE/serve1.txt" \
+    || { echo "check.sh: serve printed no p99 latency" >&2; exit 1; }
+
+# Stats smoke test: the sealed index must cover the whole checkpointed
+# store, and the JSON schema must carry the keys CI consumers grep for.
+"$BIN" stats "$SMOKE/epoch0" --json "$SMOKE/stats.json" >/dev/null
+grep -q '"coverage_percent":100.0' "$SMOKE/stats.json" \
+    || { echo "check.sh: sealed index does not cover the store" >&2; exit 1; }
+grep -q '"quarantined"' "$SMOKE/stats.json" \
+    || { echo "check.sh: stats JSON lost its schema" >&2; exit 1; }
+
 # Unknown flags must be rejected, not silently ignored.
 if "$BIN" run --scael tiny >/dev/null 2>&1; then
     echo "check.sh: unknown flag was silently accepted" >&2; exit 1
@@ -87,4 +109,9 @@ fi
 cargo bench -p bench --bench table1 --offline -- --noplot
 cargo bench -p bench --bench store --offline -- --noplot
 
-echo "check.sh: fmt + build + clippy + lint + tests + stress + fuzzer + benches + resume/fsck/diff smoke all green"
+# Serve bench: 3 reader threads × Zipf(1.1) against a live second-epoch
+# ingest; every served answer is verified byte-identical to direct
+# evaluation against the sealed store, and real p50/p99 print per class.
+cargo bench -p bench --bench serve --offline -- --noplot
+
+echo "check.sh: fmt + build + clippy + lint + tests + stress + fuzzer + benches + resume/fsck/diff/serve/stats smoke all green"

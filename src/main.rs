@@ -8,6 +8,9 @@
 //! cookiewall-study walls   [--scale …] [--epoch N]
 //! cookiewall-study diff    <store-a> <store-b> [--json PATH]
 //! cookiewall-study fsck    <store> [--json PATH] [--dry-run]
+//! cookiewall-study serve   <store-a> [<store-b>] [--script FILE] [--requests N] [--seed N]
+//!                          [--readers N] [--zipf S] [--json PATH]
+//! cookiewall-study stats   <store> [--json PATH]
 //! cookiewall-study help
 //! ```
 //!
@@ -20,11 +23,12 @@ use analysis::{CheckpointPolicy, Study};
 use bannerclick::BannerClick;
 use browser::Browser;
 use httpsim::{FaultConfig, Region};
+use serve::{chain_digest, format_digest, parse_script, Query, QueryService, RequestStream};
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
-use store::{DiskFaultConfig, FaultyBackend, FsBackend, StorageBackend, Store};
+use store::{DiskFaultConfig, FaultyBackend, FsBackend, StorageBackend, Store, StoreSnapshot};
 use webgen::PopulationConfig;
 
 fn main() -> ExitCode {
@@ -36,6 +40,8 @@ fn main() -> ExitCode {
         Some("walls") => cmd_walls(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -69,6 +75,16 @@ fn print_help() {
          \u{20}      Scrub a store: verify every cell against its journal hash,\n\
          \u{20}      quarantine torn/corrupt cells into a sidecar, and repair the\n\
          \u{20}      journal so `run --resume` re-crawls exactly the lost cells\n\
+         \u{20}  cookiewall-study serve  <store-a> [<store-b>] [--script FILE] [--requests N]\n\
+         \u{20}                          [--seed N] [--readers N] [--zipf S] [--json PATH]\n\
+         \u{20}      Answer a deterministic query stream from sealed snapshots: wall\n\
+         \u{20}      status, prevalence, price percentiles, and (with two stores)\n\
+         \u{20}      epoch diffs; prints every response, a chained response digest,\n\
+         \u{20}      and a per-class simulated-latency ledger. --script replaces the\n\
+         \u{20}      seeded Zipf stream with a query script (one query per line)\n\
+         \u{20}  cookiewall-study stats  <store> [--json PATH]\n\
+         \u{20}      Read-only store census: cells per region, sealed generation and\n\
+         \u{20}      segments, index coverage, quarantine count\n\
          \n\
          Vantage points: germany sweden us-east us-west brazil south-africa india australia\n\
          \n\
@@ -857,6 +873,310 @@ fn cmd_walls(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+const SERVE_VALUED: &[&str] = &[
+    "--script",
+    "--requests",
+    "--seed",
+    "--readers",
+    "--zipf",
+    "--json",
+];
+
+/// Parse an optional unsigned-integer flag with a default.
+fn parse_count(flags: &Flags, name: &str, default: usize, min: usize) -> Result<usize, String> {
+    match flags.value(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= min)
+            .ok_or_else(|| format!("{name} needs an integer ≥ {min}, got {raw:?}")),
+    }
+}
+
+/// Parse `--seed` (any u64, default 0).
+fn parse_seed(flags: &Flags) -> Result<u64, String> {
+    match flags.value("--seed") {
+        None => Ok(0),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("--seed needs a non-negative integer, got {raw:?}")),
+    }
+}
+
+/// Parse `--zipf` (exponent ≥ 0, default 1.1).
+fn parse_zipf(flags: &Flags) -> Result<f64, String> {
+    match flags.value("--zipf") {
+        None => Ok(1.1),
+        Some(raw) => raw
+            .parse::<f64>()
+            .ok()
+            .filter(|z| z.is_finite() && *z >= 0.0)
+            .ok_or_else(|| format!("--zipf needs a non-negative exponent, got {raw:?}")),
+    }
+}
+
+/// Split a query script across reader lanes, round-robin by line index —
+/// the same partition every run, so the response digest is stable.
+fn partition_script(queries: Vec<Query>, readers: usize) -> Vec<Vec<Query>> {
+    let mut lanes = vec![Vec::new(); readers.max(1)];
+    for (i, q) in queries.into_iter().enumerate() {
+        lanes[i % readers.max(1)].push(q);
+    }
+    lanes
+}
+
+/// Minimal JSON string escaping for the hand-rolled reports.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, SERVE_VALUED, &[], 2) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(dir_a) = flags.positionals.first() else {
+        return fail(
+            "serve needs a sealed store: cookiewall-study serve <store-a> [<store-b>] \
+             (run `run --store DIR` first, or `fsck` to repair the index)",
+        );
+    };
+    let readers = match parse_count(&flags, "--readers", 3, 1) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let requests = match parse_count(&flags, "--requests", 256, 0) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let seed = match parse_seed(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let zipf = match parse_zipf(&flags) {
+        Ok(z) => z,
+        Err(e) => return fail(&e),
+    };
+    let epoch_a = match StoreSnapshot::open(Path::new(dir_a)) {
+        Ok(s) => Arc::new(s),
+        Err(e) => return fail(&format!("opening snapshot {dir_a}: {e}")),
+    };
+    let epoch_b = match flags.positionals.get(1) {
+        None => None,
+        Some(dir) => match StoreSnapshot::open(Path::new(dir)) {
+            Ok(s) => Some(Arc::new(s)),
+            Err(e) => return fail(&format!("opening snapshot {dir}: {e}")),
+        },
+    };
+
+    let service = QueryService::new(Arc::clone(&epoch_a), epoch_b.is_some());
+    if let Some(b) = &epoch_b {
+        service.install_second_epoch(Arc::clone(b));
+    }
+
+    // The request stream: a query script if given, otherwise the seeded
+    // Zipf workload over the sealed domain universe.
+    let lanes: Vec<Vec<Query>> = match flags.value("--script") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("reading script {path}: {e}")),
+            };
+            match parse_script(&text) {
+                Ok(queries) => partition_script(queries, readers),
+                Err(e) => return fail(&format!("script {path}: {e}")),
+            }
+        }
+        None => {
+            let mut domains = Vec::new();
+            for region in 0..epoch_a.regions() as u8 {
+                epoch_a.for_each_region_entry(region, &mut |domain, _| {
+                    domains.push(domain.to_string());
+                });
+            }
+            let stream = RequestStream::new(
+                seed,
+                domains,
+                zipf,
+                epoch_a.regions() as u8,
+                epoch_b.is_some(),
+            );
+            (0..readers).map(|r| stream.lane(r, requests)).collect()
+        }
+    };
+
+    // Answer reader-major: every lane in order, every request in order.
+    // The digest chains response texts only, so it is the same whether
+    // the stream came from a script or from the synthesizer.
+    let mut digest = 0u64;
+    let mut responses = 0usize;
+    let mut out = std::io::stdout().lock();
+    for (reader, lane) in lanes.iter().enumerate() {
+        for query in lane {
+            let response = service.answer(query);
+            digest = chain_digest(digest, &response.text);
+            responses += 1;
+            if writeln!(out, "r{reader}\t{}", response.text).is_err() {
+                return ExitCode::SUCCESS; // downstream pipe closed (e.g. head)
+            }
+        }
+    }
+    let ledger = service.ledger();
+    println!("digest={}", format_digest(digest));
+    println!("clock_us={}", service.clock().now_micros());
+    for s in ledger.summaries() {
+        println!(
+            "latency class={} count={} p50_us={} p99_us={}",
+            s.class, s.count, s.p50_micros, s.p99_micros
+        );
+    }
+    if let Some(path) = flags.value("--json") {
+        let classes: Vec<String> = ledger
+            .summaries()
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"class\":\"{}\",\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                    s.class, s.count, s.p50_micros, s.p99_micros
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\"store_a\":\"{}\",\"store_b\":{},\"responses\":{},\"digest\":\"{}\",\
+             \"clock_us\":{},\"classes\":[{}]}}\n",
+            json_escape(dir_a),
+            flags
+                .positionals
+                .get(1)
+                .map(|d| format!("\"{}\"", json_escape(d)))
+                .unwrap_or_else(|| "null".to_string()),
+            responses,
+            format_digest(digest),
+            service.clock().now_micros(),
+            classes.join(",")
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("JSON serve ledger written to {path}"),
+            Err(e) => return fail(&format!("writing {path}: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, &["--json"], &[], 1) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(dir) = flags.positionals.first() else {
+        return fail("stats needs a store directory: cookiewall-study stats <store>");
+    };
+    let store = match Store::open(Path::new(dir)) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("opening store {dir}: {e}")),
+    };
+    let quarantined = match store::quarantine_ledger(Path::new(dir), &FsBackend) {
+        Ok(cells) => cells.len(),
+        Err(_) => 0,
+    };
+    // Per-region census over the live store (streaming, no buffering).
+    let mut region_cells: Vec<(String, usize)> = Vec::new();
+    for region in 0..store.regions() as u8 {
+        let mut n = 0usize;
+        store.for_each_region_entry(region, &mut |_, _| n += 1);
+        region_cells.push((analysis::query::region_label(region), n));
+    }
+    // The sealed view, if the store has ever been sealed and its index
+    // slots verify; a damaged index is reported, not fatal.
+    let snapshot = StoreSnapshot::open(Path::new(dir));
+    println!("store: {dir}");
+    println!("cells: {}", store.len());
+    for (label, n) in &region_cells {
+        println!("  {label}: {n}");
+    }
+    match &snapshot {
+        Ok(snap) => {
+            let mut segments = std::collections::BTreeSet::new();
+            for region in 0..snap.regions() as u8 {
+                snap.for_each_region_entry(region, &mut |domain, _| {
+                    if let Some(segment) = snap.segment_of(region, domain) {
+                        segments.insert(segment);
+                    }
+                });
+            }
+            let coverage = if store.is_empty() {
+                100.0
+            } else {
+                snap.len() as f64 * 100.0 / store.len() as f64
+            };
+            println!("sealed generation: {}", snap.generation());
+            println!("sealed segments: {}", segments.len());
+            println!(
+                "index coverage: {:.1}% ({} of {} cells sealed)",
+                coverage,
+                snap.len(),
+                store.len()
+            );
+        }
+        Err(e) => println!("index: unreadable ({e})"),
+    }
+    println!("quarantined cells: {quarantined}");
+    if let Some(path) = flags.value("--json") {
+        let regions: Vec<String> = region_cells
+            .iter()
+            .map(|(label, n)| format!("{{\"region\":\"{}\",\"cells\":{n}}}", json_escape(label)))
+            .collect();
+        let sealed = match &snapshot {
+            Ok(snap) => {
+                let mut segments = std::collections::BTreeSet::new();
+                for region in 0..snap.regions() as u8 {
+                    snap.for_each_region_entry(region, &mut |domain, _| {
+                        if let Some(segment) = snap.segment_of(region, domain) {
+                            segments.insert(segment);
+                        }
+                    });
+                }
+                let coverage = if store.is_empty() {
+                    100.0
+                } else {
+                    snap.len() as f64 * 100.0 / store.len() as f64
+                };
+                format!(
+                    "{{\"generation\":{},\"segments\":{},\"sealed_cells\":{},\
+                     \"coverage_percent\":{coverage:.1}}}",
+                    snap.generation(),
+                    segments.len(),
+                    snap.len()
+                )
+            }
+            Err(e) => format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string())),
+        };
+        let json = format!(
+            "{{\"store\":\"{}\",\"cells\":{},\"regions\":[{}],\"index\":{},\
+             \"quarantined\":{}}}\n",
+            json_escape(dir),
+            store.len(),
+            regions.join(","),
+            sealed,
+            quarantined
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("JSON stats written to {path}"),
+            Err(e) => return fail(&format!("writing {path}: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::FAILURE
@@ -940,6 +1260,73 @@ mod tests {
                 "{flag} models the disk, not the study — it must stay legal with --resume"
             );
         }
+    }
+
+    #[test]
+    fn serve_flags_parse_with_defaults_and_validate() {
+        let flags = parse_flags(&argv(&["store-a", "store-b"]), SERVE_VALUED, &[], 2).unwrap();
+        assert_eq!(parse_count(&flags, "--readers", 3, 1).unwrap(), 3);
+        assert_eq!(parse_count(&flags, "--requests", 256, 0).unwrap(), 256);
+        assert_eq!(parse_seed(&flags).unwrap(), 0);
+        assert!((parse_zipf(&flags).unwrap() - 1.1).abs() < 1e-12);
+
+        let flags = parse_flags(
+            &argv(&[
+                "store-a",
+                "--readers",
+                "5",
+                "--requests=64",
+                "--seed",
+                "9",
+                "--zipf",
+                "0.0",
+            ]),
+            SERVE_VALUED,
+            &[],
+            2,
+        )
+        .unwrap();
+        assert_eq!(parse_count(&flags, "--readers", 3, 1).unwrap(), 5);
+        assert_eq!(parse_count(&flags, "--requests", 256, 0).unwrap(), 64);
+        assert_eq!(parse_seed(&flags).unwrap(), 9);
+        assert_eq!(parse_zipf(&flags).unwrap(), 0.0);
+
+        let flags = parse_flags(&argv(&["a", "--readers", "0"]), SERVE_VALUED, &[], 2).unwrap();
+        let err = parse_count(&flags, "--readers", 3, 1).unwrap_err();
+        assert!(err.contains("--readers"), "{err}");
+        let flags = parse_flags(&argv(&["a", "--zipf", "-1"]), SERVE_VALUED, &[], 2).unwrap();
+        assert!(parse_zipf(&flags).is_err());
+
+        let err = parse_flags(&argv(&["a", "b", "c"]), SERVE_VALUED, &[], 2).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+        let err = parse_flags(&argv(&["a", "--dry-run"]), SERVE_VALUED, &[], 2).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn script_partition_is_round_robin_and_survives_zero_readers() {
+        let queries = vec![
+            Query::EpochDiff,
+            Query::Prevalence { region: 0 },
+            Query::Prices { region: None },
+            Query::EpochDiff,
+        ];
+        let lanes = partition_script(queries.clone(), 3);
+        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes[0].len(), 2);
+        assert_eq!(lanes[1].len(), 1);
+        assert_eq!(lanes[2].len(), 1);
+        let lanes = partition_script(queries, 0);
+        assert_eq!(lanes.len(), 1, "zero readers clamp to one lane");
+        assert_eq!(lanes[0].len(), 4);
+    }
+
+    #[test]
+    fn json_escape_covers_quotes_and_control_bytes() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]
