@@ -29,6 +29,7 @@ pub struct AblationRow {
 #[derive(Debug, Clone, Serialize)]
 pub struct Ablation {
     /// One row per configuration, full pipeline first.
+    // lint:allow(r10) — report rows are bounded by the study's site population; the ROADMAP item 2 streaming report aggregates incrementally
     pub rows: Vec<AblationRow>,
 }
 

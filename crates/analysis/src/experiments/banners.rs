@@ -26,6 +26,7 @@ pub struct BannerRow {
 #[derive(Debug, Clone, Serialize)]
 pub struct BannerPrevalence {
     /// Per-VP rows.
+    // lint:allow(r10) — report rows are bounded by the study's site population; the ROADMAP item 2 streaming report aggregates incrementally
     pub rows: Vec<BannerRow>,
 }
 

@@ -33,6 +33,7 @@ pub struct BypassRecord {
 #[derive(Debug, Clone, Serialize)]
 pub struct Bypass {
     /// Per-site outcomes.
+    // lint:allow(r10) — report rows are bounded by the study's site population; the ROADMAP item 2 streaming report aggregates incrementally
     pub records: Vec<BypassRecord>,
     /// Walls tested.
     pub total: usize,

@@ -19,6 +19,7 @@ pub struct CategoryPrices {
     /// Mean monthly EUR price (the red cross in the paper's figure).
     pub mean_price: f64,
     /// All prices in the category.
+    // lint:allow(r10) — report rows are bounded by the study's site population; the ROADMAP item 2 streaming report aggregates incrementally
     pub prices: Vec<f64>,
 }
 

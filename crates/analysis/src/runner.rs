@@ -120,7 +120,8 @@ pub fn run_all_persistent(
         &study.crawl_options(),
         store,
         policy,
-    );
+    )
+    .map_err(|e| format!("checkpoint flush after the crawl failed: {e}"))?;
     let Some(crawls) = crawls else {
         return Ok(None);
     };
@@ -132,6 +133,7 @@ pub fn run_all_persistent(
     let summary = epoch_summary(study, &crawls);
     // A failed note write degrades the later diff (tracking drift reads
     // it), never the report itself.
+    // lint:allow(r11) — the note is advisory: losing it degrades the longitudinal diff, not the report
     let _ = store.write_note(EPOCH_SUMMARY_NOTE, &summary);
     Ok(Some(report))
 }

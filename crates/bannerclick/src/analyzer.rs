@@ -34,6 +34,7 @@ impl BannerClick {
     }
 
     /// Analyze an already loaded page.
+    // lint:allow(r9) — SiteAnalysis owns its domain/provider strings by design; ROADMAP item 1 arena rewrite
     pub fn analyze_page(&self, domain: &str, page: &mut Page) -> SiteAnalysis {
         let provider = observed_provider(page);
         let banners = detect_banners(page, &self.detector);
@@ -118,6 +119,7 @@ pub struct SiteAnalysis {
 }
 
 impl SiteAnalysis {
+    // lint:allow(r9) — error-path constructor, runs once per unreachable site; ROADMAP item 1
     fn unreachable(domain: &str, _err: VisitError) -> Self {
         SiteAnalysis {
             domain: domain.to_string(),
@@ -163,10 +165,10 @@ impl SiteAnalysis {
 /// Identify the consent-infrastructure provider serving this page's
 /// banner/wall from iframe and script sources — the signal §4.4 uses to
 /// attribute walls to SMPs.
+// lint:allow(r9) — the single to_string builds the owned return and runs only when a provider is found; further savings belong to the ROADMAP item 1 arena
 pub fn observed_provider(page: &Page) -> Option<String> {
     let main = &page.frames[0].doc;
-    let page_host = page.host().to_string();
-    let mut candidates: Vec<String> = Vec::new();
+    let page_host = page.host();
     for sel in ["iframe[src]", "script[src]"] {
         for node in main.select(main.root(), sel).unwrap_or_default() {
             let Some(src) = main
@@ -176,13 +178,16 @@ pub fn observed_provider(page: &Page) -> Option<String> {
                 continue;
             };
             if let Ok(url) = Url::parse(src) {
-                if !httpsim::same_site(url.host(), &page_host)
+                if !httpsim::same_site(url.host(), page_host)
                     && (url.path().contains("wall") || url.path().contains("banner"))
                 {
-                    candidates.push(url.host().to_string());
+                    // Only the first match is attributed; returning it
+                    // directly keeps the per-visit path allocation-free
+                    // until a provider is actually found.
+                    return Some(url.host().to_string());
                 }
             }
         }
     }
-    candidates.into_iter().next()
+    None
 }

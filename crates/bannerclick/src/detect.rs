@@ -81,6 +81,7 @@ const OVERLAY_Z_INDEX: i64 = 1000;
 /// Mutates frame documents transiently during the shadow workaround (clone
 /// in, inspect, detach again); the page is structurally unchanged on
 /// return.
+// lint:allow(r9) — the findings vec is the fn's return value; per-visit buffer reuse is ROADMAP item 1
 pub fn detect_banners(page: &mut Page, options: &DetectorOptions) -> Vec<BannerFinding> {
     let mut findings = Vec::new();
     let frame_count = page.frames.len();
@@ -127,6 +128,7 @@ pub fn detect_banners(page: &mut Page, options: &DetectorOptions) -> Vec<BannerF
 }
 
 /// Find the banner root in the light DOM of `scope`.
+// lint:allow(r9) — the candidate list is the detection result handed to the caller; per-visit buffer reuse is ROADMAP item 1
 fn find_banner_root(
     doc: &Document,
     scope: NodeId,
@@ -175,6 +177,7 @@ fn find_banner_root(
 
 /// Ascend from `node` to the nearest ancestor-or-self that looks like an
 /// overlay container.
+// lint:allow(r9) — overlay selector rendered once per detected banner, not per node; ROADMAP item 1
 fn ascend_to_overlay(doc: &Document, node: NodeId) -> Option<NodeId> {
     let mut cursor = Some(node);
     while let Some(n) = cursor {

@@ -41,6 +41,7 @@ pub struct ButtonFinding {
 }
 
 /// Find all role-classified buttons inside a banner.
+// lint:allow(r9) — the button list is the fn's return value; per-visit buffer reuse is ROADMAP item 1
 pub fn find_buttons(page: &Page, banner: &BannerFinding) -> Vec<ButtonFinding> {
     let doc = &page.frames[banner.root.frame].doc;
     let mut out = Vec::new();

@@ -1,0 +1,147 @@
+//! Bench: linter engine throughput — cold versus warm-cache runs over
+//! the real workspace, and the parallel engine at different job counts.
+//!
+//! Beyond the timings this bench pins the incremental-cache contract:
+//! the second run over an unchanged tree must be a full hit (every file
+//! entry plus the global entry), report byte-identical findings, and be
+//! at least 3× faster than the cold run; and the job count must never
+//! change the rendered report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lint::Options;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fresh_cache_dir() -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cookiewall-lint-bench-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let root = workspace_root();
+
+    // Contract checks run once, outside the sampler, against the real
+    // workspace tree.
+    let cache_dir = fresh_cache_dir();
+    let cached = Options {
+        jobs: 0,
+        cache_dir: Some(cache_dir.clone()),
+    };
+    let t0 = Instant::now();
+    let cold = lint::run_with(&root, None, &cached).expect("cold lint run");
+    let cold_t = t0.elapsed();
+    let t1 = Instant::now();
+    let warm = lint::run_with(&root, None, &cached).expect("warm lint run");
+    let warm_t = t1.elapsed();
+    let stats = warm.cache.expect("cache stats are reported");
+    assert_eq!(
+        stats.file_hits, stats.file_total,
+        "unchanged tree must hit every file entry"
+    );
+    assert!(stats.global_hit, "unchanged tree must hit the global entry");
+    assert_eq!(
+        cold.render(),
+        warm.render(),
+        "warm findings must be byte-identical to cold"
+    );
+    assert!(
+        warm_t * 3 <= cold_t,
+        "warm cache must be >=3x faster than cold: cold {cold_t:?}, warm {warm_t:?}"
+    );
+
+    let one = lint::run_with(
+        &root,
+        None,
+        &Options {
+            jobs: 1,
+            cache_dir: None,
+        },
+    )
+    .expect("jobs=1 run");
+    let eight = lint::run_with(
+        &root,
+        None,
+        &Options {
+            jobs: 8,
+            cache_dir: None,
+        },
+    )
+    .expect("jobs=8 run");
+    assert_eq!(
+        one.render(),
+        eight.render(),
+        "job count must never change the report"
+    );
+
+    let mut g = c.benchmark_group("lint");
+    g.sample_size(10);
+    g.bench_function("cold_no_cache", |b| {
+        b.iter(|| {
+            let opts = Options {
+                jobs: 0,
+                cache_dir: None,
+            };
+            black_box(
+                lint::run_with(&root, None, &opts)
+                    .expect("lint run")
+                    .findings
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            black_box(
+                lint::run_with(&root, None, &cached)
+                    .expect("lint run")
+                    .findings
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("serial_jobs_1", |b| {
+        b.iter(|| {
+            let opts = Options {
+                jobs: 1,
+                cache_dir: None,
+            };
+            black_box(
+                lint::run_with(&root, None, &opts)
+                    .expect("lint run")
+                    .findings
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("parallel_jobs_8", |b| {
+        b.iter(|| {
+            let opts = Options {
+                jobs: 8,
+                cache_dir: None,
+            };
+            black_box(
+                lint::run_with(&root, None, &opts)
+                    .expect("lint run")
+                    .findings
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+criterion_group!(benches, bench_lint);
+criterion_main!(benches);

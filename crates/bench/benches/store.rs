@@ -63,7 +63,8 @@ fn bench_store(c: &mut Criterion) {
             |(net, store, dir)| {
                 let policy = CheckpointPolicy::default();
                 let (crawls, _) =
-                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy)
+                        .expect("checkpoint flush succeeds");
                 let n = black_box(crawls.expect("sweep completes").len());
                 drop(store);
                 let _ = std::fs::remove_dir_all(&dir);
@@ -90,7 +91,8 @@ fn bench_store(c: &mut Criterion) {
             |(net, store, dir)| {
                 let policy = CheckpointPolicy::default();
                 let (crawls, _) =
-                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy)
+                        .expect("checkpoint flush succeeds");
                 let n = black_box(crawls.expect("sweep completes").len());
                 drop(store);
                 let _ = std::fs::remove_dir_all(&dir);
@@ -112,7 +114,8 @@ fn bench_store(c: &mut Criterion) {
                     abort_after: Some(half),
                     ..CheckpointPolicy::default()
                 };
-                let _ = crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                let _ = crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy)
+                    .expect("checkpoint flush succeeds");
                 drop(store);
                 let store = Store::open(&dir).expect("store reopens");
                 (world(&pop), store, dir)
@@ -120,7 +123,8 @@ fn bench_store(c: &mut Criterion) {
             |(net, store, dir)| {
                 let policy = CheckpointPolicy::default();
                 let (crawls, _) =
-                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                    crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy)
+                        .expect("checkpoint flush succeeds");
                 let n = black_box(crawls.expect("sweep completes").len());
                 drop(store);
                 let _ = std::fs::remove_dir_all(&dir);
@@ -151,7 +155,8 @@ fn bench_store(c: &mut Criterion) {
                 |(net, store, dir)| {
                     let policy = CheckpointPolicy::default();
                     let (crawls, _) =
-                        crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy);
+                        crawl_all_regions_persistent(&net, &targets, &tool, &opts, &store, &policy)
+                            .expect("checkpoint flush succeeds");
                     let n = black_box(crawls.expect("sweep completes").len());
                     drop(store);
                     let _ = std::fs::remove_dir_all(&dir);

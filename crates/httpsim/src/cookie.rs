@@ -66,6 +66,7 @@ impl Cookie {
     /// Returns `None` for unparseable or rejected cookies (empty name,
     /// domain not matching the origin — the "domain attribute must
     /// domain-match the request host" rule that stops cross-site planting).
+    // lint:allow(r9) — the jar owns cookie fields; zero-copy Set-Cookie parsing is part of ROADMAP item 1
     pub fn parse_set_cookie(header: &str, origin: &Url) -> Option<Cookie> {
         let mut parts = header.split(';');
         let nv = parts.next()?;

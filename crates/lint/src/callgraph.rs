@@ -10,6 +10,7 @@
 //! sound-by-default by treating unknown edges per their own policy
 //! (documented in DESIGN.md §10).
 
+use crate::cfg::Cfg;
 use crate::lexer::{Token, TokenKind};
 use crate::parser::{self, FnDef, ParsedFile};
 use crate::source::SourceFile;
@@ -60,6 +61,9 @@ pub struct Model {
     pub fns: Vec<FnDef>,
     /// Call sites per function (indexed by [`FnId`]).
     pub calls: Vec<Vec<CallSite>>,
+    /// Per-function control-flow graph (indexed by [`FnId`]), shared by
+    /// every dataflow-backed rule so each body is lowered exactly once.
+    pub cfgs: Vec<Cfg>,
     /// Per-file parse results (aliases), in file order.
     pub parsed: Vec<ParsedFile>,
 }
@@ -108,7 +112,19 @@ impl Model {
             }
             calls.push(sites);
         }
-        Model { fns, calls, parsed }
+        let cfgs = fns
+            .iter()
+            .map(|f| {
+                let tokens = &files[f.file].tokens;
+                Cfg::build(tokens, (f.body.0, f.body.1.min(tokens.len())))
+            })
+            .collect();
+        Model {
+            fns,
+            calls,
+            cfgs,
+            parsed,
+        }
     }
 
     /// The function whose body contains token `idx` of file `file`

@@ -1,7 +1,15 @@
 //! The linter driver: scan a workspace root, run every rule, apply
 //! suppressions and the grandfathering baseline, and render the report.
+//!
+//! The engine is production-shaped: the per-file phase (parse + local
+//! rules) fans out across `--jobs` worker threads, the global rules run
+//! one-per-thread, and an optional incremental cache (`crate::cache`)
+//! skips whatever the content hashes prove unchanged. Findings are
+//! sorted at the end, so the report is byte-identical at any job count
+//! and on any hit/miss mix.
 
-use crate::rules::{suppressible_names, Finding, Workspace, RULES};
+use crate::cache;
+use crate::rules::{suppressible_names, Finding, Rule, Workspace, RULES};
 use crate::source::{self, SourceFile};
 use std::fs;
 use std::io;
@@ -9,6 +17,28 @@ use std::path::{Path, PathBuf};
 
 /// File (relative to the root) holding grandfathered findings.
 pub const BASELINE_FILE: &str = "lint.baseline";
+
+/// Engine knobs: parallelism and the incremental cache.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Worker threads for the per-file phase; 0 means one per available
+    /// core. The findings are byte-identical at every job count.
+    pub jobs: usize,
+    /// Cache directory (conventionally `<root>/target/lint-cache`);
+    /// `None` disables the incremental cache.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// What the incremental cache did for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Files whose content hash matched a cached entry.
+    pub file_hits: usize,
+    /// Files scanned.
+    pub file_total: usize,
+    /// Did the cross-file entry's workspace fingerprint match?
+    pub global_hit: bool,
+}
 
 /// How one reported finding counts toward the exit status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +57,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings silenced by valid `lint:allow` directives.
     pub suppressed: usize,
+    /// Cache hit/miss statistics; `None` when the cache was disabled.
+    pub cache: Option<CacheStats>,
 }
 
 impl Report {
@@ -138,58 +170,77 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Run every rule over the workspace at `root`. `baseline` overrides the
-/// default `<root>/lint.baseline` (which applies only when it exists).
+/// Run every rule over the workspace at `root` with default options
+/// (auto parallelism, no cache). `baseline` overrides the default
+/// `<root>/lint.baseline` (which applies only when it exists).
 pub fn run(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
+    run_with(root, baseline, &Options::default())
+}
+
+/// [`run`] with explicit parallelism and cache options.
+pub fn run_with(root: &Path, baseline: Option<&Path>, opts: &Options) -> io::Result<Report> {
     let known = suppressible_names();
-    let mut files = Vec::new();
+    let mut inputs: Vec<(String, String, u64)> = Vec::new();
     for path in source::collect_files(root)? {
         let text = fs::read_to_string(&path)?;
-        let rel = source::relative_path(root, &path);
-        files.push(SourceFile::parse(rel, &text, &known));
+        let hash = cache::fnv1a64(text.as_bytes());
+        inputs.push((source::relative_path(root, &path), text, hash));
     }
-    let model = crate::callgraph::Model::build(&files);
-    let ws = Workspace {
-        files,
-        design: fs::read_to_string(root.join("DESIGN.md")).ok(),
-        model,
+    let design = fs::read_to_string(root.join("DESIGN.md")).ok();
+    let ruleset = cache::ruleset_id();
+    let keys: Vec<(&str, u64)> = inputs.iter().map(|(p, _, h)| (p.as_str(), *h)).collect();
+    let fingerprint = cache::workspace_fingerprint(&ruleset, design.as_deref(), &keys);
+
+    let cached = opts
+        .cache_dir
+        .as_deref()
+        .map(|dir| cache::load(dir, &ruleset));
+    let hits: Vec<bool> = inputs
+        .iter()
+        .map(|(p, _, h)| {
+            cached
+                .as_ref()
+                .is_some_and(|c| c.files.get(p.as_str()).is_some_and(|e| e.hash == *h))
+        })
+        .collect();
+    let stats = cached.as_ref().map(|c| CacheStats {
+        file_hits: hits.iter().filter(|h| **h).count(),
+        file_total: inputs.len(),
+        global_hit: c
+            .global
+            .as_ref()
+            .is_some_and(|g| g.fingerprint == fingerprint),
+    });
+
+    // Full hit: every file and the cross-file entry are current, so the
+    // findings are assembled straight from the cache — no parse, no call
+    // graph, no rules.
+    let full_hit = stats.is_some_and(|s| s.global_hit && s.file_hits == s.file_total);
+    let (findings, suppressed) = if full_hit {
+        let c = cached.as_ref().expect("full hit implies a loaded cache");
+        let mut findings = Vec::new();
+        let mut suppressed = 0usize;
+        for (path, _, _) in &inputs {
+            let entry = &c.files[path.as_str()];
+            findings.extend(entry.findings.iter().cloned());
+            suppressed += entry.suppressed as usize;
+        }
+        let global = c.global.as_ref().expect("full hit implies a global entry");
+        findings.extend(global.findings.iter().cloned());
+        suppressed += global.suppressed as usize;
+        (findings, suppressed)
+    } else {
+        analyze(
+            &inputs,
+            &hits,
+            design,
+            &known,
+            opts,
+            cached.as_ref(),
+            fingerprint,
+            &ruleset,
+        )?
     };
-
-    let mut raw = Vec::new();
-    for rule in RULES {
-        rule.check(&ws, &mut raw);
-    }
-
-    // Suppressions: a valid `lint:allow(rule)` covering the finding's line
-    // silences it; malformed directives are findings themselves.
-    let mut suppressed = 0usize;
-    let mut findings: Vec<Finding> = Vec::new();
-    for f in raw {
-        let by_name = ws.file(&f.path).is_some_and(|file| {
-            let code = RULES
-                .iter()
-                .find(|r| r.name() == f.rule)
-                .map(|r| r.code())
-                .unwrap_or("");
-            file.suppressed(f.rule, f.line) || file.suppressed(code, f.line)
-        });
-        if by_name {
-            suppressed += 1;
-        } else {
-            findings.push(f);
-        }
-    }
-    for file in &ws.files {
-        for bad in &file.bad_suppressions {
-            findings.push(Finding {
-                rule: "suppression",
-                path: file.path.clone(),
-                line: bad.line,
-                col: 1, // synthetic: anchor at line start, col is 1-based
-                message: bad.message.clone(),
-            });
-        }
-    }
 
     // Baseline: grandfather matching findings, flag stale entries so the
     // baseline can only ratchet down.
@@ -233,9 +284,228 @@ pub fn run(root: &Path, baseline: Option<&Path>) -> io::Result<Report> {
     });
     Ok(Report {
         findings: out,
-        files_scanned: ws.files.len(),
+        files_scanned: inputs.len(),
         suppressed,
+        cache: stats,
     })
+}
+
+/// One worker thread per available core, bounded by the work items.
+fn effective_jobs(requested: usize, items: usize) -> usize {
+    let jobs = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    jobs.clamp(1, items.max(1))
+}
+
+/// Local analysis of one parsed file: every local rule, then that file's
+/// suppressions, then its malformed directives as findings. This is the
+/// unit the per-file cache stores.
+fn local_findings(file: &SourceFile) -> (Vec<Finding>, u32) {
+    let mut raw = Vec::new();
+    for rule in RULES.iter().filter(|r| r.is_local()) {
+        rule.check_file(file, &mut raw);
+    }
+    let mut suppressed = 0u32;
+    let mut keep = Vec::new();
+    for f in raw {
+        if suppressed_at(file, &f) {
+            suppressed += 1;
+        } else {
+            keep.push(f);
+        }
+    }
+    for bad in &file.bad_suppressions {
+        keep.push(Finding {
+            rule: "suppression",
+            path: file.path.clone(),
+            line: bad.line,
+            col: 1, // synthetic: anchor at line start, col is 1-based
+            message: bad.message.clone(),
+        });
+    }
+    (keep, suppressed)
+}
+
+/// Does a valid `lint:allow` on the finding's line name its rule (by
+/// name or R-code)?
+fn suppressed_at(file: &SourceFile, f: &Finding) -> bool {
+    let code = RULES
+        .iter()
+        .find(|r| r.name() == f.rule)
+        .map(|r| r.code())
+        .unwrap_or("");
+    file.suppressed(f.rule, f.line) || file.suppressed(code, f.line)
+}
+
+/// One file after the per-file phase: the parsed source plus its local
+/// findings and suppression count (`None` when the cache already holds
+/// them).
+type ParsedFile = (SourceFile, Option<(Vec<Finding>, u32)>);
+
+/// The cache-miss path: parse every file (cached local results are
+/// reused, missed ones recomputed in the same fan-out), build the
+/// interprocedural model, run the global rules one-per-thread, and
+/// rewrite the cache.
+#[allow(clippy::too_many_arguments)]
+fn analyze(
+    inputs: &[(String, String, u64)],
+    hits: &[bool],
+    design: Option<String>,
+    known: &[&str],
+    opts: &Options,
+    cached: Option<&cache::Cache>,
+    fingerprint: u64,
+    ruleset: &str,
+) -> io::Result<(Vec<Finding>, usize)> {
+    let jobs = effective_jobs(opts.jobs, inputs.len());
+
+    // Per-file phase: parse, plus local analysis for files the cache
+    // does not cover. Contiguous chunks reassemble in input order, so
+    // the result is independent of the job count.
+    let chunk_len = inputs.len().div_ceil(jobs).max(1);
+    let work: Vec<(&(String, String, u64), bool)> =
+        inputs.iter().zip(hits.iter().copied()).collect();
+    let parsed: Vec<ParsedFile> = if jobs <= 1 {
+        work.iter()
+            .map(|(input, hit)| parse_one(input, *hit, known))
+            .collect()
+    } else {
+        let chunks: Vec<Vec<ParsedFile>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .chunks(chunk_len)
+                .map(|c| {
+                    s.spawn(move |_| {
+                        c.iter()
+                            .map(|(input, hit)| parse_one(input, *hit, known))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lint parse worker panicked"))
+                .collect()
+        })
+        .expect("lint parse scope");
+        chunks.into_iter().flatten().collect()
+    };
+
+    let mut files = Vec::with_capacity(parsed.len());
+    let mut locals: Vec<(Vec<Finding>, u32)> = Vec::with_capacity(parsed.len());
+    for ((file, local), (path, _, _)) in parsed.into_iter().zip(inputs) {
+        let entry = match local {
+            Some(computed) => computed,
+            None => {
+                let e = cached
+                    .and_then(|c| c.files.get(path.as_str()))
+                    .expect("hit flag implies a cache entry");
+                (e.findings.clone(), e.suppressed)
+            }
+        };
+        files.push(file);
+        locals.push(entry);
+    }
+
+    let model = crate::callgraph::Model::build(&files);
+    let ws = Workspace {
+        files,
+        design,
+        model,
+    };
+
+    // Global rules: one thread each (they have very different costs, so
+    // rule-granular scheduling is enough), reassembled in registry order.
+    let globals: Vec<&&dyn Rule> = RULES.iter().filter(|r| !r.is_local()).collect();
+    let per_rule: Vec<Vec<Finding>> = if jobs <= 1 {
+        globals
+            .iter()
+            .map(|rule| {
+                let mut v = Vec::new();
+                rule.check(&ws, &mut v);
+                v
+            })
+            .collect()
+    } else {
+        let ws_ref = &ws;
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = globals
+                .iter()
+                .map(|rule| {
+                    s.spawn(move |_| {
+                        let mut v = Vec::new();
+                        rule.check(ws_ref, &mut v);
+                        v
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lint rule worker panicked"))
+                .collect()
+        })
+        .expect("lint rule scope")
+    };
+
+    let mut global_suppressed = 0u32;
+    let mut global_kept: Vec<Finding> = Vec::new();
+    for f in per_rule.into_iter().flatten() {
+        if ws.file(&f.path).is_some_and(|file| suppressed_at(file, &f)) {
+            global_suppressed += 1;
+        } else {
+            global_kept.push(f);
+        }
+    }
+
+    if let Some(dir) = opts.cache_dir.as_deref() {
+        let mut next = cache::Cache::default();
+        for ((path, _, hash), (findings, suppressed)) in inputs.iter().zip(&locals) {
+            next.files.insert(
+                path.clone(),
+                cache::FileEntry {
+                    hash: *hash,
+                    findings: findings.clone(),
+                    suppressed: *suppressed,
+                },
+            );
+        }
+        next.global = Some(cache::GlobalEntry {
+            fingerprint,
+            findings: global_kept.clone(),
+            suppressed: global_suppressed,
+        });
+        cache::store(dir, ruleset, &next)?;
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = global_suppressed as usize;
+    for (local, count) in locals {
+        findings.extend(local);
+        suppressed += count as usize;
+    }
+    findings.extend(global_kept);
+    Ok((findings, suppressed))
+}
+
+/// Parse one input and, when the cache has no current entry for it, run
+/// its local analysis in the same worker.
+fn parse_one(
+    input: &(String, String, u64),
+    hit: bool,
+    known: &[&str],
+) -> (SourceFile, Option<(Vec<Finding>, u32)>) {
+    let (rel, text, _) = input;
+    let file = SourceFile::parse(rel.clone(), text, known);
+    let local = if hit {
+        None
+    } else {
+        Some(local_findings(&file))
+    };
+    (file, local)
 }
 
 /// Rewrite the baseline to grandfather every currently-failing rule

@@ -13,8 +13,11 @@
 //! | R4 `panic-hygiene` | no `unwrap`/`expect`/`panic!`/`todo!` in crawl/browser/store non-test code |
 //! | R5 `journal-format` | `crates/store` journal constants match DESIGN.md §8 |
 //! | R6 `lock-order` | no cycles in the may-hold-while-acquiring graph (interprocedural) |
-//! | R7 `blocking-under-lock` | no guard live across a transitively blocking call |
+//! | R7 `blocking-under-lock` | no guard live across a transitively blocking call (CFG block-scoped liveness) |
 //! | R8 `seed-taint` | RNG seed state flows only from the CLI seed / `PopulationConfig` |
+//! | R9 `hot-path-allocation` | no avoidable allocation in functions reachable from the per-visit roots |
+//! | R10 `unbounded-growth` | collections on long-lived structs must shrink somewhere |
+//! | R11 `swallowed-io-errors` | IO `Result`s are handled or propagated, never discarded |
 //!
 //! Each rule is suppressible inline with `// lint:allow(rule) — reason`
 //! (the reason is mandatory) and adoptable incrementally through a
@@ -24,7 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod engine;
 pub mod items;
 pub mod lexer;
@@ -33,5 +39,7 @@ pub mod parser;
 pub mod rules;
 pub mod source;
 
-pub use engine::{run, update_baseline, Report, Status, BASELINE_FILE};
+pub use engine::{
+    run, run_with, update_baseline, CacheStats, Options, Report, Status, BASELINE_FILE,
+};
 pub use rules::{Finding, Rule, Workspace, RULES};

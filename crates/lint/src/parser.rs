@@ -44,6 +44,10 @@ pub struct FnDef {
     pub line: u32,
     /// The definition sits inside a `#[cfg(test)]` / `#[test]` region.
     pub is_test: bool,
+    /// The signature's return type mentions `Result` (a *hint* from the
+    /// tokens between the parameter list and the body, not a resolved
+    /// type — used by R11 to spot discarded fallible IO).
+    pub returns_result: bool,
 }
 
 /// One parameter of a [`FnDef`].
@@ -170,6 +174,9 @@ fn parse_fn(
         }
         k += 1;
     };
+    let returns_result = tokens[params_close + 1..body.0.min(tokens.len())]
+        .iter()
+        .any(|t| t.is_ident("Result"));
     let def = FnDef {
         file: file_idx,
         name: name_tok.text.clone(),
@@ -179,6 +186,7 @@ fn parse_fn(
         body,
         line: tokens[at].line,
         is_test: file.in_test_region(at),
+        returns_result,
     };
     Some((def, params_close + 1))
 }

@@ -20,7 +20,7 @@ use crate::rules::{Finding, Rule, Workspace};
 use std::collections::BTreeSet;
 
 /// Method/function names that block the calling thread.
-const BLOCKING_METHODS: &[&str] = &[
+pub(crate) const BLOCKING_METHODS: &[&str] = &[
     "recv",
     "recv_timeout",
     "join",
@@ -49,12 +49,12 @@ const BLOCKING_METHODS: &[&str] = &[
 ];
 
 /// Free `fs::…` calls that hit the disk.
-const BLOCKING_FS: &[&str] = &["write", "read", "read_to_string", "create_dir_all"];
+pub(crate) const BLOCKING_FS: &[&str] = &["write", "read", "read_to_string", "create_dir_all"];
 
 /// Is this call site a blocking root? `join` only counts with an empty
 /// argument list — `JoinHandle::join(self)` takes none, while the
 /// ubiquitous `Path::join(p)` / `[&str]::join(sep)` take one.
-fn blocking_root(site: &CallSite) -> bool {
+pub(crate) fn blocking_root(site: &CallSite) -> bool {
     if site.name == "join" && site.args.0 != site.args.1 {
         return false;
     }
@@ -101,12 +101,12 @@ impl Rule for BlockingUnderLock {
                 continue;
             }
             let file = &ws.files[def.file];
-            for g in locks::guards_in(file, def) {
+            for g in locks::guards_in(file, def, &model.cfgs[id]) {
                 // One finding per (guard, blocking reason): the same
                 // over-approximated call must not fan out into duplicates.
                 let mut seen: BTreeSet<String> = BTreeSet::new();
                 for site in &model.calls[id] {
-                    if !(g.range.0..g.range.1).contains(&site.idx) {
+                    if !g.covers(site.idx) {
                         continue;
                     }
                     if blocking_root(site) {

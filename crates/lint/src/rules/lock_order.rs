@@ -46,7 +46,7 @@ impl Rule for LockOrder {
                 continue;
             }
             let file = &ws.files[def.file];
-            let guards = locks::guards_in(file, def);
+            let guards = locks::guards_in(file, def, &model.cfgs[id]);
             for g in &guards {
                 direct[id].push((
                     g.class.clone(),
@@ -77,8 +77,7 @@ impl Rule for LockOrder {
                 );
                 // Direct nested acquisitions inside the live range.
                 for other in &guards_by_fn[id] {
-                    if other.class != g.class && (g.range.0..g.range.1).contains(&other.acquire_idx)
-                    {
+                    if other.class != g.class && g.covers(other.acquire_idx) {
                         edges
                             .entry((g.class.clone(), other.class.clone()))
                             .or_insert_with(|| EdgeInfo {
@@ -94,7 +93,7 @@ impl Rule for LockOrder {
                 }
                 // Transitive acquisitions through calls in the range.
                 for site in &model.calls[id] {
-                    if !(g.range.0..g.range.1).contains(&site.idx) {
+                    if !g.covers(site.idx) {
                         continue;
                     }
                     let CallTarget::Resolved(callees) = &site.target else {

@@ -5,18 +5,21 @@
 
 pub mod blocking_under_lock;
 pub mod determinism;
+pub mod hot_path_alloc;
 pub mod journal_format;
 pub mod lock_order;
 pub mod ordered_serialization;
 pub mod panic_hygiene;
 pub mod persist_parity;
 pub mod seed_taint;
+pub mod swallowed_io;
+pub mod unbounded_growth;
 
 use crate::callgraph::Model;
 use crate::lexer::Token;
 use crate::source::SourceFile;
 
-/// The eight invariant rules, in report order. `R1`–`R8` aliases match
+/// The eleven invariant rules, in report order. `R1`–`R11` aliases match
 /// the issue/DESIGN numbering; either name works in `lint:allow(...)`.
 pub const RULES: &[&dyn Rule] = &[
     &determinism::Determinism,
@@ -27,6 +30,9 @@ pub const RULES: &[&dyn Rule] = &[
     &lock_order::LockOrder,
     &blocking_under_lock::BlockingUnderLock,
     &seed_taint::SeedTaint,
+    &hot_path_alloc::HotPathAlloc,
+    &unbounded_growth::UnboundedGrowth,
+    &swallowed_io::SwallowedIo,
 ];
 
 /// Names accepted in `lint:allow(...)`: every rule name plus its R-code.
@@ -81,6 +87,16 @@ pub trait Rule: Sync {
     /// The issue/DESIGN shorthand (`R1`…`R5`), also accepted in
     /// `lint:allow(...)`.
     fn code(&self) -> &'static str;
+    /// True when findings are a pure function of one file's content (no
+    /// call graph, no cross-file state). Local rules run per file through
+    /// [`Rule::check_file`], which is what lets the incremental cache key
+    /// their results on a single file's content hash (`crate::cache`).
+    fn is_local(&self) -> bool {
+        false
+    }
+    /// Scan one file. Only local rules implement this; the default does
+    /// nothing so global rules can ignore it.
+    fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Finding>) {}
     /// Scan the workspace, appending findings.
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
 }

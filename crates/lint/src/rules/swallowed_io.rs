@@ -1,0 +1,146 @@
+//! R11 `swallowed-io-errors`: a fallible IO `Result` must be handled or
+//! propagated, never silently discarded.
+//!
+//! An *IO call* is a call site that is an R7 blocking root (channel
+//! waits, fetches, disk writes, every `StorageBackend` method) or that
+//! resolves to a workspace function which returns a `Result` and
+//! transitively blocks — `Store::checkpoint` is an IO call because its
+//! body reaches `write_all`, even though `checkpoint` itself is not on
+//! the root list. Def-use chains over the function's CFG make the
+//! discard check precise; flagged shapes:
+//!
+//! * `let _ = io_call(...);` — explicitly thrown away;
+//! * `io_call(...).ok();` in statement position — the error is mapped to
+//!   `None` and the `None` is dropped;
+//! * `let x = io_call(...);` where `x` is never read on any path.
+//!
+//! A `?`, a read of the binding, or any surrounding expression consuming
+//! the value counts as handled. Swallowed IO errors are how the store
+//! corrupts silently: PR 5's review fix exists because a journal append
+//! failure that nobody looked at left disk offsets wrong (DESIGN.md §9).
+//!
+//! Documented over-approximation (DESIGN.md §10): a binding that is only
+//! *conditionally* read still counts as read — the rule under-reports
+//! rather than flagging every partially-handled Result.
+
+use crate::callgraph::CallTarget;
+use crate::dataflow;
+use crate::locks;
+use crate::rules::blocking_under_lock::blocking_root;
+use crate::rules::{Finding, Rule, Workspace};
+
+/// R11: IO results are handled or propagated, never dropped.
+pub struct SwallowedIo;
+
+impl Rule for SwallowedIo {
+    fn name(&self) -> &'static str {
+        "swallowed-io-errors"
+    }
+
+    fn code(&self) -> &'static str {
+        "R11"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let model = &ws.model;
+
+        // Which functions transitively block (same propagation as R7):
+        // an IO call either *is* a blocking root or resolves to a
+        // Result-returning function that blocks somewhere below.
+        let mut blocks = vec![false; model.fns.len()];
+        for (id, sites) in model.calls.iter().enumerate() {
+            if sites.iter().any(blocking_root) {
+                blocks[id] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for id in 0..model.fns.len() {
+                if blocks[id] {
+                    continue;
+                }
+                let reaches = model.calls[id].iter().any(|site| {
+                    matches!(&site.target, CallTarget::Resolved(callees)
+                        if callees.iter().any(|&c| blocks[c]))
+                });
+                if reaches {
+                    blocks[id] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        for (id, def) in model.fns.iter().enumerate() {
+            if def.is_test {
+                continue;
+            }
+            let file = &ws.files[def.file];
+            let tokens = &file.tokens;
+            // Built lazily: def-use is only needed when a named binding
+            // must be checked for reads.
+            let mut du: Option<dataflow::DefUse> = None;
+            for site in &model.calls[id] {
+                let is_io = blocking_root(site)
+                    || matches!(&site.target, CallTarget::Resolved(callees)
+                        if callees.iter().any(|&c| blocks[c] && model.fns[c].returns_result));
+                if !is_io {
+                    continue;
+                }
+                // `site.args.1` is the call's closing paren.
+                let after = site.args.1 + 1;
+                if tokens.get(after).is_some_and(|t| t.is_punct('?')) {
+                    continue; // propagated
+                }
+                let how = match locks::let_binding(tokens, def.body.0, site.idx) {
+                    Some(name) if name == "_" => Some("bound to `_`".to_string()),
+                    Some(name) => {
+                        let cfg = &model.cfgs[id];
+                        let du = du.get_or_insert_with(|| dataflow::def_use(tokens, cfg));
+                        // The innermost def whose initializer contains
+                        // this call and binds the same name.
+                        let def_idx = du
+                            .defs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, d)| {
+                                d.name == name && (d.rhs.0..d.rhs.1).contains(&site.idx)
+                            })
+                            .max_by_key(|(_, d)| d.rhs.0)
+                            .map(|(i, _)| i);
+                        match def_idx {
+                            Some(d) if !du.is_read(cfg, tokens, d) => {
+                                Some(format!("bound to `{name}`, which is never read"))
+                            }
+                            _ => None,
+                        }
+                    }
+                    None => {
+                        // Statement-position `io_call(...).ok();`.
+                        let ok_discard = tokens.get(after).is_some_and(|t| t.is_punct('.'))
+                            && tokens.get(after + 1).is_some_and(|t| t.is_ident("ok"))
+                            && tokens.get(after + 2).is_some_and(|t| t.is_punct('('))
+                            && tokens.get(after + 3).is_some_and(|t| t.is_punct(')'))
+                            && tokens.get(after + 4).is_some_and(|t| t.is_punct(';'));
+                        ok_discard.then(|| "mapped away with `.ok()`".to_string())
+                    }
+                };
+                if let Some(how) = how {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.path.clone(),
+                        line: site.line,
+                        col: site.col,
+                        message: format!(
+                            "IO `Result` of `{}()` is swallowed ({how}) — handle or propagate \
+                             it: an unseen IO failure corrupts the store silently",
+                            site.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -83,11 +83,14 @@ impl SourceFile {
             .any(|&(start, end)| (start..=end).contains(&idx))
     }
 
-    /// Does a valid suppression for `rule` cover `line`?
+    /// Does a valid suppression for `rule` cover `line`? Rule names are
+    /// matched case-insensitively so `lint:allow(r9)` and
+    /// `lint:allow(R9)` are the same directive.
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
-        self.suppressions
-            .iter()
-            .any(|s| (s.lines.0..=s.lines.1).contains(&line) && s.rules.iter().any(|r| r == rule))
+        self.suppressions.iter().any(|s| {
+            (s.lines.0..=s.lines.1).contains(&line)
+                && s.rules.iter().any(|r| r.eq_ignore_ascii_case(rule))
+        })
     }
 }
 
@@ -153,7 +156,10 @@ fn parse_suppressions(
         });
         return;
     }
-    if let Some(unknown) = rules.iter().find(|r| !known_rules.contains(&r.as_str())) {
+    if let Some(unknown) = rules
+        .iter()
+        .find(|r| !known_rules.iter().any(|k| k.eq_ignore_ascii_case(r)))
+    {
         bad.push(BadSuppression {
             line: comment.line,
             message: format!("lint:allow names unknown rule `{unknown}`"),

@@ -95,6 +95,39 @@ fn r8_seed_taint_fires_exactly_once() {
 }
 
 #[test]
+fn r9_hot_path_allocation_fires_exactly_once() {
+    fires_exactly_once("r9-alloc", "hot-path-allocation");
+}
+
+#[test]
+fn r10_unbounded_growth_fires_exactly_once() {
+    // The drained `seen` field must stay silent; only the grow-only
+    // `history` field fires.
+    fires_exactly_once("r10-growth", "unbounded-growth");
+}
+
+#[test]
+fn r11_swallowed_io_fires_exactly_once() {
+    // The propagated write must stay silent; only `let _ =` fires.
+    fires_exactly_once("r11-swallow", "swallowed-io-errors");
+}
+
+#[test]
+fn cfg_liveness_scopes_r7_to_the_live_guard() {
+    // Two guards, two waits: the early-dropped guard keeps its wait
+    // silent, so block-scoped liveness reports exactly one finding — a
+    // span-until-end-of-scope approximation would report two.
+    let report = run(&fixture("cfg-liveness"), None).expect("tree scans");
+    let lines: Vec<u32> = report.findings.iter().map(|(f, _)| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![25],
+        "only the wait under the still-live guard may fire"
+    );
+    assert_eq!(report.findings[0].0.rule, "blocking-under-lock");
+}
+
+#[test]
 fn r6_witness_chain_spans_every_function_in_the_cycle() {
     // The inversion in the r6 fixture crosses four functions; the single
     // finding must carry the complete multi-function witness chain with
@@ -260,7 +293,7 @@ fn cli_exit_codes_map_outcomes() {
 }
 
 #[test]
-fn cli_lists_all_eight_rules() {
+fn cli_lists_all_eleven_rules() {
     let out = cli(&["--list-rules"]);
     assert_eq!(out.status.code(), Some(0));
     let text = String::from_utf8(out.stdout).unwrap();
@@ -273,9 +306,104 @@ fn cli_lists_all_eight_rules() {
         "lock-order",
         "blocking-under-lock",
         "seed-taint",
+        "hot-path-allocation",
+        "unbounded-growth",
+        "swallowed-io-errors",
     ] {
         assert!(text.contains(rule), "--list-rules must name {rule}");
     }
+}
+
+// -------------------------------------------------- cache & parallelism
+
+#[test]
+fn warm_cache_run_is_a_full_hit_with_identical_findings() {
+    let dir = std::env::temp_dir().join("lint-cache-hit-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let opts = lint::Options {
+        jobs: 0,
+        cache_dir: Some(dir.clone()),
+    };
+    let cold = lint::run_with(&fixture("r6"), None, &opts).expect("cold run");
+    let cold_stats = cold.cache.expect("cache enabled");
+    assert_eq!(cold_stats.file_hits, 0, "first run must be cold");
+    assert!(!cold_stats.global_hit);
+
+    let warm = lint::run_with(&fixture("r6"), None, &opts).expect("warm run");
+    let warm_stats = warm.cache.expect("cache enabled");
+    assert_eq!(warm_stats.file_hits, warm_stats.file_total);
+    assert!(warm_stats.global_hit, "unchanged tree must hit globally");
+    assert_eq!(
+        cold.render(),
+        warm.render(),
+        "warm findings must be byte-identical to cold"
+    );
+    assert_eq!(cold.render_json(), warm.render_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn editing_a_file_invalidates_its_entry_and_the_global_entry() {
+    let dir = std::env::temp_dir().join("lint-cache-invalidate-test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    let a = dir.join("src/lib.rs");
+    let b = dir.join("src/other.rs");
+    std::fs::write(&a, "pub fn ok() {}\n").unwrap();
+    std::fs::write(&b, "pub fn also_ok() {}\n").unwrap();
+    let cache_dir = dir.join("cache");
+    let opts = lint::Options {
+        jobs: 1,
+        cache_dir: Some(cache_dir),
+    };
+    lint::run_with(&dir, None, &opts).expect("cold run");
+
+    // Introduce a violation into one file: that file misses, the other
+    // still hits, the global entry misses, and the finding appears.
+    std::fs::write(
+        &a,
+        "pub fn t() -> u128 { now() }\nfn now() -> u128 { thread_rng() }\n",
+    )
+    .unwrap();
+    let edited = lint::run_with(&dir, None, &opts).expect("edited run");
+    let stats = edited.cache.expect("cache enabled");
+    assert_eq!(stats.file_total, 2);
+    assert_eq!(stats.file_hits, 1, "the untouched file must still hit");
+    assert!(
+        !stats.global_hit,
+        "content change must miss the global entry"
+    );
+    assert_eq!(edited.failing(), 1, "the new violation must be reported");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn job_count_never_changes_the_report() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let one = lint::run_with(
+        &root,
+        None,
+        &lint::Options {
+            jobs: 1,
+            cache_dir: None,
+        },
+    )
+    .expect("jobs=1 run");
+    let eight = lint::run_with(
+        &root,
+        None,
+        &lint::Options {
+            jobs: 8,
+            cache_dir: None,
+        },
+    )
+    .expect("jobs=8 run");
+    assert_eq!(
+        one.render(),
+        eight.render(),
+        "findings must be byte-identical at every job count"
+    );
+    assert_eq!(one.render_json(), eight.render_json());
 }
 
 #[test]

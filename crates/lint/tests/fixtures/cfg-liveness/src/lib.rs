@@ -1,0 +1,31 @@
+//! CFG-liveness fixture for R7: two guards, two channel waits. In
+//! `drain_released` the guard is dropped before the wait, so block-scoped
+//! liveness must keep it silent; in `drain_held` the guard is live across
+//! the wait — `blocking-under-lock` fires exactly once, there. A
+//! span-until-end-of-scope approximation would fire twice.
+
+pub struct Hub {
+    jobs: Mutex<Vec<u64>>,
+}
+
+impl Hub {
+    /// Guard explicitly dropped before blocking: no finding.
+    pub fn drain_released(&self, rx: &Receiver) {
+        let guard = self.jobs.lock();
+        report(guard.len());
+        drop(guard);
+        if rx.recv().is_err() {
+            report(0);
+        }
+    }
+
+    /// Guard still live across the wait: fires.
+    pub fn drain_held(&self, rx: &Receiver) {
+        let guard = self.jobs.lock();
+        if rx.recv().is_err() {
+            report(guard.len());
+        }
+    }
+}
+
+fn report(_n: usize) {}

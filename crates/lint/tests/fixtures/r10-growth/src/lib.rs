@@ -1,0 +1,21 @@
+//! R10 fixture: a collection field on the long-lived `Store` graph grows
+//! via `push` but never shrinks anywhere in the tree — fires
+//! `unbounded-growth` exactly once, on the `history` field. The `seen`
+//! field also grows but is drained, so it must stay silent.
+
+pub struct Store {
+    history: Vec<u64>,
+    seen: Vec<u64>,
+}
+
+impl Store {
+    pub fn record(&mut self, v: u64) {
+        self.history.push(v);
+        self.seen.push(v);
+    }
+
+    pub fn flush(&mut self) -> usize {
+        let drained = self.seen.drain(..).count();
+        drained + self.history.len()
+    }
+}

@@ -1,0 +1,11 @@
+//! R11 fixture: a disk write's `Result` is discarded with `let _ =` —
+//! fires `swallowed-io-errors` exactly once, on `persist`. The
+//! propagated write in `persist_checked` must stay silent.
+
+pub fn persist(path: &std::path::Path, data: &[u8]) {
+    let _ = std::fs::write(path, data);
+}
+
+pub fn persist_checked(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, data)
+}

@@ -15,7 +15,11 @@ impl Hub {
 }
 
 fn wait_for_signal(rx: &Receiver) {
-    let _ = rx.recv();
+    // The result is consumed so only R7 fires on this tree (R11 has its
+    // own fixture).
+    if rx.recv().is_err() {
+        report(0);
+    }
 }
 
 fn report(_n: usize) {}

@@ -7,6 +7,8 @@
 //! stack overflow.
 
 use lint::callgraph::Model;
+use lint::cfg::Cfg;
+use lint::dataflow::def_use;
 use lint::parser::parse_file;
 use lint::rules::{Workspace, RULES};
 use lint::source::SourceFile;
@@ -30,7 +32,7 @@ fn full_pipeline(src: &str) {
     let files = vec![file];
     let model = Model::build(&files);
     for (id, def) in model.fns.iter().enumerate() {
-        let _ = lint::locks::guards_in(&files[def.file], def);
+        let _ = lint::locks::guards_in(&files[def.file], def, &model.cfgs[id]);
         let _ = model.calls[id].len();
     }
     let ws = Workspace {
@@ -43,6 +45,81 @@ fn full_pipeline(src: &str) {
         rule.check(&ws, &mut findings);
     }
     let _ = (parsed.fns.len(), findings.len());
+}
+
+/// Check the structural invariants of one CFG and, recursively, of its
+/// nested closure CFGs: entry/exit fixed, edges in-bounds and mirrored,
+/// block ranges well-formed, and the reachable-or-reported contract —
+/// every non-exit block is reachable from the entry or listed in
+/// `unreachable`, with nothing listed spuriously.
+fn cfg_invariants(cfg: &Cfg) {
+    assert_eq!(cfg.entry, 0, "entry block id is fixed");
+    assert_eq!(cfg.exit, 1, "exit block id is fixed");
+    assert!(cfg.blocks.len() >= 2, "entry and exit always exist");
+    for (id, b) in cfg.blocks.iter().enumerate() {
+        assert!(b.range.0 <= b.range.1, "block {id} has an inverted range");
+        assert!(
+            b.range.1 <= cfg.body.1.max(cfg.body.0),
+            "block {id} spills past the body"
+        );
+        for &s in &b.succs {
+            assert!(s < cfg.blocks.len(), "succ of block {id} out of bounds");
+            assert!(
+                cfg.blocks[s].preds.contains(&id),
+                "succ edge {id}->{s} has no pred mirror"
+            );
+        }
+        for &p in &b.preds {
+            assert!(p < cfg.blocks.len(), "pred of block {id} out of bounds");
+            assert!(
+                cfg.blocks[p].succs.contains(&id),
+                "pred edge {p}->{id} has no succ mirror"
+            );
+        }
+    }
+    let reach = cfg.reachable_from(cfg.entry);
+    for (id, reachable) in reach.iter().enumerate() {
+        let listed = cfg.unreachable.contains(&id);
+        assert_eq!(
+            listed,
+            id != cfg.exit && !reachable,
+            "block {id} must be reachable or reported, never both or neither"
+        );
+    }
+    for closure in &cfg.closures {
+        cfg_invariants(&closure.cfg);
+    }
+}
+
+/// Build the CFG and def-use chains of every fn parsed out of `src` and
+/// check their invariants. Def-use acyclicity: every use resolves to a
+/// def at a strictly earlier token, and to at most one def, so the
+/// use→def relation can never cycle.
+fn cfg_and_defuse_invariants(src: &str) {
+    let file = SourceFile::parse("fuzz.rs".to_string(), src, &[]);
+    let parsed = parse_file(&file, 0);
+    for def in &parsed.fns {
+        let cfg = Cfg::build(&file.tokens, def.body);
+        cfg_invariants(&cfg);
+        let du = def_use(&file.tokens, &cfg);
+        assert_eq!(du.uses.len(), du.defs.len(), "uses parallel defs");
+        let mut seen_uses = std::collections::HashSet::new();
+        for (i, d) in du.defs.iter().enumerate() {
+            for &u in &du.uses[i] {
+                assert!(u < file.tokens.len(), "use index out of bounds");
+                assert!(
+                    u > d.name_idx,
+                    "use at token {u} must resolve to a strictly earlier def \
+                     (def at {}) — def-use chains stay acyclic",
+                    d.name_idx
+                );
+                assert!(
+                    seen_uses.insert(u),
+                    "use at token {u} resolves to more than one def"
+                );
+            }
+        }
+    }
 }
 
 proptest! {
@@ -90,6 +167,52 @@ proptest! {
             .nth(keep)
             .unwrap_or(base.len());
         full_pipeline(&base[..cut]);
+    }
+
+    /// The CFG builder never panics on arbitrary punctuation soup
+    /// wrapped in a fn, and its output always satisfies the structural
+    /// invariants: edges mirrored and in-bounds, every block reachable
+    /// or reported, def-use chains acyclic.
+    #[test]
+    fn cfg_builder_survives_arbitrary_bodies(
+        s in "[(){}\\[\\]<>:;.,?'\"=|&a-z0-9 \n]{0,250}",
+    ) {
+        cfg_and_defuse_invariants(&format!("fn fuzz() {{ {s} }}"));
+    }
+
+    /// Mutated real control-flow-heavy source keeps every CFG and
+    /// def-use invariant (never panics, blocks reachable-or-reported,
+    /// chains acyclic).
+    #[test]
+    fn cfg_invariants_hold_on_mutated_snippets(
+        which in 0usize..6,
+        at in 0usize..80,
+        junk in "[(){}?|=\"'a-z ]{0,12}",
+    ) {
+        let base = SNIPPETS[which % SNIPPETS.len()];
+        let cut = base
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(at.min(base.chars().count().saturating_sub(1)))
+            .unwrap_or(0);
+        let mut s = String::with_capacity(base.len() + junk.len());
+        s.push_str(&base[..cut]);
+        s.push_str(&junk);
+        s.push_str(&base[cut..]);
+        cfg_and_defuse_invariants(&s);
+    }
+
+    /// Truncating control-flow source at any char boundary (half-written
+    /// files mid-save) keeps every CFG and def-use invariant.
+    #[test]
+    fn cfg_invariants_hold_on_truncated_snippets(which in 0usize..6, keep in 0usize..80) {
+        let base = SNIPPETS[which % SNIPPETS.len()];
+        let cut = base
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(keep)
+            .unwrap_or(base.len());
+        cfg_and_defuse_invariants(&base[..cut]);
     }
 
     /// Delimiter nesting far past the parser's depth budget stays

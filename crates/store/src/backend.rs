@@ -356,7 +356,9 @@ impl StorageBackend for FaultyBackend {
         let cost = (bytes.len() as u64).max(1);
         if let Err(done) = self.advance(cost) {
             let keep = (done as usize).min(bytes.len());
+            // lint:allow(r11) — fault injection: the torn prefix lands best-effort, the crash is the point
             let _ = self.inner.write_file(path, &bytes[..keep]);
+            // lint:allow(r11) — fault injection: syncing the torn prefix is best-effort by design
             let _ = self.inner.sync_file(path);
             self.record(format!(
                 "crash path={} during=write wrote={keep}/{}",
@@ -381,7 +383,9 @@ impl StorageBackend for FaultyBackend {
             // The crash lands mid-append: the sectors already handed to
             // the platter survive (synced), the rest never happened.
             let keep = (done as usize).min(bytes.len());
+            // lint:allow(r11) — fault injection: the surviving sectors land best-effort, the crash is the point
             let _ = self.inner.append_file(path, &bytes[..keep]);
+            // lint:allow(r11) — fault injection: syncing the surviving sectors is best-effort by design
             let _ = self.inner.sync_file(path);
             self.record(format!(
                 "crash path={} during=append wrote={keep}/{}",

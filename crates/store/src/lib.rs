@@ -432,6 +432,7 @@ impl Store {
     }
 
     /// Fetch a stored payload.
+    // lint:allow(r9) — the (region, domain) tuple key forces an owned String per lookup; borrowed-key lookup is scoped into the ROADMAP item 1 arena work
     pub fn get(&self, region: u8, domain: &str) -> Option<Vec<u8>> {
         self.stripes[stripe_of(domain)]
             .lock()
@@ -441,6 +442,7 @@ impl Store {
     }
 
     /// Is this task already stored?
+    // lint:allow(r9) — the (region, domain) tuple key forces an owned String per lookup; borrowed-key lookup is scoped into the ROADMAP item 1 arena work
     pub fn contains(&self, region: u8, domain: &str) -> bool {
         self.stripes[stripe_of(domain)]
             .lock()

@@ -56,7 +56,20 @@ impl StoreSnapshot {
     /// [`StoreSnapshot::open`] on an explicit storage backend.
     pub fn open_with(dir: &Path, backend: Arc<dyn StorageBackend>) -> io::Result<StoreSnapshot> {
         let (meta, regions) = read_store_config(dir, backend.as_ref())?;
-        let slots = read_slots(dir, backend.as_ref(), regions)?;
+        let mut slots = read_slots(dir, backend.as_ref(), regions)?;
+        // An invalid slot is usually not damage but a seal mid-overwrite
+        // (slot writes are not atomic): re-read until the write settles
+        // before trusting the classification, so a concurrent reader
+        // neither errors out on a half-written first seal nor falls back
+        // past a generation it already served. Genuinely damaged slots
+        // stay invalid and take the fallback path after the patience
+        // runs out.
+        let mut patience = 64;
+        while patience > 0 && slots.iter().any(|s| matches!(s, SlotState::Invalid)) {
+            std::thread::yield_now();
+            slots = read_slots(dir, backend.as_ref(), regions)?;
+            patience -= 1;
+        }
         let never_sealed = slots.iter().all(|s| matches!(s, SlotState::Missing));
 
         // Shard bytes are read once, before candidate verification, so
@@ -174,6 +187,7 @@ impl StoreSnapshot {
     }
 
     /// Borrow a sealed payload.
+    // lint:allow(r9) — the (region, domain) tuple key forces an owned String per lookup; borrowed-key lookup is scoped into the ROADMAP item 1 arena work
     pub fn get(&self, region: u8, domain: &str) -> Option<&[u8]> {
         let cell = self.entries.get(&(region, domain.to_string()))?;
         let shard = self.shards.get(region as usize)?;
@@ -181,6 +195,7 @@ impl StoreSnapshot {
     }
 
     /// Is this cell sealed?
+    // lint:allow(r9) — the (region, domain) tuple key forces an owned String per lookup; borrowed-key lookup is scoped into the ROADMAP item 1 arena work
     pub fn contains(&self, region: u8, domain: &str) -> bool {
         self.entries.contains_key(&(region, domain.to_string()))
     }

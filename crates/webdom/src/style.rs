@@ -24,6 +24,7 @@ impl Style {
     ///
     /// Malformed declarations (missing colon) are skipped; later duplicates
     /// win, as in CSS.
+    // lint:allow(r9) — the DOM/AST owns its text, attributes, and error strings; ROADMAP item 1
     pub fn parse(input: &str) -> Self {
         let mut decls = BTreeMap::new();
         for decl in input.split(';') {

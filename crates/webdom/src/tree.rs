@@ -273,11 +273,13 @@ impl Document {
     }
 
     /// Create a detached text node.
+    // lint:allow(r9) — the DOM/AST owns its text, attributes, and error strings; ROADMAP item 1
     pub fn create_text(&mut self, text: &str) -> NodeId {
         self.push(Node::new(NodeKind::Text(text.to_string())))
     }
 
     /// Create a detached comment node.
+    // lint:allow(r9) — the DOM/AST owns its text, attributes, and error strings; ROADMAP item 1
     pub fn create_comment(&mut self, text: &str) -> NodeId {
         self.push(Node::new(NodeKind::Comment(text.to_string())))
     }
@@ -286,6 +288,7 @@ impl Document {
     ///
     /// # Panics
     /// Panics if `id` is not an element.
+    // lint:allow(r9) — the DOM/AST owns its text, attributes, and error strings; ROADMAP item 1
     pub fn set_attr(&mut self, id: NodeId, name: &str, value: &str) {
         let name_lc = name.to_ascii_lowercase();
         match &mut self.node_mut(id).kind {
@@ -489,6 +492,7 @@ impl Document {
         self.clone_subtree_mapped(src).0
     }
 
+    // lint:allow(r9) — the subtree clone is the pierce-shadow-roots workaround itself (§3); ROADMAP item 1
     fn clone_rec(&mut self, src: NodeId, map: &mut HashMap<NodeId, NodeId>) -> NodeId {
         let kind = self.node(src).kind.clone();
         let new_kind = match kind {

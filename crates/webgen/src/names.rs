@@ -24,6 +24,7 @@ pub fn stable_hash(key: &str) -> u64 {
 
 /// A ChaCha8 RNG seeded from a string key (plus a numeric lane so one key
 /// can drive several independent streams).
+// lint:allow(r9) — RNG lane label, one short String per derived stream; ROADMAP item 1
 pub fn rng_for(key: &str, lane: u64) -> ChaCha8Rng {
     let mut seed = [0u8; 32];
     let h1 = stable_hash(key);

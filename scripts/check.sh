@@ -15,7 +15,8 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # the gate itself has rotted and the run fails.
 LINT=target/release/lint
 "$LINT" || { echo "check.sh: workspace lint failed" >&2; exit 1; }
-for fixture in r1 r2 r3 r4 r5 r5-index r6 r7 r7-backend r7-serve r8 suppression; do
+for fixture in r1 r2 r3 r4 r5 r5-index r6 r7 r7-backend r7-serve r8 \
+               r9-alloc r10-growth r11-swallow cfg-liveness suppression; do
     if "$LINT" --root "crates/lint/tests/fixtures/$fixture" >/dev/null; then
         echo "check.sh: lint fixture $fixture no longer trips its rule" >&2
         exit 1
@@ -33,6 +34,22 @@ echo "$JSON_OUT" | grep -q '"rule": "lock-order"' \
     || { echo "check.sh: lint JSON output lost its finding schema" >&2; exit 1; }
 echo "$JSON_OUT" | grep -q '"summary": {"failing": 1' \
     || { echo "check.sh: lint JSON output lost its summary schema" >&2; exit 1; }
+
+# Incremental-cache smoke test: a second run over the unchanged workspace
+# must be a full hit (every file entry plus the global entry) and report
+# byte-identical findings.
+LINT_CACHE=$(mktemp -d)
+"$LINT" --cache --cache-dir "$LINT_CACHE" >/dev/null 2>"$LINT_CACHE/cold.err" \
+    || { echo "check.sh: cached workspace lint failed cold" >&2; exit 1; }
+"$LINT" --cache --cache-dir "$LINT_CACHE" >"$LINT_CACHE/warm.out" 2>"$LINT_CACHE/warm.err" \
+    || { echo "check.sh: cached workspace lint failed warm" >&2; exit 1; }
+grep -q "files hit, global hit" "$LINT_CACHE/warm.err" \
+    || { echo "check.sh: second lint run over an unchanged tree missed the cache" >&2; exit 1; }
+"$LINT" >"$LINT_CACHE/nocache.out" \
+    || { echo "check.sh: workspace lint failed" >&2; exit 1; }
+cmp "$LINT_CACHE/warm.out" "$LINT_CACHE/nocache.out" \
+    || { echo "check.sh: cached lint findings differ from uncached" >&2; exit 1; }
+rm -rf "$LINT_CACHE"
 
 cargo test -q --workspace --offline
 
@@ -113,5 +130,10 @@ cargo bench -p bench --bench store --offline -- --noplot
 # ingest; every served answer is verified byte-identical to direct
 # evaluation against the sealed store, and real p50/p99 print per class.
 cargo bench -p bench --bench serve --offline -- --noplot
+
+# Lint bench: cold vs warm-cache engine runs over the workspace; the
+# bench itself asserts warm >=3x faster than cold and byte-identical
+# findings at --jobs 1 vs --jobs 8.
+cargo bench -p bench --bench lint --offline -- --noplot
 
 echo "check.sh: fmt + build + clippy + lint + tests + stress + fuzzer + benches + resume/fsck/diff/serve/stats smoke all green"
